@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation (extension of the paper's Fig. 16): how many L2 contention
+ * events enter the co-located top-10 as the interference level grows —
+ * i.e. CounterMiner as a contention *detector* with a tunable severity
+ * axis, not just the two endpoint cases the paper shows.
+ */
+
+#include "common.h"
+#include "util/csv.h"
+#include "workload/colocate.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner(
+        "Ablation: co-location contention sweep (L2 events in top-10)");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &suite = workload::BenchmarkSuite::instance();
+    const auto &dc = suite.byName("DataCaching");
+    const auto &ga = suite.byName("GraphAnalytics");
+    util::Rng rng(2222);
+
+    util::TablePrinter table({"contention", "L2 events in top-10",
+                              "top event"});
+    util::CsvWriter csv(bench::resultCsvPath("ablation_colocation"));
+    csv.writeRow({"contention", "l2_in_top10", "top_event"});
+
+    for (double contention : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        workload::ColocationOptions options;
+        options.contention = contention;
+
+        store::Database db;
+        core::DataCollector collector(db, catalog);
+        const core::DataCleaner cleaner;
+        const auto events = catalog.programmableEvents();
+        std::vector<core::CollectedRun> runs;
+        for (int r = 0; r < 2; ++r) {
+            const auto trace =
+                workload::composeColocated(dc, ga, rng, options);
+            auto run = collector.collectMlpxFromTrace(
+                trace, "DC+GA", "colocated", events, rng);
+            for (std::size_t s = 0; s + 1 < run.series.size(); ++s)
+                cleaner.clean(run.series[s]);
+            runs.push_back(std::move(run));
+        }
+        const auto data =
+            core::ImportanceRanker::buildDataset(runs, catalog);
+        const core::ImportanceRanker ranker;
+        auto [ranking, error] = ranker.fitOnce(data, rng);
+
+        std::size_t l2_count = 0;
+        for (std::size_t i = 0; i < 10; ++i) {
+            if (ranking[i].feature.rfind("L2", 0) == 0)
+                ++l2_count;
+        }
+        table.addRow({util::formatDouble(contention, 2),
+                      std::to_string(l2_count), ranking[0].feature});
+        csv.writeRow({util::formatDouble(contention, 2),
+                      std::to_string(l2_count), ranking[0].feature});
+    }
+    table.print();
+    std::printf("expected shape: L2 events absent at zero contention, "
+                "flooding the top-10 as contention rises — the ranking "
+                "doubles as a contention severity meter\n");
+    return 0;
+}

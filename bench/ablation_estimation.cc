@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: sampling-time estimation (Mathur & Cook linear
+ * interpolation) vs CounterMiner's after-sampling cleaning, and their
+ * composition — the comparison implicit in the paper's related-work
+ * positioning ("our approach decreases the errors after the measurement
+ * has been completed").
+ */
+
+#include "common.h"
+#include "core/baselines.h"
+#include "util/csv.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner(
+        "Ablation: interpolation-at-sampling vs cleaning-after-sampling");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &suite = workload::BenchmarkSuite::instance();
+    store::Database db;
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    const auto events = bench::errorFigureEvents();
+    const auto imc = events.front();
+    util::Rng rng(2323);
+
+    double raw_total = 0.0;
+    double interp_total = 0.0;
+    double blocked_total = 0.0;
+    double clean_total = 0.0;
+    double both_total = 0.0;
+    int samples = 0;
+    for (const auto *benchmark : suite.all()) {
+        for (int rep = 0; rep < 2; ++rep) {
+            auto o1 = collector.collectOcoe(*benchmark, {imc}, rng);
+            auto o2 = collector.collectOcoe(*benchmark, {imc}, rng);
+            auto m = collector.collectMlpx(*benchmark, events, rng);
+            auto err = [&](const ts::TimeSeries &series) {
+                return core::mlpxError(o1.series[0], o2.series[0],
+                                       series)
+                    .errorPercent;
+            };
+            raw_total += err(m.series[0]);
+
+            ts::TimeSeries interp = m.series[0];
+            core::mathurInterpolate(interp);
+            interp_total += err(interp);
+
+            ts::TimeSeries blocked = m.series[0];
+            core::mathurInterpolateBlocked(blocked, 16);
+            blocked_total += err(blocked);
+
+            ts::TimeSeries cleaned = m.series[0];
+            cleaner.clean(cleaned);
+            clean_total += err(cleaned);
+
+            // Composition: interpolate first (sampling-time), then
+            // clean (post-sampling outlier repair).
+            ts::TimeSeries both = m.series[0];
+            core::mathurInterpolate(both);
+            cleaner.clean(both);
+            both_total += err(both);
+            ++samples;
+        }
+    }
+
+    util::TablePrinter table({"method", "avg error %"});
+    util::CsvWriter csv(bench::resultCsvPath("ablation_estimation"));
+    csv.writeRow({"method", "avg_error_percent"});
+    auto emit = [&](const char *name, double total) {
+        table.addRow({name, util::formatDouble(total / samples, 1)});
+        csv.writeRow({name, util::formatDouble(total / samples, 3)});
+    };
+    emit("raw MLPX", raw_total);
+    emit("Mathur interpolation (sampling-time)", interp_total);
+    emit("Mathur interpolation, 16-sample blocks", blocked_total);
+    emit("CounterMiner cleaning (after sampling)", clean_total);
+    emit("interpolation + cleaning (composed)", both_total);
+    table.print();
+    std::printf("expected shape: interpolation fixes missing values but "
+                "not outliers, so cleaning wins; the composition lands "
+                "near cleaning alone (linear interpolation is a weaker "
+                "imputer than the cleaner's KNN) — the approaches "
+                "address the same artifacts at different stages\n");
+    return 0;
+}

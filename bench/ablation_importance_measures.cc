@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: Friedman split-improvement influence (the paper's Eq. 10/11
+ * measure) vs model-agnostic permutation importance. Both run on the
+ * same fitted MAPM; agreement on the top events validates that the
+ * paper's cheaper measure is not an artifact of the tree construction.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include "common.h"
+#include "ml/permutation.h"
+#include "util/csv.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner(
+        "Ablation: Friedman influence vs permutation importance");
+
+    const auto &suite = workload::BenchmarkSuite::instance();
+    util::Rng rng(2020);
+    util::TablePrinter table({"benchmark", "top-10 overlap",
+                              "same #1 event", "planted #1 in both"});
+    util::CsvWriter csv(
+        bench::resultCsvPath("ablation_importance_measures"));
+    csv.writeRow({"benchmark", "top10_overlap", "same_top1",
+                  "planted_top1_in_both"});
+
+    for (const char *name :
+         {"wordcount", "sort", "DataCaching", "WebSearch"}) {
+        const auto &benchmark = suite.byName(name);
+        const auto profiled =
+            bench::profileBenchmark(benchmark, rng, 2, 96);
+
+        const auto friedman = profiled.importance.ranking;
+        const auto permutation = ml::permutationImportance(
+            profiled.mapm, profiled.mapmDataset, rng, 2);
+
+        std::set<std::string> friedman_top;
+        std::set<std::string> permutation_top;
+        for (std::size_t i = 0; i < 10; ++i) {
+            friedman_top.insert(friedman[i].feature);
+            permutation_top.insert(permutation[i].feature);
+        }
+        std::size_t overlap = 0;
+        for (const auto &event : friedman_top) {
+            if (permutation_top.count(event))
+                ++overlap;
+        }
+        const bool same_top =
+            friedman[0].feature == permutation[0].feature;
+        const std::string planted_top =
+            benchmark.plantedRanking(1).front();
+        const bool planted_in_both =
+            friedman_top.count(planted_top) &&
+            permutation_top.count(planted_top);
+
+        table.addRow({name, util::format("%zu/10", overlap),
+                      same_top ? "yes" : "no",
+                      planted_in_both ? "yes" : "no"});
+        csv.writeRow({name, std::to_string(overlap),
+                      same_top ? "yes" : "no",
+                      planted_in_both ? "yes" : "no"});
+    }
+    table.print();
+    std::printf("expected shape: strong top-10 overlap — the paper's "
+                "split-improvement measure agrees with the "
+                "model-agnostic one on what matters\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Ablation: the performance-model choice behind the importance ranker.
+ * Compares SGBRT (the paper's choice) against a plain linear model and
+ * a single deep regression tree on (a) held-out model error (Eq. 14)
+ * and (b) recovery of the planted dominant events.
+ */
+
+#include <algorithm>
+
+#include "common.h"
+#include "ml/cv.h"
+#include "ml/linear_regression.h"
+#include "ml/metrics.h"
+#include "stats/descriptive.h"
+#include "util/csv.h"
+
+using namespace cminer;
+
+namespace {
+
+struct ModelScore
+{
+    double errorPercent = 0.0;
+    double recoveryHits = 0.0; ///< planted top-3 found in model top-10
+};
+
+} // namespace
+
+int
+main()
+{
+    util::printBanner(
+        "Ablation: SGBRT vs linear vs single-tree importance models");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &suite = workload::BenchmarkSuite::instance();
+    util::Rng rng(1818);
+
+    ModelScore gbrt_score;
+    ModelScore linear_score;
+    ModelScore tree_score;
+    int benchmarks = 0;
+
+    for (const char *name :
+         {"wordcount", "sort", "DataCaching", "WebServing"}) {
+        const auto &benchmark = suite.byName(name);
+        store::Database db;
+        auto runs = bench::collectRuns(benchmark, 2, rng, db);
+        const auto data =
+            core::ImportanceRanker::buildDataset(runs, catalog);
+        auto split = ml::trainTestSplit(data, 0.8, rng);
+        const auto planted = benchmark.plantedRanking(3);
+
+        auto count_hits = [&](const std::vector<std::string> &top10) {
+            double hits = 0.0;
+            for (const auto &event : planted) {
+                if (std::find(top10.begin(), top10.end(), event) !=
+                    top10.end())
+                    hits += 1.0;
+            }
+            return hits;
+        };
+
+        // SGBRT.
+        {
+            ml::Gbrt model;
+            model.fit(split.train, rng);
+            gbrt_score.errorPercent +=
+                ml::mape(split.test.targets(),
+                         model.predictAll(split.test));
+            std::vector<std::string> top10;
+            const auto ranking = model.featureImportances();
+            for (std::size_t i = 0; i < 10; ++i)
+                top10.push_back(ranking[i].feature);
+            gbrt_score.recoveryHits += count_hits(top10);
+        }
+        // Linear model; importance proxy = |coef| * feature stddev.
+        {
+            ml::LinearRegression model(1e-6);
+            model.fit(split.train);
+            linear_score.errorPercent +=
+                ml::mape(split.test.targets(),
+                         model.predictAll(split.test));
+            std::vector<std::pair<double, std::string>> scored;
+            for (std::size_t f = 0; f < data.featureCount(); ++f) {
+                const auto column = split.train.column(f);
+                scored.emplace_back(
+                    std::abs(model.coefficients()[f]) *
+                        stats::stddev(column),
+                    data.featureNames()[f]);
+            }
+            std::sort(scored.rbegin(), scored.rend());
+            std::vector<std::string> top10;
+            for (std::size_t i = 0; i < 10; ++i)
+                top10.push_back(scored[i].second);
+            linear_score.recoveryHits += count_hits(top10);
+        }
+        // Single deep tree (GBRT with one stage, full depth budget).
+        {
+            ml::GbrtParams params;
+            params.treeCount = 1;
+            params.learningRate = 1.0;
+            params.subsample = 1.0;
+            params.tree.maxDepth = 10;
+            params.tree.featureFraction = 1.0;
+            ml::Gbrt model(params);
+            model.fit(split.train, rng);
+            tree_score.errorPercent +=
+                ml::mape(split.test.targets(),
+                         model.predictAll(split.test));
+            std::vector<std::string> top10;
+            const auto ranking = model.featureImportances();
+            for (std::size_t i = 0; i < 10; ++i)
+                top10.push_back(ranking[i].feature);
+            tree_score.recoveryHits += count_hits(top10);
+        }
+        ++benchmarks;
+    }
+
+    util::TablePrinter table(
+        {"model", "avg model error %", "planted top-3 recovered (of 3)"});
+    util::CsvWriter csv(bench::resultCsvPath("ablation_models"));
+    csv.writeRow({"model", "avg_error_percent", "avg_recovery_hits"});
+    auto emit = [&](const char *name, const ModelScore &score) {
+        const double error =
+            score.errorPercent / benchmarks;
+        const double hits = score.recoveryHits / benchmarks;
+        table.addRow({name, util::formatDouble(error, 2),
+                      util::formatDouble(hits, 1)});
+        csv.writeRow({name, util::formatDouble(error, 3),
+                      util::formatDouble(hits, 3)});
+    };
+    emit("SGBRT (paper)", gbrt_score);
+    emit("linear regression", linear_score);
+    emit("single deep tree", tree_score);
+    table.print();
+    std::printf("expected shape: SGBRT clearly beats a single tree; a "
+                "linear model can be competitive on raw error when the "
+                "workload's responses are mildly nonlinear, but only "
+                "the tree ensemble yields the Friedman importance and "
+                "the interaction oracle the pipeline needs\n");
+    return 0;
+}

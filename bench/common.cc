@@ -1,0 +1,100 @@
+#include "common.h"
+
+#include <filesystem>
+
+namespace cminer::bench {
+
+std::vector<pmu::EventId>
+errorFigureEvents()
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    std::vector<pmu::EventId> events = {catalog.idOf("ICACHE.MISSES")};
+    for (const char *abbrev :
+         {"IDU", "ISF", "BRE", "BRB", "BMP", "MSL", "LMH", "ITM", "ORA"})
+        events.push_back(catalog.idOfAbbrev(abbrev));
+    return events;
+}
+
+std::vector<core::CollectedRun>
+collectRuns(const workload::SyntheticBenchmark &benchmark,
+            std::size_t run_count, util::Rng &rng, store::Database &db,
+            bool clean)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    std::vector<core::CollectedRun> runs;
+    const auto events = catalog.programmableEvents();
+    for (std::size_t r = 0; r < run_count; ++r) {
+        auto run = collector.collectMlpx(benchmark, events, rng);
+        if (clean) {
+            for (std::size_t s = 0; s + 1 < run.series.size(); ++s)
+                cleaner.clean(run.series[s]);
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+ProfiledBenchmark
+profileBenchmark(const workload::SyntheticBenchmark &benchmark,
+                 util::Rng &rng, std::size_t runs, std::size_t min_events)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    store::Database db;
+    auto collected = collectRuns(benchmark, runs, rng, db);
+
+    ProfiledBenchmark profiled;
+    profiled.dataset =
+        core::ImportanceRanker::buildDataset(collected, catalog);
+
+    core::ImportanceOptions options;
+    options.minEvents = min_events;
+    const core::ImportanceRanker ranker(options);
+    profiled.importance = ranker.run(profiled.dataset, rng);
+    profiled.mapm =
+        ranker.trainMapm(profiled.dataset, profiled.importance, rng);
+    profiled.mapmDataset =
+        profiled.dataset.project(profiled.importance.mapmFeatures);
+    return profiled;
+}
+
+ErrorPair
+measureBenchmarkError(const workload::SyntheticBenchmark &benchmark,
+                      util::Rng &rng, int reps)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    store::Database db;
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    const auto events = errorFigureEvents();
+    const auto imc = events.front();
+
+    ErrorPair pair;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto ocoe1 = collector.collectOcoe(benchmark, {imc}, rng);
+        auto ocoe2 = collector.collectOcoe(benchmark, {imc}, rng);
+        auto mlpx = collector.collectMlpx(benchmark, events, rng);
+        pair.rawPercent += core::mlpxError(ocoe1.series[0],
+                                           ocoe2.series[0],
+                                           mlpx.series[0])
+                               .errorPercent;
+        ts::TimeSeries cleaned = mlpx.series[0];
+        cleaner.clean(cleaned);
+        pair.cleanedPercent +=
+            core::mlpxError(ocoe1.series[0], ocoe2.series[0], cleaned)
+                .errorPercent;
+    }
+    pair.rawPercent /= reps;
+    pair.cleanedPercent /= reps;
+    return pair;
+}
+
+std::string
+resultCsvPath(const std::string &name)
+{
+    std::filesystem::create_directories("bench_results");
+    return "bench_results/" + name + ".csv";
+}
+
+} // namespace cminer::bench

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: run collection with
+ * cleaning, the profile pipeline pieces, and CSV result output.
+ *
+ * Every bench prints the regenerated rows/series to stdout through
+ * util::TablePrinter and additionally writes a machine-readable CSV into
+ * ./bench_results/.
+ */
+
+#ifndef CMINER_BENCH_COMMON_H
+#define CMINER_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "core/cleaner.h"
+#include "core/collector.h"
+#include "core/error_metrics.h"
+#include "core/importance.h"
+#include "core/interaction.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/suites.h"
+
+namespace cminer::bench {
+
+/** The ten-event set (ICACHE.MISSES first) used by the error figures. */
+std::vector<pmu::EventId> errorFigureEvents();
+
+/**
+ * Collect `run_count` MLPX runs of a benchmark over all programmable
+ * events and clean them (unless `clean` is false).
+ */
+std::vector<core::CollectedRun>
+collectRuns(const workload::SyntheticBenchmark &benchmark,
+            std::size_t run_count, util::Rng &rng, store::Database &db,
+            bool clean = true);
+
+/** Everything the importance/interaction figures need for one benchmark. */
+struct ProfiledBenchmark
+{
+    ml::Dataset dataset;                 ///< full-event dataset
+    core::ImportanceResult importance;   ///< EIR outcome
+    ml::Gbrt mapm;                       ///< retrained MAPM oracle
+    ml::Dataset mapmDataset;             ///< dataset over MAPM features
+};
+
+/**
+ * Run collect -> clean -> EIR -> MAPM for one benchmark.
+ *
+ * @param benchmark what to profile
+ * @param rng run/model randomness
+ * @param runs MLPX runs to pool
+ * @param min_events EIR stop point (fewer = longer loop)
+ */
+ProfiledBenchmark profileBenchmark(
+    const workload::SyntheticBenchmark &benchmark, util::Rng &rng,
+    std::size_t runs = 3, std::size_t min_events = 26);
+
+/**
+ * Raw-vs-cleaned measurement error of ICACHE.MISSES for one benchmark,
+ * averaged over `reps` repetitions (the Figs. 1/6 measurement).
+ */
+struct ErrorPair
+{
+    double rawPercent = 0.0;
+    double cleanedPercent = 0.0;
+};
+ErrorPair measureBenchmarkError(
+    const workload::SyntheticBenchmark &benchmark, util::Rng &rng,
+    int reps = 4);
+
+/** Open ./bench_results/<name>.csv for writing (creates the dir). */
+std::string resultCsvPath(const std::string &name);
+
+} // namespace cminer::bench
+
+#endif // CMINER_BENCH_COMMON_H

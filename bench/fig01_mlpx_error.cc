@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 1: measurement error caused by MLPX for ICACHE.MISSES across
+ * the sixteen benchmarks (10 events multiplexed on 4 counters).
+ *
+ * Paper reference points: min 8.8%, max 43.3%, average 28.3%.
+ */
+
+#include <algorithm>
+
+#include "common.h"
+#include "util/csv.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner(
+        "Figure 1: MLPX measurement error (ICACHE.MISSES, 10 events on "
+        "4 counters)");
+
+    const auto &suite = workload::BenchmarkSuite::instance();
+    util::Rng rng(101);
+    util::TablePrinter table({"benchmark", "error %", ""});
+    util::CsvWriter csv(bench::resultCsvPath("fig01_mlpx_error"));
+    csv.writeRow({"benchmark", "error_percent"});
+
+    double total = 0.0;
+    double min_error = 1e300;
+    double max_error = 0.0;
+    for (const auto *benchmark : suite.all()) {
+        const auto pair = bench::measureBenchmarkError(*benchmark, rng);
+        table.addRow({benchmark->name(),
+                      util::formatDouble(pair.rawPercent, 1),
+                      util::asciiBar(pair.rawPercent, 60.0)});
+        csv.writeRow({benchmark->name(),
+                      util::formatDouble(pair.rawPercent, 3)});
+        total += pair.rawPercent;
+        min_error = std::min(min_error, pair.rawPercent);
+        max_error = std::max(max_error, pair.rawPercent);
+    }
+    const double average = total / 16.0;
+    table.addRow({"AVG", util::formatDouble(average, 1),
+                  util::asciiBar(average, 60.0)});
+    table.print();
+
+    std::printf("measured: min %.1f%%, max %.1f%%, avg %.1f%%\n",
+                min_error, max_error, average);
+    std::printf("paper:    min 8.8%%, max 43.3%%, avg 28.3%%\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Figure 15: profiling-cost comparison for identifying the important
+ * configuration parameters of pagerank.
+ *
+ *  - Method B ranks parameters directly: one training example
+ *    (configuration -> execution time) per benchmark run.
+ *  - Method A ranks events first: every run yields one example per
+ *    sampled interval (events -> IPC), plus extra runs to find the
+ *    parameter-event couplings.
+ *
+ * Paper reference: method B needs ~6000 runs for a 90%-accurate model;
+ * method A needs 60 model runs + 1520 coupling runs = 1580 total,
+ * roughly a quarter of the cost.
+ */
+
+#include "common.h"
+#include "ml/cv.h"
+#include "ml/metrics.h"
+#include "stats/descriptive.h"
+#include "util/csv.h"
+#include "workload/cluster.h"
+#include "workload/spark_config.h"
+
+using namespace cminer;
+
+namespace {
+
+/** Smallest run count whose model reaches the accuracy target. */
+struct CostResult
+{
+    std::size_t runsNeeded = 0;
+    double errorAtTarget = 0.0;
+    bool reached = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    util::printBanner(
+        "Figure 15: profiling cost, method A (events) vs method B "
+        "(parameters)");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &benchmark =
+        workload::BenchmarkSuite::instance().byName("pagerank");
+    const auto &params = workload::SparkParamCatalog::instance();
+    util::Rng rng(1515);
+    const double target_error = 10.0; // 90% accuracy
+
+    // ---- Method B: config -> execution time, one example per run ----
+    workload::SimulatedCluster cluster;
+    const std::size_t max_b_runs = 6000;
+    ml::Dataset pool_b(
+        [&] {
+            std::vector<std::string> names;
+            for (const auto &abbrev : params.abbrevs())
+                names.push_back(abbrev);
+            return names;
+        }());
+    for (std::size_t r = 0; r < max_b_runs; ++r) {
+        const auto config = workload::SparkConfig::random(rng);
+        std::vector<double> row;
+        for (const auto &abbrev : params.abbrevs())
+            row.push_back(config.normalized(abbrev));
+        pool_b.addRow(std::move(row),
+                      cluster.runJobTimeOnly(benchmark, config, rng));
+    }
+
+    CostResult method_b;
+    util::TablePrinter table_b({"runs (=examples)", "model error %"});
+    for (std::size_t runs :
+         {250u, 500u, 1000u, 2000u, 4000u, 6000u}) {
+        std::vector<std::size_t> rows(runs);
+        for (std::size_t i = 0; i < runs; ++i)
+            rows[i] = i;
+        auto subset = pool_b.subset(rows);
+        auto split = ml::trainTestSplit(subset, 0.8, rng);
+        ml::Gbrt model;
+        model.fit(split.train, rng);
+        const double error =
+            ml::mape(split.test.targets(), model.predictAll(split.test));
+        table_b.addRow({std::to_string(runs),
+                        util::formatDouble(error, 2)});
+        if (!method_b.reached && error <= target_error) {
+            method_b.runsNeeded = runs;
+            method_b.errorAtTarget = error;
+            method_b.reached = true;
+        }
+    }
+    std::printf("method B (direct parameter ranking):\n");
+    table_b.print();
+
+    // ---- Method A: events -> IPC, many examples per run --------------
+    store::Database db;
+    CostResult method_a;
+    util::TablePrinter table_a({"runs", "examples", "model error %"});
+    std::vector<core::CollectedRun> collected;
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    const auto events = catalog.programmableEvents();
+    for (std::size_t runs = 1; runs <= 8; ++runs) {
+        auto run = collector.collectMlpx(benchmark, events, rng);
+        for (std::size_t s = 0; s + 1 < run.series.size(); ++s)
+            cleaner.clean(run.series[s]);
+        collected.push_back(std::move(run));
+        const auto data =
+            core::ImportanceRanker::buildDataset(collected, catalog);
+        auto split = ml::trainTestSplit(data, 0.8, rng);
+        ml::Gbrt model;
+        model.fit(split.train, rng);
+        const double error =
+            ml::mape(split.test.targets(), model.predictAll(split.test));
+        table_a.addRow({std::to_string(runs),
+                        std::to_string(data.rowCount()),
+                        util::formatDouble(error, 2)});
+        if (!method_a.reached && error <= target_error) {
+            method_a.runsNeeded = runs;
+            method_a.errorAtTarget = error;
+            method_a.reached = true;
+        }
+    }
+    std::printf("method A (event-based, one example per interval):\n");
+    table_a.print();
+
+    // Coupling-exploration cost for method A (the fig13 procedure).
+    const std::size_t coupling_runs = 48;
+    const std::size_t total_a = method_a.runsNeeded + coupling_runs;
+
+    util::CsvWriter csv(bench::resultCsvPath("fig15_profiling_cost"));
+    csv.writeRow({"method", "model_runs", "coupling_runs", "total_runs",
+                  "reached_target"});
+    csv.writeRow({"B", std::to_string(method_b.runsNeeded), "0",
+                  std::to_string(method_b.runsNeeded),
+                  method_b.reached ? "yes" : "no"});
+    csv.writeRow({"A", std::to_string(method_a.runsNeeded),
+                  std::to_string(coupling_runs),
+                  std::to_string(total_a),
+                  method_a.reached ? "yes" : "no"});
+
+    std::printf("\nruns to reach %.0f%% model error:\n", target_error);
+    std::printf("  method B: %zu runs%s\n", method_b.runsNeeded,
+                method_b.reached ? "" : " (target not reached by 6000)");
+    std::printf("  method A: %zu model runs + %zu coupling runs = %zu "
+                "total\n",
+                method_a.runsNeeded, coupling_runs, total_a);
+    if (method_b.reached && method_a.reached) {
+        std::printf("  cost ratio A/B: %.2f (paper: 1580/6000 = 0.26)\n",
+                    static_cast<double>(total_a) /
+                        static_cast<double>(method_b.runsNeeded));
+    }
+    return 0;
+}

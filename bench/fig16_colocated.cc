@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 16: event-importance ranking for co-located workloads.
+ *
+ *  - DataCaching + DataCaching: the ranking stays close to solo
+ *    DataCaching (ISF on top); two instances barely interfere.
+ *  - DataCaching + GraphAnalytics: severe churn — L2-cache events
+ *    (absent from both solo top-10 lists) enter the top-10.
+ */
+
+#include "common.h"
+#include "util/csv.h"
+#include "workload/colocate.h"
+
+using namespace cminer;
+
+namespace {
+
+std::vector<ml::FeatureImportance>
+profileColocated(const workload::SyntheticBenchmark &a,
+                 const workload::SyntheticBenchmark &b,
+                 const std::string &label, util::Rng &rng)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    store::Database db;
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    const auto events = catalog.programmableEvents();
+
+    std::vector<core::CollectedRun> runs;
+    for (int r = 0; r < 3; ++r) {
+        const auto trace = workload::composeColocated(a, b, rng);
+        auto run = collector.collectMlpxFromTrace(trace, label,
+                                                  "colocated", events,
+                                                  rng);
+        for (std::size_t s = 0; s + 1 < run.series.size(); ++s)
+            cleaner.clean(run.series[s]);
+        runs.push_back(std::move(run));
+    }
+    const auto data =
+        core::ImportanceRanker::buildDataset(runs, catalog);
+    const core::ImportanceRanker ranker;
+    auto [ranking, error] = ranker.fitOnce(data, rng);
+    return ranking;
+}
+
+std::size_t
+printRanking(const char *title,
+             const std::vector<ml::FeatureImportance> &ranking,
+             util::CsvWriter &csv, const std::string &csv_label)
+{
+    std::printf("%s\n", title);
+    util::TablePrinter table({"rank", "event", "importance %", ""});
+    std::size_t l2_events = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        const auto &fi = ranking[i];
+        table.addRow({std::to_string(i + 1), fi.feature,
+                      util::formatDouble(fi.importance, 1),
+                      util::asciiBar(fi.importance, 12.0, 20)});
+        csv.writeRow({csv_label, std::to_string(i + 1), fi.feature,
+                      util::formatDouble(fi.importance, 3)});
+        if (fi.feature.rfind("L2", 0) == 0)
+            ++l2_events;
+    }
+    table.print();
+    return l2_events;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printBanner(
+        "Figure 16: importance ranking for co-located workloads");
+
+    const auto &suite = workload::BenchmarkSuite::instance();
+    const auto &dc = suite.byName("DataCaching");
+    const auto &ga = suite.byName("GraphAnalytics");
+    util::Rng rng(1616);
+    util::CsvWriter csv(bench::resultCsvPath("fig16_colocated"));
+    csv.writeRow({"pair", "rank", "event", "importance_percent"});
+
+    const auto same =
+        profileColocated(dc, dc, "DataCaching+DataCaching", rng);
+    const auto mixed =
+        profileColocated(dc, ga, "DataCaching+GraphAnalytics", rng);
+
+    const std::size_t same_l2 = printRanking(
+        "DataCaching + DataCaching", same, csv, "DC+DC");
+    const std::size_t mixed_l2 = printRanking(
+        "DataCaching + GraphAnalytics", mixed, csv, "DC+GA");
+
+    std::printf("L2 events in the top-10: same-program pair %zu, "
+                "mixed pair %zu\n",
+                same_l2, mixed_l2);
+    std::printf("paper: the mixed pair pulls 6 L2 events into the "
+                "top-10 while the same-program pair stays close to the "
+                "solo DataCaching ranking (ISF on top, ~3.7%%)\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot kernels: DTW
+ * (full and banded), SGBRT training, the cleaner, the Anderson-Darling
+ * triage, and trace generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cleaner.h"
+#include "ml/gbrt.h"
+#include "stats/anderson_darling.h"
+#include "ts/dtw.h"
+#include "ts/lb_keogh.h"
+#include "util/rng.h"
+#include "workload/suites.h"
+
+using namespace cminer;
+
+namespace {
+
+std::vector<double>
+randomSeries(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<double> values(n);
+    double x = 0.0;
+    for (auto &v : values) {
+        x = 0.8 * x + rng.gaussian();
+        v = 100.0 + 10.0 * x;
+    }
+    return values;
+}
+
+void
+BM_DtwFull(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomSeries(n, 1);
+    const auto b = randomSeries(n + n / 10, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ts::dtwDistance(a, b));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwFull)->Range(64, 2048)->Complexity();
+
+void
+BM_DtwBanded(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomSeries(n, 3);
+    const auto b = randomSeries(n + n / 10, 4);
+    ts::DtwOptions options;
+    options.bandFraction = 0.1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ts::dtwDistance(a, b, options));
+}
+BENCHMARK(BM_DtwBanded)->Range(64, 2048);
+
+void
+BM_LbKeoghBound(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto a = randomSeries(n, 21);
+    const auto b = randomSeries(n, 22);
+    const auto envelope = ts::computeEnvelope(a, n / 10 + 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ts::lbKeogh(envelope, b));
+}
+BENCHMARK(BM_LbKeoghBound)->Range(64, 2048);
+
+void
+BM_GbrtFit(benchmark::State &state)
+{
+    const auto features = static_cast<std::size_t>(state.range(0));
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < features; ++f)
+        names.push_back("f" + std::to_string(f));
+    ml::Dataset data(names);
+    util::Rng gen(5);
+    for (int r = 0; r < 800; ++r) {
+        std::vector<double> row(features);
+        for (auto &v : row)
+            v = gen.gaussian();
+        data.addRow(row, row[0] * 2.0 + row[1 % features]);
+    }
+    for (auto _ : state) {
+        util::Rng rng(7);
+        ml::GbrtParams params;
+        params.treeCount = 50;
+        ml::Gbrt model(params);
+        model.fit(data, rng);
+        benchmark::DoNotOptimize(model.treeCount());
+    }
+}
+BENCHMARK(BM_GbrtFit)->Arg(16)->Arg(64)->Arg(226);
+
+void
+BM_CleanerSeries(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto values = randomSeries(n, 8);
+    util::Rng rng(9);
+    for (std::size_t i = 0; i < n / 20; ++i)
+        values[rng.uniformInt(0, static_cast<std::int64_t>(n) - 1)] = 0.0;
+    const core::DataCleaner cleaner;
+    for (auto _ : state) {
+        ts::TimeSeries series("X", values);
+        benchmark::DoNotOptimize(cleaner.clean(series));
+    }
+}
+BENCHMARK(BM_CleanerSeries)->Range(256, 4096);
+
+void
+BM_AndersonDarlingTriage(benchmark::State &state)
+{
+    const auto values = randomSeries(
+        static_cast<std::size_t>(state.range(0)), 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::fitBestDistribution(values));
+}
+BENCHMARK(BM_AndersonDarlingTriage)->Range(256, 4096);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &benchmark_obj =
+        workload::BenchmarkSuite::instance().byName("wordcount");
+    util::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(benchmark_obj.generateTrace(rng));
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table I: percentage of collected event data inside the outlier
+ * threshold `mean + n*std` for different n, per benchmark.
+ *
+ * Paper: with n = 5 every benchmark keeps >= 99% of its data inside the
+ * threshold, which is why the cleaner uses n = 5.
+ */
+
+#include "common.h"
+#include "stats/descriptive.h"
+#include "util/csv.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner(
+        "Table I: data within mean + n*std for n = 3, 4, 5");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &suite = workload::BenchmarkSuite::instance();
+    store::Database db;
+    core::DataCollector collector(db, catalog);
+    util::Rng rng(404);
+
+    util::TablePrinter table(
+        {"benchmark", "n=3 (%)", "n=4 (%)", "n=5 (%)"});
+    util::CsvWriter csv(
+        bench::resultCsvPath("table1_threshold_coverage"));
+    csv.writeRow({"benchmark", "n3", "n4", "n5"});
+
+    const auto events = bench::errorFigureEvents();
+    bool n5_always_covers = true;
+    for (const auto *benchmark : suite.all()) {
+        auto run = collector.collectMlpx(*benchmark, events, rng);
+        // Coverage aggregated over the measured event series.
+        double coverage[3] = {0.0, 0.0, 0.0};
+        std::size_t series_count = 0;
+        for (std::size_t s = 0; s + 1 < run.series.size(); ++s) {
+            const auto &values = run.series[s].values();
+            const double mu = stats::mean(values);
+            const double sigma = stats::stddev(values);
+            for (int k = 0; k < 3; ++k) {
+                const double n = 3.0 + k;
+                coverage[k] +=
+                    stats::fractionWithin(values, mu + n * sigma);
+            }
+            ++series_count;
+        }
+        for (auto &c : coverage)
+            c = 100.0 * c / static_cast<double>(series_count);
+        if (coverage[2] < 99.0)
+            n5_always_covers = false;
+        table.addRow({benchmark->name(),
+                      util::formatDouble(coverage[0], 2),
+                      util::formatDouble(coverage[1], 2),
+                      util::formatDouble(coverage[2], 2)});
+        csv.writeRow({benchmark->name(),
+                      util::formatDouble(coverage[0], 4),
+                      util::formatDouble(coverage[1], 4),
+                      util::formatDouble(coverage[2], 4)});
+    }
+    table.print();
+    std::printf("n = 5 keeps >= 99%% everywhere: %s (paper: yes)\n",
+                n5_always_covers ? "yes" : "no");
+    return 0;
+}

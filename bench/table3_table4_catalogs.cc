@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tables III and IV: the catalogs behind the figures — every event
+ * abbreviation appearing in the paper's top-10 lists with its full name
+ * and description, and the Spark configuration parameters that interact
+ * with the important events.
+ */
+
+#include "common.h"
+#include "util/csv.h"
+#include "workload/spark_config.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    util::printBanner("Table III: event abbreviations and descriptions");
+
+    const auto &catalog = pmu::EventCatalog::instance();
+    const char *abbrevs[] = {
+        "ISF", "BRE", "BRB", "BMP", "BRC", "BNT", "BAA", "ORA", "ORO",
+        "LRA", "LRC", "MMR", "MCO", "MSL", "MST", "MUL", "MLL", "LMH",
+        "LHN", "ITM", "IMT", "TFA", "IPD", "PI3", "IMC", "IM4", "MIE",
+        "IDU", "ISL", "DSP", "DSH", "URA", "URS", "CAC", "OTS", "CRX",
+        "I4U", "L2H", "L2R", "L2C", "L2A", "L2M", "L2S"};
+
+    util::TablePrinter events({"abbrev", "event", "description"});
+    util::CsvWriter csv(bench::resultCsvPath("table3_events"));
+    csv.writeRow({"abbrev", "event", "category", "family",
+                  "description"});
+    for (const char *abbrev : abbrevs) {
+        const auto &info =
+            catalog.info(catalog.idOfAbbrev(abbrev));
+        events.addRow({abbrev, info.name, info.description});
+        csv.writeRow({abbrev, info.name,
+                      pmu::categoryName(info.category),
+                      info.family == pmu::DistFamily::Gaussian
+                          ? "gaussian" : "long-tail",
+                      info.description});
+    }
+    events.print();
+
+    util::printBanner(
+        "Table IV: Spark configuration parameters (tuning ranges)");
+    const auto &params = workload::SparkParamCatalog::instance();
+    util::TablePrinter table({"abbrev", "parameter", "min", "default",
+                              "max", "unit"});
+    util::CsvWriter csv4(bench::resultCsvPath("table4_params"));
+    csv4.writeRow({"abbrev", "parameter", "min", "default", "max",
+                   "unit"});
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const auto &p = params.param(i);
+        table.addRow({p.abbrev, p.name,
+                      util::formatDouble(p.minValue, 1),
+                      util::formatDouble(p.defaultValue, 1),
+                      util::formatDouble(p.maxValue, 1), p.unit});
+        csv4.writeRow({p.abbrev, p.name,
+                       util::formatDouble(p.minValue, 3),
+                       util::formatDouble(p.defaultValue, 3),
+                       util::formatDouble(p.maxValue, 3), p.unit});
+    }
+    table.print();
+
+    std::printf("catalog: %zu events total (%zu gaussian, %zu "
+                "long-tail), %zu Spark parameters\n",
+                catalog.size(),
+                catalog.countFamily(pmu::DistFamily::Gaussian),
+                catalog.countFamily(pmu::DistFamily::LongTail),
+                params.size());
+    return 0;
+}

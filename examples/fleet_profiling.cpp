@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fleet-scale profiling: run the pipeline over all sixteen benchmarks
+ * (the "big performance data" setting the paper motivates), persist the
+ * database, and aggregate the cross-workload findings:
+ *   - which events are important fleet-wide (ISF, branches, TLBs,
+ *     memory and remote accesses in the paper);
+ *   - the one-three SMI law per workload;
+ *   - a CSV export suitable for further analysis.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/counterminer.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/suites.h"
+
+using namespace cminer;
+
+int
+main()
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &suite = workload::BenchmarkSuite::instance();
+    util::Rng rng(77);
+
+    store::Database db("haswell-e");
+    core::ProfileOptions options;
+    options.mlpxRuns = 2;
+    options.importance.minEvents = 146; // quick EIR per workload
+    core::CounterMiner miner(db, catalog, options);
+
+    std::map<std::string, int> top10_appearances;
+    std::map<std::string, double> total_importance;
+    int smi_compliant = 0;
+
+    std::printf("profiling all 16 benchmarks...\n");
+    for (const auto *benchmark : suite.all()) {
+        const auto report = miner.profile(*benchmark, rng);
+        const double top = report.topEvents[0].importance;
+        const double fourth = report.topEvents[3].importance;
+        const bool smi = top > 2.0 * fourth;
+        if (smi)
+            ++smi_compliant;
+        std::printf("  %-18s top: %-4s (%.1f%%)  MAPM err %.1f%%  "
+                    "one-three SMI: %s\n",
+                    benchmark->name().c_str(),
+                    report.topEvents[0].feature.c_str(), top,
+                    report.importance.mapmErrorPercent,
+                    smi ? "yes" : "no");
+        for (const auto &fi : report.topEvents) {
+            ++top10_appearances[fi.feature];
+            total_importance[fi.feature] += fi.importance;
+        }
+    }
+
+    // Fleet-wide common events.
+    std::vector<std::pair<int, std::string>> common;
+    for (const auto &[event, count] : top10_appearances)
+        common.emplace_back(count, event);
+    std::sort(common.rbegin(), common.rend());
+
+    std::printf("\nfleet-wide important events (appearances in "
+                "per-benchmark top-10 lists):\n");
+    util::TablePrinter table(
+        {"event", "benchmarks", "total importance %"});
+    for (std::size_t i = 0; i < 12 && i < common.size(); ++i) {
+        const auto &[count, event] = common[i];
+        table.addRow({event, std::to_string(count),
+                      util::formatDouble(total_importance[event], 1)});
+    }
+    table.print();
+
+    std::printf("one-three SMI law held for %d of 16 benchmarks\n",
+                smi_compliant);
+    std::printf("paper finding: ISF (instruction-queue-full stalls), "
+                "branch, TLB, memory-load and remote events are the "
+                "common levers across cloud workloads\n");
+
+    db.save("fleet.cmdb");
+    db.exportCsv("fleet_csv");
+    std::printf("recorded %zu runs -> fleet.cmdb (binary) and "
+                "fleet_csv/ (CSV export)\n",
+                db.runCount());
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: the whole CounterMiner pipeline in one call.
+ *
+ * Profiles the `wordcount` benchmark on the simulated cluster: collects
+ * multiplexed counter data, cleans it, ranks event importance with EIR,
+ * and ranks the interactions among the top events.
+ *
+ *   ./quickstart [benchmark-name]
+ */
+
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/counterminer.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/suites.h"
+
+using namespace cminer;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "wordcount";
+    const auto &suite = workload::BenchmarkSuite::instance();
+    if (!suite.has(name)) {
+        std::fprintf(stderr, "unknown benchmark '%s'; try one of:\n",
+                     name.c_str());
+        for (const auto *b : suite.all())
+            std::fprintf(stderr, "  %s\n", b->name().c_str());
+        return 1;
+    }
+    const auto &benchmark = suite.byName(name);
+
+    // 1. A database to record runs in, and the pipeline itself.
+    store::Database db("haswell-e");
+    core::ProfileOptions options;
+    options.mlpxRuns = 3;             // pooled runs -> more rows
+    options.importance.minEvents = 96; // EIR stops at 96 events
+    core::CounterMiner miner(db, pmu::EventCatalog::instance(), options);
+
+    // 2. Profile: collect (MLPX) -> clean -> EIR -> interactions.
+    util::Rng rng(42);
+    std::printf("profiling %s on the simulated 4-node cluster...\n",
+                benchmark.name().c_str());
+    const core::ProfileReport report = miner.profile(benchmark, rng);
+
+    // 3. What the cleaner did.
+    std::size_t outliers = 0;
+    std::size_t missing = 0;
+    for (const auto &series_report : report.cleaning) {
+        outliers += series_report.outliersReplaced;
+        missing += series_report.missingFilled;
+    }
+    std::printf("cleaning: replaced %zu outliers, filled %zu missing "
+                "values across %zu event series\n",
+                outliers, missing, report.cleaning.size());
+
+    // 4. The most accurate performance model found by EIR.
+    std::printf("MAPM: %zu input events, held-out IPC error %.1f%%\n",
+                report.importance.mapmEventCount,
+                report.importance.mapmErrorPercent);
+
+    // 5. The ten most important events.
+    util::TablePrinter events({"rank", "event", "importance %"});
+    for (std::size_t i = 0; i < report.topEvents.size(); ++i) {
+        events.addRow({std::to_string(i + 1),
+                       report.topEvents[i].feature,
+                       util::formatDouble(
+                           report.topEvents[i].importance, 1)});
+    }
+    std::printf("top events (tune whatever feeds the top 1-3 first):\n");
+    events.print();
+
+    // 6. The strongest interactions among them.
+    util::TablePrinter pairs({"rank", "pair", "intensity %"});
+    const auto top_pairs = report.interactions.top(5);
+    for (std::size_t i = 0; i < top_pairs.size(); ++i) {
+        pairs.addRow({std::to_string(i + 1),
+                      top_pairs[i].first + "-" + top_pairs[i].second,
+                      util::formatDouble(
+                          top_pairs[i].importancePercent, 1)});
+    }
+    std::printf("strongest event interactions:\n");
+    pairs.print();
+
+    // 7. What to do about it: cross-layer advice from the ranking.
+    const auto recommendations =
+        core::advise(report.topEvents, pmu::EventCatalog::instance());
+    if (!recommendations.empty()) {
+        std::printf("advice (from the dominant events):\n");
+        for (const auto &rec : recommendations) {
+            std::printf("  [%s] %s: %s\n", rec.layer.c_str(),
+                        rec.event.c_str(), rec.advice.c_str());
+        }
+    }
+
+    // 8. Everything was recorded in the two-level store.
+    std::printf("database: %zu runs recorded; saving to "
+                "quickstart.cmdb\n",
+                db.runCount());
+    db.save("quickstart.cmdb");
+    return 0;
+}

@@ -1,0 +1,357 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/advisor.h"
+#include "core/cleaner.h"
+#include "core/counterminer.h"
+#include "core/error_metrics.h"
+#include "core/perf_text.h"
+#include "core/report_export.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "store/query.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/suites.h"
+
+namespace cminer::cli {
+
+namespace {
+
+/** Parsed flags: --name value and boolean --name. */
+struct Flags
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> named;
+
+    bool has(const std::string &name) const
+    {
+        return named.count(name) > 0;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &fallback) const
+    {
+        auto it = named.find(name);
+        return it != named.end() ? it->second : fallback;
+    }
+
+    std::int64_t
+    getInt(const std::string &name, std::int64_t fallback) const
+    {
+        auto it = named.find(name);
+        if (it == named.end())
+            return fallback;
+        double value = 0.0;
+        if (!util::parseDouble(it->second, value))
+            util::fatal("--" + name + " expects a number, got '" +
+                        it->second + "'");
+        return static_cast<std::int64_t>(value);
+    }
+};
+
+/** Flags that take no value. */
+bool
+isBooleanFlag(const std::string &name)
+{
+    return name == "skip-cleaning" || name == "help";
+}
+
+Flags
+parseFlags(const std::vector<std::string> &args, std::size_t first)
+{
+    Flags flags;
+    for (std::size_t i = first; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (util::startsWith(arg, "--")) {
+            const std::string name = arg.substr(2);
+            if (isBooleanFlag(name)) {
+                flags.named[name] = "true";
+            } else {
+                if (i + 1 >= args.size())
+                    util::fatal("flag --" + name + " expects a value");
+                flags.named[name] = args[++i];
+            }
+        } else {
+            flags.positional.push_back(arg);
+        }
+    }
+    return flags;
+}
+
+const workload::SyntheticBenchmark &
+resolveBenchmark(const std::string &name)
+{
+    const auto &suite = workload::BenchmarkSuite::instance();
+    if (!suite.has(name)) {
+        std::string known;
+        for (const auto *bench : suite.all())
+            known += "\n  " + bench->name();
+        util::fatal("unknown benchmark '" + name + "'; known:" + known);
+    }
+    return suite.byName(name);
+}
+
+int
+cmdListBenchmarks(std::string &output)
+{
+    const auto &suite = workload::BenchmarkSuite::instance();
+    util::TablePrinter table({"benchmark", "suite", "top planted events"});
+    for (const auto *bench : suite.all()) {
+        const auto top = bench->plantedRanking(3);
+        table.addRow({bench->name(), bench->suite(),
+                      util::join({top.begin(), top.end()}, " ")});
+    }
+    output += table.render();
+    return 0;
+}
+
+int
+cmdListEvents(const Flags &flags, std::string &output)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    const std::string category = flags.get("category", "");
+    util::TablePrinter table({"abbrev", "event", "category", "family"});
+    std::size_t shown = 0;
+    for (pmu::EventId id = 0; id < catalog.size(); ++id) {
+        const auto &info = catalog.info(id);
+        if (!category.empty() &&
+            pmu::categoryName(info.category) != category)
+            continue;
+        table.addRow({info.abbrev, info.name,
+                      pmu::categoryName(info.category),
+                      info.family == pmu::DistFamily::Gaussian
+                          ? "gaussian" : "long-tail"});
+        ++shown;
+    }
+    if (shown == 0)
+        util::fatal("no events in category '" + category +
+                    "' (try: frontend branch cache tlb memory remote "
+                    "uops stall other fixed)");
+    output += table.render();
+    output += util::format("%zu events\n", shown);
+    return 0;
+}
+
+int
+cmdProfile(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("profile expects a benchmark name");
+    const auto &benchmark = resolveBenchmark(flags.positional.front());
+
+    core::ProfileOptions options;
+    options.mlpxRuns =
+        static_cast<std::size_t>(flags.getInt("runs", 2));
+    options.importance.minEvents =
+        static_cast<std::size_t>(flags.getInt("min-events", 96));
+    options.skipCleaning = flags.has("skip-cleaning");
+
+    store::Database db("haswell-e");
+    core::CounterMiner miner(db, pmu::EventCatalog::instance(), options);
+    util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+    const auto report = miner.profile(benchmark, rng);
+
+    output += util::format(
+        "profiled %s: MAPM with %zu events, error %.2f%%\n",
+        report.benchmark.c_str(), report.importance.mapmEventCount,
+        report.importance.mapmErrorPercent);
+
+    util::TablePrinter events({"rank", "event", "importance %"});
+    for (std::size_t i = 0; i < report.topEvents.size(); ++i) {
+        events.addRow({std::to_string(i + 1),
+                       report.topEvents[i].feature,
+                       util::formatDouble(
+                           report.topEvents[i].importance, 1)});
+    }
+    output += events.render();
+
+    util::TablePrinter pairs({"rank", "pair", "intensity %"});
+    const auto top_pairs = report.interactions.top(5);
+    for (std::size_t i = 0; i < top_pairs.size(); ++i) {
+        pairs.addRow({std::to_string(i + 1),
+                      top_pairs[i].first + "-" + top_pairs[i].second,
+                      util::formatDouble(
+                          top_pairs[i].importancePercent, 1)});
+    }
+    output += pairs.render();
+
+    const auto recommendations = core::advise(
+        report.topEvents, pmu::EventCatalog::instance());
+    for (const auto &rec : recommendations) {
+        output += util::format("[%s] %s: %s\n", rec.layer.c_str(),
+                               rec.event.c_str(), rec.advice.c_str());
+    }
+
+    if (flags.has("json")) {
+        const std::string path = flags.get("json", "");
+        std::ofstream out(path);
+        if (!out)
+            util::fatal("cannot write JSON report to " + path);
+        out << core::reportToJson(report);
+        output += "wrote JSON report to " + path + "\n";
+    }
+    if (flags.has("db")) {
+        const std::string path = flags.get("db", "");
+        db.save(path);
+        output += "saved " + std::to_string(db.runCount()) +
+                  " runs to " + path + "\n";
+    }
+    return 0;
+}
+
+int
+cmdClean(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("clean expects a perf interval file");
+    const std::string path = flags.positional.front();
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot read " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    auto series = core::parsePerfIntervals(buffer.str());
+    const core::DataCleaner cleaner;
+    std::size_t outliers = 0;
+    std::size_t missing = 0;
+    for (auto &s : series) {
+        const auto report = cleaner.clean(s);
+        outliers += report.outliersReplaced;
+        missing += report.missingFilled;
+    }
+    output += util::format(
+        "cleaned %zu series: replaced %zu outliers, filled %zu "
+        "missing values\n",
+        series.size(), outliers, missing);
+
+    const std::string out_path = flags.get("out", path + ".cleaned");
+    std::ofstream out(out_path);
+    if (!out)
+        util::fatal("cannot write " + out_path);
+    out << core::renderPerfIntervals(series);
+    output += "wrote " + out_path + "\n";
+    return 0;
+}
+
+int
+cmdExplore(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("explore expects a database file");
+    const auto db = store::Database::load(flags.positional.front());
+    output += util::format("database: %zu runs, microarch %s\n",
+                           db.runCount(), db.microarch().c_str());
+    util::TablePrinter table({"program", "suite", "runs", "mlpx",
+                              "ocoe", "mean exec (s)"});
+    for (const auto &summary : store::summarizeByProgram(db)) {
+        table.addRow(
+            {summary.program, summary.suite,
+             std::to_string(summary.runCount),
+             std::to_string(summary.mlpxRuns),
+             std::to_string(summary.ocoeRuns),
+             util::formatDouble(summary.meanExecTimeMs / 1000.0, 2)});
+    }
+    output += table.render();
+    return 0;
+}
+
+int
+cmdError(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("error expects a benchmark name");
+    const auto &benchmark = resolveBenchmark(flags.positional.front());
+    const auto &catalog = pmu::EventCatalog::instance();
+
+    store::Database db;
+    core::DataCollector collector(db, catalog);
+    const core::DataCleaner cleaner;
+    util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 7)));
+
+    const auto imc = catalog.idOf("ICACHE.MISSES");
+    std::vector<pmu::EventId> events = {imc};
+    for (const char *abbrev :
+         {"IDU", "ISF", "BRE", "BRB", "BMP", "MSL", "LMH", "ITM", "ORA"})
+        events.push_back(catalog.idOfAbbrev(abbrev));
+
+    double raw_total = 0.0;
+    double clean_total = 0.0;
+    const int reps = 4;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto o1 = collector.collectOcoe(benchmark, {imc}, rng);
+        auto o2 = collector.collectOcoe(benchmark, {imc}, rng);
+        auto m = collector.collectMlpx(benchmark, events, rng);
+        raw_total += core::mlpxError(o1.series[0], o2.series[0],
+                                     m.series[0])
+                         .errorPercent;
+        ts::TimeSeries cleaned = m.series[0];
+        cleaner.clean(cleaned);
+        clean_total +=
+            core::mlpxError(o1.series[0], o2.series[0], cleaned)
+                .errorPercent;
+    }
+    output += util::format(
+        "%s: MLPX error %.1f%% raw -> %.1f%% cleaned "
+        "(ICACHE.MISSES, 10 events on 4 counters, %d reps)\n",
+        benchmark.name().c_str(), raw_total / reps, clean_total / reps,
+        reps);
+    return 0;
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    return "usage: counterminer <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  list-benchmarks                 the 16 simulated programs\n"
+           "  list-events [--category C]      the 229-event catalog\n"
+           "  profile <benchmark> [--runs N] [--seed S] [--min-events N]\n"
+           "          [--skip-cleaning] [--json FILE] [--db FILE]\n"
+           "  clean <perf.csv> [--out FILE]   clean a perf interval log\n"
+           "  explore <db.cmdb>               summarize a database\n"
+           "  error <benchmark> [--seed S]    quick MLPX-error check\n";
+}
+
+int
+run(const std::vector<std::string> &args, std::string &output)
+{
+    if (args.empty() || args.front() == "help" ||
+        args.front() == "--help") {
+        output += usage();
+        return args.empty() ? 1 : 0;
+    }
+    const std::string &command = args.front();
+    try {
+        const Flags flags = parseFlags(args, 1);
+        if (command == "list-benchmarks")
+            return cmdListBenchmarks(output);
+        if (command == "list-events")
+            return cmdListEvents(flags, output);
+        if (command == "profile")
+            return cmdProfile(flags, output);
+        if (command == "clean")
+            return cmdClean(flags, output);
+        if (command == "explore")
+            return cmdExplore(flags, output);
+        if (command == "error")
+            return cmdError(flags, output);
+        output += "unknown command '" + command + "'\n" + usage();
+        return 1;
+    } catch (const util::FatalError &e) {
+        output += std::string("error: ") + e.what() + "\n";
+        return 1;
+    }
+}
+
+} // namespace cminer::cli

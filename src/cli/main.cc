@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Thin entry point of the `counterminer` tool; all logic lives in
+ * cli::run so the tests can drive it directly.
+ */
+
+#include <cstdio>
+
+#include "cli/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    std::string output;
+    const int code = cminer::cli::run(args, output);
+    std::fputs(output.c_str(), stdout);
+    return code;
+}

@@ -1,0 +1,86 @@
+#include "core/advisor.h"
+
+namespace cminer::core {
+
+using cminer::pmu::EventCategory;
+
+namespace {
+
+struct CategoryAdvice
+{
+    const char *layer;
+    const char *advice;
+};
+
+CategoryAdvice
+adviceFor(EventCategory category)
+{
+    switch (category) {
+      case EventCategory::Stall:
+        return {"architecture",
+                "dominant stall accounting: size up the stalled "
+                "resource (e.g. a longer instruction queue for IQ-full "
+                "stalls) or smooth the application's dispatch bursts"};
+      case EventCategory::Branch:
+        return {"application",
+                "branch-heavy profile: reduce unpredictable branches "
+                "(sort keys, flatten virtual dispatch) and consider "
+                "profile-guided optimization"};
+      case EventCategory::Frontend:
+        return {"application",
+                "front-end pressure: shrink the hot code footprint "
+                "(outlining, PGO code layout) so the icache/DSB hold "
+                "the working set"};
+      case EventCategory::Cache:
+        return {"application",
+                "cache traffic dominates: improve locality (blocking, "
+                "structure packing) or partition the shared cache "
+                "between co-runners"};
+      case EventCategory::Tlb:
+        return {"system",
+                "TLB walks dominate: enable huge pages or reduce the "
+                "randomly-touched address span"};
+      case EventCategory::Memory:
+        return {"system",
+                "memory-bound: raise memory-level parallelism, "
+                "prefetch, or provision faster DRAM on these nodes"};
+      case EventCategory::Remote:
+        return {"system",
+                "remote NUMA traffic dominates: pin computation near "
+                "its data or replicate hot read-mostly state per node"};
+      case EventCategory::Uops:
+        return {"application",
+                "execution-width bound: vectorize or simplify the hot "
+                "loops so fewer uops retire per unit of work"};
+      case EventCategory::Other:
+        return {"application",
+                "assist/clear events dominate: eliminate the "
+                "triggering pattern (denormals, self-modifying code, "
+                "lock contention)"};
+      case EventCategory::Fixed:
+        return {"application", "inspect overall IPC trends"};
+    }
+    return {"application", "profile further"};
+}
+
+} // namespace
+
+std::vector<Recommendation>
+advise(const std::vector<cminer::ml::FeatureImportance> &top_events,
+       const cminer::pmu::EventCatalog &catalog, double min_importance)
+{
+    std::vector<Recommendation> recommendations;
+    for (const auto &fi : top_events) {
+        if (fi.importance < min_importance)
+            continue;
+        const auto id = catalog.findByAbbrev(fi.feature);
+        if (!id)
+            continue; // configuration columns or unknown features
+        const auto advice = adviceFor(catalog.info(*id).category);
+        recommendations.push_back({fi.feature, fi.importance,
+                                   advice.layer, advice.advice});
+    }
+    return recommendations;
+}
+
+} // namespace cminer::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The optimization advisor: turns an importance ranking into the
+ * cross-layer guidance the paper draws in Section V-B — e.g. a dominant
+ * RESOURCE_STALLS.IQ_FULL points at enlarging the instruction queue
+ * (architecture) and at reducing bursty dispatch (application); remote
+ * events point at NUMA placement; TLB events at huge pages.
+ */
+
+#ifndef CMINER_CORE_ADVISOR_H
+#define CMINER_CORE_ADVISOR_H
+
+#include <string>
+#include <vector>
+
+#include "ml/gbrt.h"
+#include "pmu/event.h"
+
+namespace cminer::core {
+
+/** One piece of advice derived from an important event. */
+struct Recommendation
+{
+    std::string event;        ///< abbreviation driving the advice
+    double importance = 0.0;  ///< the event's importance percentage
+    std::string layer;        ///< "architecture", "system", "application"
+    std::string advice;       ///< human-readable action
+};
+
+/**
+ * Derive optimization recommendations from a top-events ranking.
+ *
+ * @param top_events importance ranking entries (feature = abbreviation)
+ * @param catalog event catalog for category lookup
+ * @param min_importance only events at or above this share get advice
+ */
+std::vector<Recommendation>
+advise(const std::vector<cminer::ml::FeatureImportance> &top_events,
+       const cminer::pmu::EventCatalog &catalog,
+       double min_importance = 2.0);
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_ADVISOR_H

@@ -1,0 +1,88 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cminer::core {
+
+using cminer::ts::TimeSeries;
+
+namespace {
+
+/** Interpolate zeros within values[first, last). */
+std::size_t
+interpolateRange(std::vector<double> &values, std::size_t first,
+                 std::size_t last)
+{
+    // Observed indices within the range.
+    std::vector<std::size_t> observed;
+    for (std::size_t i = first; i < last; ++i) {
+        if (values[i] != 0.0)
+            observed.push_back(i);
+    }
+    if (observed.empty())
+        return 0;
+
+    std::size_t repaired = 0;
+    std::size_t next_obs = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        if (values[i] != 0.0)
+            continue;
+        while (next_obs < observed.size() && observed[next_obs] < i)
+            ++next_obs;
+        if (next_obs == 0) {
+            values[i] = values[observed.front()]; // leading zeros
+        } else if (next_obs == observed.size()) {
+            values[i] = values[observed.back()]; // trailing zeros
+        } else {
+            const std::size_t lo = observed[next_obs - 1];
+            const std::size_t hi = observed[next_obs];
+            const double frac = static_cast<double>(i - lo) /
+                                static_cast<double>(hi - lo);
+            values[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+        }
+        ++repaired;
+    }
+    return repaired;
+}
+
+} // namespace
+
+std::size_t
+mathurInterpolate(TimeSeries &series)
+{
+    if (series.empty())
+        return 0;
+    auto &values = series.mutableValues();
+    return interpolateRange(values, 0, values.size());
+}
+
+std::size_t
+mathurInterpolateBlocked(TimeSeries &series, std::size_t block_size)
+{
+    CM_ASSERT(block_size >= 2);
+    if (series.empty())
+        return 0;
+    auto &values = series.mutableValues();
+    std::size_t repaired = 0;
+    for (std::size_t start = 0; start < values.size();
+         start += block_size) {
+        const std::size_t end =
+            std::min(start + block_size, values.size());
+        repaired += interpolateRange(values, start, end);
+    }
+    // Blocks that were entirely unobserved: fall back to a global pass.
+    bool any_zero = false;
+    for (double v : values) {
+        if (v == 0.0) {
+            any_zero = true;
+            break;
+        }
+    }
+    if (any_zero)
+        repaired += interpolateRange(values, 0, values.size());
+    return repaired;
+}
+
+} // namespace cminer::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sampling-time error-reduction baselines the paper compares against.
+ *
+ * Mathur & Cook ("Toward accurate performance evaluation using hardware
+ * counters", 2003) estimate the unsampled stretches of an event by
+ * linear interpolation between observed samples. CounterMiner argues for
+ * cleaning *after* sampling instead; these baselines let the benches put
+ * both on the same axis (and show they compose).
+ */
+
+#ifndef CMINER_CORE_BASELINES_H
+#define CMINER_CORE_BASELINES_H
+
+#include <cstddef>
+
+#include "ts/time_series.h"
+
+namespace cminer::core {
+
+/**
+ * Mathur-style estimation: replace zero (unobserved) samples by linear
+ * interpolation between the nearest observed neighbors. Leading/trailing
+ * zeros copy the nearest observed value. A series with no observed
+ * samples is left unchanged.
+ *
+ * @param series repaired in place
+ * @return number of samples interpolated
+ */
+std::size_t mathurInterpolate(cminer::ts::TimeSeries &series);
+
+/**
+ * Sub-interval variant: interpolate in fixed-size blocks, holding each
+ * block's endpoints (Mathur & Cook's refinement that finer-grained
+ * interpolation improves accuracy). With block_size >= the series
+ * length it degenerates to mathurInterpolate.
+ *
+ * @param series repaired in place
+ * @param block_size samples per interpolation block (>= 2)
+ * @return number of samples interpolated
+ */
+std::size_t mathurInterpolateBlocked(cminer::ts::TimeSeries &series,
+                                     std::size_t block_size);
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_BASELINES_H

@@ -1,0 +1,151 @@
+#include "core/cleaner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/knn.h"
+#include "stats/anderson_darling.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "util/error.h"
+
+namespace cminer::core {
+
+using cminer::ts::TimeSeries;
+
+DataCleaner::DataCleaner(CleanerOptions options)
+    : options_(std::move(options))
+{
+    CM_ASSERT(options_.coverageTarget > 0.0 &&
+              options_.coverageTarget <= 1.0);
+    CM_ASSERT(!options_.thresholdCandidates.empty());
+    CM_ASSERT(options_.knnK >= 1);
+}
+
+double
+DataCleaner::chooseThresholdN(const std::vector<double> &values) const
+{
+    const double mu = stats::mean(values);
+    const double sigma = stats::stddev(values);
+    for (double n : options_.thresholdCandidates) {
+        const double threshold = mu + n * sigma;
+        if (stats::fractionWithin(values, threshold) >=
+            options_.coverageTarget)
+            return n;
+    }
+    return options_.thresholdCandidates.back();
+}
+
+std::size_t
+DataCleaner::replaceOutliers(std::vector<double> &values,
+                             SeriesCleanReport &report) const
+{
+    if (values.size() < 8)
+        return 0;
+    const double n = chooseThresholdN(values);
+    const double mu = stats::mean(values);
+    const double sigma = stats::stddev(values);
+    const double threshold = mu + n * sigma;
+    report.thresholdN = n;
+    report.threshold = threshold;
+    if (sigma <= 0.0)
+        return 0;
+
+    // Replacement levels come from the non-outlying values only; the
+    // histogram uses the paper's sqrt bin rule (Eq. 7).
+    std::vector<double> inliers;
+    inliers.reserve(values.size());
+    for (double v : values) {
+        if (v <= threshold)
+            inliers.push_back(v);
+    }
+    if (inliers.empty())
+        return 0;
+    const stats::Histogram histogram(inliers);
+
+    std::size_t replaced = 0;
+    for (double &v : values) {
+        if (v > threshold) {
+            v = histogram.intervalMedian(v);
+            ++replaced;
+        }
+    }
+    return replaced;
+}
+
+void
+DataCleaner::fillMissing(std::vector<double> &values,
+                         SeriesCleanReport &report) const
+{
+    // Candidate missing values: zeros (MLPX "<not counted>" samples) and
+    // anything negative (impossible for counts; treated as corrupt).
+    std::vector<std::size_t> missing;
+    std::size_t zero_count = 0;
+    double max_value = 0.0;
+    double min_value = values.empty() ? 0.0 : values.front();
+    for (double v : values) {
+        max_value = std::max(max_value, v);
+        min_value = std::min(min_value, v);
+    }
+
+    // The paper's true-zero rule: when the series minimum is zero and
+    // the maximum never exceeds 0.01, the zeros are genuine.
+    const bool zeros_are_real =
+        min_value <= 0.0 && max_value < options_.trueZeroMax;
+
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] < 0.0) {
+            missing.push_back(i);
+        } else if (values[i] == 0.0) {
+            ++zero_count;
+            if (!zeros_are_real)
+                missing.push_back(i);
+        }
+    }
+    if (zeros_are_real) {
+        report.trueZerosKept = zero_count;
+        return;
+    }
+    report.missingFilled =
+        ml::knnImputeSeries(values, missing, options_.knnK);
+}
+
+SeriesCleanReport
+DataCleaner::clean(TimeSeries &series) const
+{
+    SeriesCleanReport report;
+    report.event = series.eventName();
+    if (series.empty())
+        return report;
+
+    auto &values = series.mutableValues();
+
+    // Record the distribution family before touching the data.
+    report.distribution =
+        stats::fitBestDistribution(values).bestFamily;
+
+    if (options_.missingFirst) {
+        if (options_.fillMissing)
+            fillMissing(values, report);
+        if (options_.replaceOutliers)
+            report.outliersReplaced = replaceOutliers(values, report);
+    } else {
+        if (options_.replaceOutliers)
+            report.outliersReplaced = replaceOutliers(values, report);
+        if (options_.fillMissing)
+            fillMissing(values, report);
+    }
+    return report;
+}
+
+std::vector<SeriesCleanReport>
+DataCleaner::cleanAll(std::vector<TimeSeries> &series) const
+{
+    std::vector<SeriesCleanReport> reports;
+    reports.reserve(series.size());
+    for (auto &s : series)
+        reports.push_back(clean(s));
+    return reports;
+}
+
+} // namespace cminer::core

@@ -1,0 +1,108 @@
+#include "core/collector.h"
+
+#include "util/error.h"
+
+namespace cminer::core {
+
+using cminer::pmu::EventId;
+using cminer::pmu::MlpxSchedule;
+using cminer::pmu::OcoePlan;
+using cminer::pmu::RotationPolicy;
+using cminer::pmu::TrueTrace;
+using cminer::ts::TimeSeries;
+using cminer::util::Rng;
+using cminer::workload::SparkConfig;
+using cminer::workload::SyntheticBenchmark;
+
+DataCollector::DataCollector(cminer::store::Database &db,
+                             const cminer::pmu::EventCatalog &catalog,
+                             cminer::pmu::PmuConfig pmu_config)
+    : db_(db), catalog_(catalog), sampler_(catalog, pmu_config)
+{
+}
+
+CollectedRun
+DataCollector::record(const std::string &program, const std::string &suite,
+                      const std::string &mode, const TrueTrace &trace,
+                      std::vector<TimeSeries> series, Rng &rng)
+{
+    series.push_back(sampler_.measuredIpc(trace, rng));
+    CollectedRun run;
+    run.id = db_.addRun(program, suite, mode, trace.durationMs(), series);
+    run.series = std::move(series);
+    return run;
+}
+
+CollectedRun
+DataCollector::collectOcoe(const SyntheticBenchmark &benchmark,
+                           const std::vector<EventId> &events, Rng &rng,
+                           const SparkConfig &config)
+{
+    if (events.size() > sampler_.config().programmableCounters) {
+        util::fatal("collector: OCOE run asked to measure more events "
+                    "than there are programmable counters; use "
+                    "collectOcoePlan");
+    }
+    const TrueTrace trace = benchmark.generateTrace(rng, config);
+    auto series = sampler_.measureOcoe(trace, events, rng);
+    return record(benchmark.name(), benchmark.suite(), "ocoe", trace,
+                  std::move(series), rng);
+}
+
+std::vector<CollectedRun>
+DataCollector::collectOcoePlan(const SyntheticBenchmark &benchmark,
+                               const std::vector<EventId> &events,
+                               Rng &rng, const SparkConfig &config)
+{
+    const OcoePlan plan(events, sampler_.config().programmableCounters);
+    std::vector<CollectedRun> runs;
+    runs.reserve(plan.runCount());
+    for (std::size_t r = 0; r < plan.runCount(); ++r)
+        runs.push_back(collectOcoe(benchmark, plan.run(r), rng, config));
+    return runs;
+}
+
+CollectedRun
+DataCollector::collectMlpx(const SyntheticBenchmark &benchmark,
+                           const std::vector<EventId> &events, Rng &rng,
+                           const SparkConfig &config,
+                           RotationPolicy policy)
+{
+    const TrueTrace trace = benchmark.generateTrace(rng, config);
+    const MlpxSchedule schedule(events,
+                                sampler_.config().programmableCounters,
+                                policy);
+    auto series = sampler_.measureMlpx(trace, schedule, rng);
+    return record(benchmark.name(), benchmark.suite(), "mlpx", trace,
+                  std::move(series), rng);
+}
+
+CollectedRun
+DataCollector::collectMlpxFromTrace(const TrueTrace &trace,
+                                    const std::string &program,
+                                    const std::string &suite,
+                                    const std::vector<EventId> &events,
+                                    Rng &rng)
+{
+    const MlpxSchedule schedule(events,
+                                sampler_.config().programmableCounters);
+    auto series = sampler_.measureMlpx(trace, schedule, rng);
+    return record(program, suite, "mlpx", trace, std::move(series), rng);
+}
+
+CollectedRun
+DataCollector::collectOcoeFromTrace(const TrueTrace &trace,
+                                    const std::string &program,
+                                    const std::string &suite,
+                                    const std::vector<EventId> &events,
+                                    Rng &rng)
+{
+    if (events.size() > sampler_.config().programmableCounters) {
+        util::fatal("collector: OCOE run asked to measure more events "
+                    "than there are programmable counters");
+    }
+    auto series = sampler_.measureOcoe(trace, events, rng);
+    return record(program, suite, "ocoe", trace, std::move(series), rng);
+}
+
+} // namespace cminer::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The data collector (paper Section III-A): runs benchmarks, samples
+ * their events through the PMU in OCOE or MLPX mode, and records the
+ * resulting time series — plus the fixed-counter IPC — in the two-level
+ * database.
+ */
+
+#ifndef CMINER_CORE_COLLECTOR_H
+#define CMINER_CORE_COLLECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "pmu/event.h"
+#include "pmu/sampler.h"
+#include "pmu/schedule.h"
+#include "pmu/trace.h"
+#include "store/database.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+#include "workload/benchmark.h"
+
+namespace cminer::core {
+
+/** The name under which measured IPC is stored alongside event series. */
+inline constexpr const char *ipc_series_name = "IPC";
+
+/** One recorded run: its database id and the measured series. */
+struct CollectedRun
+{
+    cminer::store::RunId id = -1;
+    /** Measured event series, in request order, then the IPC series. */
+    std::vector<cminer::ts::TimeSeries> series;
+
+    /** The measured IPC series (last element). */
+    const cminer::ts::TimeSeries &ipc() const { return series.back(); }
+};
+
+/**
+ * Samples benchmarks and records runs.
+ */
+class DataCollector
+{
+  public:
+    /**
+     * @param db database runs are recorded into
+     * @param catalog event catalog
+     * @param pmu_config PMU description (counters, interval, rotation)
+     */
+    DataCollector(cminer::store::Database &db,
+                  const cminer::pmu::EventCatalog &catalog,
+                  cminer::pmu::PmuConfig pmu_config = {});
+
+    /** The sampler in use (for its PMU config). */
+    const cminer::pmu::Sampler &sampler() const { return sampler_; }
+
+    /**
+     * One OCOE run measuring up to a counter's worth of events.
+     *
+     * @param benchmark workload to run
+     * @param events events to measure; at most the programmable-counter
+     *        count (use collectOcoePlan to cover more)
+     * @param rng run randomness
+     * @param config Spark configuration
+     */
+    CollectedRun
+    collectOcoe(const cminer::workload::SyntheticBenchmark &benchmark,
+                const std::vector<cminer::pmu::EventId> &events,
+                cminer::util::Rng &rng,
+                const cminer::workload::SparkConfig &config = {});
+
+    /**
+     * Cover an arbitrary event list with OCOE: one *separate run* per
+     * counter-sized group (the cost the paper's Fig. 15 quantifies).
+     */
+    std::vector<CollectedRun>
+    collectOcoePlan(const cminer::workload::SyntheticBenchmark &benchmark,
+                    const std::vector<cminer::pmu::EventId> &events,
+                    cminer::util::Rng &rng,
+                    const cminer::workload::SparkConfig &config = {});
+
+    /**
+     * One MLPX run multiplexing all requested events onto the counters.
+     */
+    CollectedRun
+    collectMlpx(const cminer::workload::SyntheticBenchmark &benchmark,
+                const std::vector<cminer::pmu::EventId> &events,
+                cminer::util::Rng &rng,
+                const cminer::workload::SparkConfig &config = {},
+                cminer::pmu::RotationPolicy policy =
+                    cminer::pmu::RotationPolicy::RoundRobin);
+
+    /**
+     * MLPX-measure an externally produced trace (e.g. a co-located
+     * composition) and record it under the given program/suite names.
+     */
+    CollectedRun
+    collectMlpxFromTrace(const cminer::pmu::TrueTrace &trace,
+                         const std::string &program,
+                         const std::string &suite,
+                         const std::vector<cminer::pmu::EventId> &events,
+                         cminer::util::Rng &rng);
+
+    /** OCOE-measure an externally produced trace. */
+    CollectedRun
+    collectOcoeFromTrace(const cminer::pmu::TrueTrace &trace,
+                         const std::string &program,
+                         const std::string &suite,
+                         const std::vector<cminer::pmu::EventId> &events,
+                         cminer::util::Rng &rng);
+
+  private:
+    CollectedRun record(const std::string &program,
+                        const std::string &suite, const std::string &mode,
+                        const cminer::pmu::TrueTrace &trace,
+                        std::vector<cminer::ts::TimeSeries> series,
+                        cminer::util::Rng &rng);
+
+    cminer::store::Database &db_;
+    const cminer::pmu::EventCatalog &catalog_;
+    cminer::pmu::Sampler sampler_;
+};
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_COLLECTOR_H

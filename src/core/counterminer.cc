@@ -1,0 +1,96 @@
+#include "core/counterminer.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cminer::core {
+
+using cminer::util::Rng;
+
+CounterMiner::CounterMiner(cminer::store::Database &db,
+                           const cminer::pmu::EventCatalog &catalog,
+                           ProfileOptions options)
+    : db_(db),
+      catalog_(catalog),
+      options_(std::move(options)),
+      collector_(db, catalog, options_.pmu)
+{
+    if (options_.events.empty())
+        options_.events = catalog_.programmableEvents();
+    CM_ASSERT(options_.mlpxRuns >= 1);
+}
+
+ProfileReport
+CounterMiner::runPipeline(std::vector<CollectedRun> runs,
+                          const std::string &program, Rng &rng)
+{
+    ProfileReport report;
+    report.benchmark = program;
+
+    // Clean every run's event series (never the IPC series: the fixed
+    // counters are not multiplexed).
+    if (!options_.skipCleaning) {
+        const DataCleaner cleaner(options_.cleaner);
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+            auto &series = runs[r].series;
+            std::vector<SeriesCleanReport> reports;
+            for (std::size_t s = 0; s + 1 < series.size(); ++s)
+                reports.push_back(cleaner.clean(series[s]));
+            if (r == 0)
+                report.cleaning = std::move(reports);
+        }
+    }
+
+    const ImportanceRanker ranker(options_.importance);
+    const auto data = ImportanceRanker::buildDataset(runs, catalog_);
+    util::inform(util::format(
+        "counterminer: %s dataset has %zu rows x %zu events",
+        program.c_str(), data.rowCount(), data.featureCount()));
+
+    report.importance = ranker.run(data, rng);
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(10, report.importance.ranking.size());
+         ++i)
+        report.topEvents.push_back(report.importance.ranking[i]);
+
+    // Interactions among the top events, through the MAPM oracle.
+    const auto mapm_data = data.project(report.importance.mapmFeatures);
+    const auto mapm = ranker.trainMapm(data, report.importance, rng);
+    std::vector<std::string> top_names;
+    for (const auto &fi : report.topEvents)
+        top_names.push_back(fi.feature);
+    const InteractionRanker interaction(options_.interaction);
+    report.interactions =
+        interaction.rankTopEvents(mapm, mapm_data, top_names);
+    return report;
+}
+
+ProfileReport
+CounterMiner::profile(const cminer::workload::SyntheticBenchmark &benchmark,
+                      Rng &rng,
+                      const cminer::workload::SparkConfig &config)
+{
+    std::vector<CollectedRun> runs;
+    runs.reserve(options_.mlpxRuns);
+    for (std::size_t r = 0; r < options_.mlpxRuns; ++r)
+        runs.push_back(collector_.collectMlpx(benchmark, options_.events,
+                                              rng, config));
+    return runPipeline(std::move(runs), benchmark.name(), rng);
+}
+
+ProfileReport
+CounterMiner::profileTraces(
+    const std::vector<cminer::pmu::TrueTrace> &traces,
+    const std::string &program, const std::string &suite, Rng &rng)
+{
+    CM_ASSERT(!traces.empty());
+    std::vector<CollectedRun> runs;
+    runs.reserve(traces.size());
+    for (const auto &trace : traces)
+        runs.push_back(collector_.collectMlpxFromTrace(
+            trace, program, suite, options_.events, rng));
+    return runPipeline(std::move(runs), program, rng);
+}
+
+} // namespace cminer::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The CounterMiner facade: the full pipeline of Fig. 4 — collect
+ * (MLPX) -> clean -> rank importance (EIR) -> rank interactions — behind
+ * one call.
+ */
+
+#ifndef CMINER_CORE_COUNTERMINER_H
+#define CMINER_CORE_COUNTERMINER_H
+
+#include <string>
+#include <vector>
+
+#include "core/cleaner.h"
+#include "core/collector.h"
+#include "core/importance.h"
+#include "core/interaction.h"
+#include "ml/dataset.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/rng.h"
+#include "workload/benchmark.h"
+
+namespace cminer::core {
+
+/** End-to-end pipeline options. */
+struct ProfileOptions
+{
+    /** Events to profile. Empty = all programmable catalog events. */
+    std::vector<cminer::pmu::EventId> events;
+    /** MLPX runs collected per benchmark (more runs, more rows). */
+    std::size_t mlpxRuns = 3;
+    cminer::pmu::PmuConfig pmu;
+    CleanerOptions cleaner;
+    ImportanceOptions importance;
+    InteractionOptions interaction;
+    /** Skip the cleaning stage (ablation). */
+    bool skipCleaning = false;
+};
+
+/** Everything the pipeline produced for one benchmark. */
+struct ProfileReport
+{
+    std::string benchmark;
+    /** Per-series cleaning summary of the first run. */
+    std::vector<SeriesCleanReport> cleaning;
+    ImportanceResult importance;
+    InteractionResult interactions;
+    /** Events of the top-10 importance list (paper figure format). */
+    std::vector<cminer::ml::FeatureImportance> topEvents;
+};
+
+/**
+ * Drives the full CounterMiner workflow against the simulated cluster.
+ */
+class CounterMiner
+{
+  public:
+    /**
+     * @param db database runs are recorded into
+     * @param catalog event catalog
+     * @param options pipeline options
+     */
+    CounterMiner(cminer::store::Database &db,
+                 const cminer::pmu::EventCatalog &catalog,
+                 ProfileOptions options = {});
+
+    /** Options in effect. */
+    const ProfileOptions &options() const { return options_; }
+
+    /**
+     * Profile one benchmark end to end.
+     *
+     * @param benchmark workload to profile
+     * @param rng run + model randomness
+     * @param config Spark configuration for the runs
+     */
+    ProfileReport profile(const cminer::workload::SyntheticBenchmark
+                              &benchmark,
+                          cminer::util::Rng &rng,
+                          const cminer::workload::SparkConfig &config = {});
+
+    /**
+     * Profile an externally composed trace generator (co-location): the
+     * caller supplies the traces, the pipeline does the rest.
+     */
+    ProfileReport
+    profileTraces(const std::vector<cminer::pmu::TrueTrace> &traces,
+                  const std::string &program, const std::string &suite,
+                  cminer::util::Rng &rng);
+
+  private:
+    ProfileReport runPipeline(std::vector<CollectedRun> runs,
+                              const std::string &program,
+                              cminer::util::Rng &rng);
+
+    cminer::store::Database &db_;
+    const cminer::pmu::EventCatalog &catalog_;
+    ProfileOptions options_;
+    DataCollector collector_;
+};
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_COUNTERMINER_H

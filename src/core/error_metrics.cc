@@ -1,0 +1,30 @@
+#include "core/error_metrics.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::core {
+
+MlpxErrorResult
+mlpxError(const cminer::ts::TimeSeries &ocoe1,
+          const cminer::ts::TimeSeries &ocoe2,
+          const cminer::ts::TimeSeries &mlpx,
+          const cminer::ts::DtwOptions &options)
+{
+    CM_ASSERT(!ocoe1.empty() && !ocoe2.empty() && !mlpx.empty());
+    MlpxErrorResult result;
+    result.distRef = cminer::ts::dtwDistance(ocoe1, ocoe2, options);
+    result.distMea = cminer::ts::dtwDistance(mlpx, ocoe1, options);
+    if (result.distMea <= 0.0) {
+        // A zero measured distance means MLPX matched OCOE exactly; by
+        // Eq. 4's intent, the error is then zero.
+        result.errorPercent = 0.0;
+        return result;
+    }
+    result.errorPercent =
+        std::abs(1.0 - result.distRef / result.distMea) * 100.0;
+    return result;
+}
+
+} // namespace cminer::core

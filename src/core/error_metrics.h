@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The DTW-based MLPX measurement-error metric (paper Eqs. 1-4).
+ *
+ *   dist_ref = DTW(S_ocoe1, S_ocoe2)   — run-to-run noise floor
+ *   dist_mea = DTW(S_mlpx,  S_ocoe)    — multiplexing distortion
+ *   error    = |1 - dist_ref / dist_mea| * 100%
+ */
+
+#ifndef CMINER_CORE_ERROR_METRICS_H
+#define CMINER_CORE_ERROR_METRICS_H
+
+#include "ts/dtw.h"
+#include "ts/time_series.h"
+
+namespace cminer::core {
+
+/** Inputs/outputs of one error evaluation. */
+struct MlpxErrorResult
+{
+    double distRef = 0.0;  ///< DTW(OCOE run 1, OCOE run 2)
+    double distMea = 0.0;  ///< DTW(MLPX run, OCOE run)
+    double errorPercent = 0.0;
+};
+
+/**
+ * Paper Eq. 4.
+ *
+ * @param ocoe1 OCOE series of the event, run 1
+ * @param ocoe2 OCOE series of the same event, run 2
+ * @param mlpx MLPX series of the same event
+ * @param options DTW options shared by both distance computations
+ */
+MlpxErrorResult
+mlpxError(const cminer::ts::TimeSeries &ocoe1,
+          const cminer::ts::TimeSeries &ocoe2,
+          const cminer::ts::TimeSeries &mlpx,
+          const cminer::ts::DtwOptions &options = {});
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_ERROR_METRICS_H

@@ -1,0 +1,133 @@
+#include "core/importance.h"
+
+#include <algorithm>
+
+#include "ml/cv.h"
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace cminer::core {
+
+using cminer::ml::Dataset;
+using cminer::ml::FeatureImportance;
+using cminer::ml::Gbrt;
+using cminer::util::Rng;
+
+ImportanceRanker::ImportanceRanker(ImportanceOptions options)
+    : options_(std::move(options))
+{
+    CM_ASSERT(options_.dropPerIteration >= 1);
+    CM_ASSERT(options_.trainFraction > 0.0 &&
+              options_.trainFraction < 1.0);
+}
+
+Dataset
+ImportanceRanker::buildDataset(const std::vector<CollectedRun> &runs,
+                               const cminer::pmu::EventCatalog &catalog)
+{
+    CM_ASSERT(!runs.empty());
+    const auto &first = runs.front().series;
+    CM_ASSERT(first.size() >= 2); // at least one event plus IPC
+
+    // Feature names: paper abbreviations where known, else full names.
+    std::vector<std::string> names;
+    for (std::size_t s = 0; s + 1 < first.size(); ++s) {
+        const auto id = catalog.findByName(first[s].eventName());
+        names.push_back(id ? catalog.info(*id).abbrev
+                           : first[s].eventName());
+    }
+
+    Dataset data(names);
+    for (const auto &run : runs) {
+        CM_ASSERT(run.series.size() == first.size());
+        const auto &ipc = run.ipc();
+        CM_ASSERT(ipc.eventName() == ipc_series_name);
+        for (std::size_t t = 0; t < ipc.size(); ++t) {
+            std::vector<double> row;
+            row.reserve(names.size());
+            for (std::size_t s = 0; s + 1 < run.series.size(); ++s) {
+                CM_ASSERT(run.series[s].size() == ipc.size());
+                row.push_back(run.series[s].at(t));
+            }
+            data.addRow(std::move(row), ipc.at(t));
+        }
+    }
+    return data;
+}
+
+std::pair<std::vector<FeatureImportance>, double>
+ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
+{
+    auto split = ml::trainTestSplit(data, options_.trainFraction, rng);
+    Gbrt model(options_.gbrt);
+    model.fit(split.train, rng);
+    const auto predicted = model.predictAll(split.test);
+    const double error =
+        ml::mape(split.test.targets(), predicted);
+    return {model.featureImportances(), error};
+}
+
+ImportanceResult
+ImportanceRanker::run(const Dataset &data, Rng &rng) const
+{
+    ImportanceResult result;
+    std::vector<std::string> features = data.featureNames();
+    double best_error = -1.0;
+    std::size_t since_best = 0;
+
+    while (true) {
+        const Dataset current = features.size() == data.featureCount()
+            ? data : data.project(features);
+        auto [ranking, error] = fitOnce(current, rng);
+
+        result.curve.push_back({features.size(), error});
+        if (best_error < 0.0 || error < best_error) {
+            best_error = error;
+            since_best = 0;
+            result.ranking = ranking;
+            result.mapmErrorPercent = error;
+            result.mapmEventCount = features.size();
+            result.mapmFeatures = features;
+        } else {
+            ++since_best;
+        }
+
+        if (options_.earlyStopPatience > 0 &&
+            since_best >= options_.earlyStopPatience)
+            break;
+        if (features.size() <=
+            options_.minEvents + options_.dropPerIteration)
+            break;
+
+        // Drop the `dropPerIteration` least important events. The
+        // ranking is sorted descending, so the tail goes.
+        CM_ASSERT(ranking.size() == features.size());
+        std::vector<std::string> keep;
+        keep.reserve(features.size() - options_.dropPerIteration);
+        for (std::size_t i = 0;
+             i + options_.dropPerIteration < ranking.size(); ++i)
+            keep.push_back(ranking[i].feature);
+        // Preserve the dataset's original column order for determinism.
+        std::vector<std::string> next;
+        for (const auto &name : features) {
+            if (std::find(keep.begin(), keep.end(), name) != keep.end())
+                next.push_back(name);
+        }
+        features = std::move(next);
+    }
+    return result;
+}
+
+Gbrt
+ImportanceRanker::trainMapm(const Dataset &data,
+                            const ImportanceResult &result,
+                            Rng &rng) const
+{
+    CM_ASSERT(!result.mapmFeatures.empty());
+    const Dataset mapm_data = data.project(result.mapmFeatures);
+    Gbrt model(options_.gbrt);
+    model.fit(mapm_data, rng);
+    return model;
+}
+
+} // namespace cminer::core

@@ -1,0 +1,107 @@
+#include "core/perf_text.h"
+
+#include <map>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::core {
+
+using cminer::ts::TimeSeries;
+
+std::string
+renderPerfIntervals(const std::vector<TimeSeries> &series)
+{
+    CM_ASSERT(!series.empty());
+    const std::size_t length = series.front().size();
+    const double interval_ms = series.front().intervalMs();
+    for (const auto &s : series) {
+        if (s.size() != length)
+            util::fatal("perf_text: series length mismatch");
+    }
+
+    std::string out = "# time,counts,event\n";
+    for (std::size_t t = 0; t < length; ++t) {
+        const double time_s =
+            static_cast<double>(t + 1) * interval_ms / 1000.0;
+        for (const auto &s : series) {
+            out += util::format("%.6f,", time_s);
+            const double value = s.at(t);
+            if (value == 0.0)
+                out += "<not counted>";
+            else
+                out += util::format("%.2f", value);
+            out += ",";
+            out += s.eventName();
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::vector<TimeSeries>
+parsePerfIntervals(const std::string &text)
+{
+    // Event order of first appearance; values appended per interval.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<double>> values;
+    double first_time = -1.0;
+    double second_time = -1.0;
+
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line =
+            util::trim(text.substr(start, end - start));
+        start = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        const auto fields = util::split(line, ',');
+        if (fields.size() < 3)
+            util::fatal("perf_text: malformed line: " + line);
+        double time_s = 0.0;
+        if (!util::parseDouble(fields[0], time_s))
+            util::fatal("perf_text: bad timestamp: " + fields[0]);
+
+        const std::string &count_field = fields[1];
+        double count = 0.0;
+        if (!util::startsWith(util::trim(count_field), "<")) {
+            if (!util::parseDouble(count_field, count))
+                util::fatal("perf_text: bad count: " + count_field);
+        }
+        const std::string event = util::trim(fields[2]);
+        if (event.empty())
+            util::fatal("perf_text: empty event name");
+
+        if (!values.count(event))
+            order.push_back(event);
+        values[event].push_back(count);
+
+        if (first_time < 0.0)
+            first_time = time_s;
+        else if (second_time < 0.0 && time_s != first_time)
+            second_time = time_s;
+    }
+    if (order.empty())
+        util::fatal("perf_text: no samples found");
+
+    const double interval_ms = second_time > first_time
+        ? (second_time - first_time) * 1000.0
+        : first_time * 1000.0;
+
+    std::vector<TimeSeries> series;
+    series.reserve(order.size());
+    const std::size_t length = values[order.front()].size();
+    for (const auto &event : order) {
+        if (values[event].size() != length)
+            util::fatal("perf_text: ragged sample counts for " + event);
+        series.emplace_back(event, std::move(values[event]),
+                            interval_ms > 0.0 ? interval_ms : 10.0);
+    }
+    return series;
+}
+
+} // namespace cminer::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text interop with Linux-perf-style interval output.
+ *
+ * The paper's data collector "can be any available counter profiling
+ * tool such as Perf" — this module makes the boundary concrete: measured
+ * series render to `perf stat -I <ms>`-style interval text (with
+ * `<not counted>` for the samples MLPX missed), and such text parses
+ * back into TimeSeries ready for the cleaner. A real deployment can thus
+ * feed actual `perf stat -I -x,` logs into the same pipeline the
+ * simulator exercises.
+ */
+
+#ifndef CMINER_CORE_PERF_TEXT_H
+#define CMINER_CORE_PERF_TEXT_H
+
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace cminer::core {
+
+/**
+ * Render series as perf-stat interval text.
+ *
+ * One line per (interval, event): `time,count,event` in CSV mode, with
+ * `<not counted>` in place of the count for zero samples (the MLPX
+ * missing-value marker).
+ *
+ * All series must have the same length and interval.
+ */
+std::string
+renderPerfIntervals(const std::vector<cminer::ts::TimeSeries> &series);
+
+/**
+ * Parse perf-stat interval text (the renderPerfIntervals format, which
+ * is `perf stat -I -x,` compatible) back into per-event TimeSeries.
+ *
+ * `<not counted>` and `<not supported>` become 0.0 — the missing-value
+ * encoding the cleaner expects.
+ *
+ * @throws util::FatalError on malformed input
+ */
+std::vector<cminer::ts::TimeSeries>
+parsePerfIntervals(const std::string &text);
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_PERF_TEXT_H

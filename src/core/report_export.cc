@@ -1,0 +1,81 @@
+#include "core/report_export.h"
+
+#include "util/json_writer.h"
+
+namespace cminer::core {
+
+std::string
+reportToJson(const ProfileReport &report, std::size_t top_interactions)
+{
+    util::JsonWriter json;
+    json.beginObject();
+    json.key("benchmark");
+    json.value(report.benchmark);
+
+    json.key("cleaning");
+    json.beginObject();
+    std::size_t outliers = 0;
+    std::size_t missing = 0;
+    for (const auto &series : report.cleaning) {
+        outliers += series.outliersReplaced;
+        missing += series.missingFilled;
+    }
+    json.key("seriesCleaned");
+    json.value(report.cleaning.size());
+    json.key("outliersReplaced");
+    json.value(outliers);
+    json.key("missingFilled");
+    json.value(missing);
+    json.endObject();
+
+    json.key("mapm");
+    json.beginObject();
+    json.key("eventCount");
+    json.value(report.importance.mapmEventCount);
+    json.key("errorPercent");
+    json.value(report.importance.mapmErrorPercent);
+    json.endObject();
+
+    json.key("eirCurve");
+    json.beginArray();
+    for (const auto &point : report.importance.curve) {
+        json.beginObject();
+        json.key("events");
+        json.value(point.eventCount);
+        json.key("errorPercent");
+        json.value(point.testErrorPercent);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("topEvents");
+    json.beginArray();
+    for (const auto &fi : report.topEvents) {
+        json.beginObject();
+        json.key("event");
+        json.value(fi.feature);
+        json.key("importancePercent");
+        json.value(fi.importance);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("interactions");
+    json.beginArray();
+    for (const auto &pair : report.interactions.top(top_interactions)) {
+        json.beginObject();
+        json.key("first");
+        json.value(pair.first);
+        json.key("second");
+        json.value(pair.second);
+        json.key("intensityPercent");
+        json.value(pair.importancePercent);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    return json.str();
+}
+
+} // namespace cminer::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSON export of pipeline results, for dashboards and downstream
+ * tooling (the paper's GWP-style consumers).
+ */
+
+#ifndef CMINER_CORE_REPORT_EXPORT_H
+#define CMINER_CORE_REPORT_EXPORT_H
+
+#include <string>
+
+#include "core/counterminer.h"
+
+namespace cminer::core {
+
+/**
+ * Serialize a ProfileReport to a JSON document:
+ * {
+ *   "benchmark": ...,
+ *   "cleaning": {"outliersReplaced": N, "missingFilled": N, "series": N},
+ *   "mapm": {"eventCount": N, "errorPercent": X},
+ *   "eirCurve": [{"events": N, "errorPercent": X}, ...],
+ *   "topEvents": [{"event": ..., "importancePercent": X}, ...],
+ *   "interactions": [{"first": ..., "second": ..., "intensityPercent": X}, ...]
+ * }
+ */
+std::string reportToJson(const ProfileReport &report,
+                         std::size_t top_interactions = 10);
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_REPORT_EXPORT_H

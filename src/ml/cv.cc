@@ -1,0 +1,43 @@
+#include "ml/cv.h"
+
+#include "util/error.h"
+
+namespace cminer::ml {
+
+TrainTest
+trainTestSplit(const Dataset &data, double train_fraction,
+               cminer::util::Rng &rng)
+{
+    auto [train, test] = data.split(train_fraction, rng);
+    return {std::move(train), std::move(test)};
+}
+
+std::vector<TrainTest>
+kFold(const Dataset &data, std::size_t folds, cminer::util::Rng &rng)
+{
+    CM_ASSERT(folds >= 2);
+    CM_ASSERT(folds <= data.rowCount());
+
+    std::vector<std::size_t> order(data.rowCount());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<TrainTest> splits;
+    splits.reserve(folds);
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (i % folds == fold)
+                test_rows.push_back(order[i]);
+            else
+                train_rows.push_back(order[i]);
+        }
+        splits.push_back(
+            {data.subset(train_rows), data.subset(test_rows)});
+    }
+    return splits;
+}
+
+} // namespace cminer::ml

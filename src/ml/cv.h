@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Train/test and k-fold splitting utilities.
+ *
+ * The paper's EIR loop trains on m examples and evaluates on m/4 unseen
+ * ones; trainTestSplit with fraction 0.8 reproduces that protocol.
+ */
+
+#ifndef CMINER_ML_CV_H
+#define CMINER_ML_CV_H
+
+#include <utility>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace cminer::ml {
+
+/** A train/test pair. */
+struct TrainTest
+{
+    Dataset train;
+    Dataset test;
+};
+
+/**
+ * Shuffled train/test split.
+ *
+ * @param data source dataset
+ * @param train_fraction fraction of rows for training (0, 1)
+ * @param rng shuffle source
+ */
+TrainTest trainTestSplit(const Dataset &data, double train_fraction,
+                         cminer::util::Rng &rng);
+
+/**
+ * k-fold partition: fold i is the test set of split i, the rest train.
+ *
+ * @param data source dataset
+ * @param folds number of folds (>= 2, <= rows)
+ * @param rng shuffle source
+ */
+std::vector<TrainTest> kFold(const Dataset &data, std::size_t folds,
+                             cminer::util::Rng &rng);
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_CV_H

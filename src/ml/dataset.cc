@@ -1,0 +1,132 @@
+#include "ml/dataset.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cminer::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : featureNames_(std::move(feature_names))
+{
+    std::unordered_set<std::string> seen;
+    for (const auto &name : featureNames_) {
+        if (name.empty())
+            util::fatal("ml: empty feature name");
+        if (!seen.insert(name).second)
+            util::fatal("ml: duplicate feature name: " + name);
+    }
+}
+
+std::size_t
+Dataset::featureIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < featureNames_.size(); ++i) {
+        if (featureNames_[i] == name)
+            return i;
+    }
+    util::fatal("ml: no such feature: " + name);
+}
+
+void
+Dataset::addRow(std::vector<double> features, double target)
+{
+    if (features.size() != featureNames_.size())
+        util::fatal("ml: row width mismatch");
+    rows_.push_back(std::move(features));
+    targets_.push_back(target);
+}
+
+const std::vector<double> &
+Dataset::row(std::size_t index) const
+{
+    CM_ASSERT(index < rows_.size());
+    return rows_[index];
+}
+
+double
+Dataset::target(std::size_t index) const
+{
+    CM_ASSERT(index < targets_.size());
+    return targets_[index];
+}
+
+std::vector<double>
+Dataset::column(std::size_t feature) const
+{
+    CM_ASSERT(feature < featureNames_.size());
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto &r : rows_)
+        out.push_back(r[feature]);
+    return out;
+}
+
+std::vector<double>
+Dataset::featureMeans() const
+{
+    std::vector<double> means(featureNames_.size(), 0.0);
+    if (rows_.empty())
+        return means;
+    for (const auto &r : rows_) {
+        for (std::size_t f = 0; f < means.size(); ++f)
+            means[f] += r[f];
+    }
+    for (auto &m : means)
+        m /= static_cast<double>(rows_.size());
+    return means;
+}
+
+Dataset
+Dataset::project(const std::vector<std::string> &keep) const
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(keep.size());
+    for (const auto &name : keep)
+        indices.push_back(featureIndex(name));
+
+    Dataset out(keep);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::vector<double> features;
+        features.reserve(indices.size());
+        for (std::size_t idx : indices)
+            features.push_back(rows_[r][idx]);
+        out.addRow(std::move(features), targets_[r]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::subset(const std::vector<std::size_t> &rows) const
+{
+    Dataset out(featureNames_);
+    for (std::size_t r : rows) {
+        CM_ASSERT(r < rows_.size());
+        out.addRow(rows_[r], targets_[r]);
+    }
+    return out;
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double train_fraction, cminer::util::Rng &rng) const
+{
+    CM_ASSERT(train_fraction > 0.0 && train_fraction < 1.0);
+    std::vector<std::size_t> order(rows_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    const std::size_t train_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               train_fraction * static_cast<double>(order.size())));
+    std::vector<std::size_t> train_rows(order.begin(),
+                                        order.begin() +
+                                            static_cast<long>(train_count));
+    std::vector<std::size_t> test_rows(order.begin() +
+                                           static_cast<long>(train_count),
+                                       order.end());
+    return {subset(train_rows), subset(test_rows)};
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The tabular dataset the regressors train on.
+ *
+ * Rows are observations (sampling intervals of a run, or whole runs for
+ * the configuration-tuning study); columns are named features (event
+ * values, configuration parameters); the target is performance (IPC or
+ * execution time).
+ */
+
+#ifndef CMINER_ML_DATASET_H
+#define CMINER_ML_DATASET_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cminer::ml {
+
+/**
+ * A dense row-major feature matrix with a named column per feature and a
+ * regression target.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** @param feature_names one name per column, unique */
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    /** Number of feature columns. */
+    std::size_t featureCount() const { return featureNames_.size(); }
+
+    /** Number of rows. */
+    std::size_t rowCount() const { return targets_.size(); }
+
+    /** Column names. */
+    const std::vector<std::string> &featureNames() const
+    {
+        return featureNames_;
+    }
+
+    /** Index of a named feature; fatal when absent. */
+    std::size_t featureIndex(const std::string &name) const;
+
+    /** Append one observation. Row width must match featureCount(). */
+    void addRow(std::vector<double> features, double target);
+
+    /** Feature vector of one row. */
+    const std::vector<double> &row(std::size_t index) const;
+
+    /** Target of one row. */
+    double target(std::size_t index) const;
+
+    /** All targets. */
+    const std::vector<double> &targets() const { return targets_; }
+
+    /** One feature column as a vector. */
+    std::vector<double> column(std::size_t feature) const;
+
+    /** Per-feature means (used to hold "other events at their means"). */
+    std::vector<double> featureMeans() const;
+
+    /**
+     * New dataset containing only the named features (column projection).
+     */
+    Dataset project(const std::vector<std::string> &keep) const;
+
+    /** New dataset from a subset of row indices. */
+    Dataset subset(const std::vector<std::size_t> &rows) const;
+
+    /**
+     * Random split into train/test.
+     *
+     * @param train_fraction fraction of rows for training, in (0, 1)
+     * @param rng shuffle source
+     * @return {train, test}
+     */
+    std::pair<Dataset, Dataset> split(double train_fraction,
+                                      cminer::util::Rng &rng) const;
+
+  private:
+    std::vector<std::string> featureNames_;
+    std::vector<std::vector<double>> rows_;
+    std::vector<double> targets_;
+};
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_DATASET_H

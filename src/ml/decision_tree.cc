@@ -1,0 +1,233 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cminer::ml {
+
+FeatureBinner::FeatureBinner(const Dataset &data, std::size_t max_bins)
+    : rowCount_(data.rowCount())
+{
+    CM_ASSERT(max_bins >= 2 && max_bins <= 255);
+    const std::size_t features = data.featureCount();
+    edges_.resize(features);
+    bins_.resize(features);
+
+    for (std::size_t f = 0; f < features; ++f) {
+        std::vector<double> values = data.column(f);
+        std::vector<double> sorted = values;
+        std::sort(sorted.begin(), sorted.end());
+
+        // Quantile edges; deduplicate so constant stretches collapse.
+        std::vector<double> edges;
+        for (std::size_t b = 1; b < max_bins; ++b) {
+            const double rank =
+                static_cast<double>(b) / static_cast<double>(max_bins);
+            const std::size_t idx = std::min(
+                sorted.size() - 1,
+                static_cast<std::size_t>(
+                    rank * static_cast<double>(sorted.size())));
+            const double edge = sorted[idx];
+            if (edges.empty() || edge > edges.back())
+                edges.push_back(edge);
+        }
+        // Final catch-all edge above the max (not needed when the last
+        // quantile edge already equals the max, e.g. constant features).
+        const double top = sorted.back();
+        if (edges.empty() || top > edges.back())
+            edges.push_back(std::nextafter(
+                top, std::numeric_limits<double>::infinity()));
+        edges_[f] = std::move(edges);
+
+        bins_[f].resize(values.size());
+        for (std::size_t r = 0; r < values.size(); ++r) {
+            const auto it = std::lower_bound(edges_[f].begin(),
+                                             edges_[f].end(), values[r]);
+            const std::size_t bin = std::min(
+                static_cast<std::size_t>(it - edges_[f].begin()),
+                edges_[f].size() - 1);
+            bins_[f][r] = static_cast<std::uint8_t>(bin);
+        }
+    }
+}
+
+std::size_t
+FeatureBinner::binCount(std::size_t feature) const
+{
+    CM_ASSERT(feature < edges_.size());
+    return edges_[feature].size();
+}
+
+std::uint8_t
+FeatureBinner::bin(std::size_t feature, std::size_t row) const
+{
+    CM_ASSERT(feature < bins_.size());
+    CM_ASSERT(row < bins_[feature].size());
+    return bins_[feature][row];
+}
+
+double
+FeatureBinner::upperEdge(std::size_t feature, std::size_t bin) const
+{
+    CM_ASSERT(feature < edges_.size());
+    CM_ASSERT(bin < edges_[feature].size());
+    return edges_[feature][bin];
+}
+
+RegressionTree::RegressionTree(TreeParams params)
+    : params_(params)
+{
+    CM_ASSERT(params_.maxDepth >= 1);
+    CM_ASSERT(params_.minSamplesLeaf >= 1);
+    CM_ASSERT(params_.featureFraction > 0.0 &&
+              params_.featureFraction <= 1.0);
+}
+
+void
+RegressionTree::fit(const Dataset &data, const FeatureBinner &binner,
+                    std::span<const double> targets,
+                    std::span<const std::size_t> rows,
+                    cminer::util::Rng &rng)
+{
+    CM_ASSERT(targets.size() == data.rowCount());
+    CM_ASSERT(!rows.empty());
+    CM_ASSERT(binner.rowCount() == data.rowCount());
+    nodes_.clear();
+    splits_.clear();
+    std::vector<std::size_t> row_vec(rows.begin(), rows.end());
+    grow(data, binner, targets, row_vec, 0, rng);
+}
+
+std::size_t
+RegressionTree::grow(const Dataset &data, const FeatureBinner &binner,
+                     std::span<const double> targets,
+                     std::vector<std::size_t> &rows, std::size_t depth,
+                     cminer::util::Rng &rng)
+{
+    const std::size_t node_index = nodes_.size();
+    nodes_.emplace_back();
+
+    double sum = 0.0;
+    for (std::size_t r : rows)
+        sum += targets[r];
+    const double count = static_cast<double>(rows.size());
+    const double node_mean = sum / count;
+    nodes_[node_index].value = node_mean;
+
+    const bool can_split = depth < params_.maxDepth &&
+                           rows.size() >= 2 * params_.minSamplesLeaf;
+    if (!can_split)
+        return node_index;
+
+    // Feature subsample for this node.
+    const std::size_t features = data.featureCount();
+    std::size_t take = static_cast<std::size_t>(
+        std::ceil(params_.featureFraction *
+                  static_cast<double>(features)));
+    take = std::max<std::size_t>(1, std::min(take, features));
+    std::vector<std::size_t> candidates =
+        rng.sampleIndices(features, take);
+
+    // Best split over candidate features via per-bin histograms.
+    double best_improvement = params_.minImprovement;
+    std::size_t best_feature = 0;
+    std::size_t best_bin = 0;
+    const double parent_score = sum * sum / count;
+
+    std::vector<double> bin_sum;
+    std::vector<std::size_t> bin_count;
+    for (std::size_t f : candidates) {
+        const std::size_t bins = binner.binCount(f);
+        if (bins < 2)
+            continue;
+        bin_sum.assign(bins, 0.0);
+        bin_count.assign(bins, 0);
+        for (std::size_t r : rows) {
+            const std::uint8_t b = binner.bin(f, r);
+            bin_sum[b] += targets[r];
+            ++bin_count[b];
+        }
+        double left_sum = 0.0;
+        std::size_t left_count = 0;
+        for (std::size_t b = 0; b + 1 < bins; ++b) {
+            left_sum += bin_sum[b];
+            left_count += bin_count[b];
+            const std::size_t right_count = rows.size() - left_count;
+            if (left_count < params_.minSamplesLeaf ||
+                right_count < params_.minSamplesLeaf)
+                continue;
+            const double right_sum = sum - left_sum;
+            const double improvement =
+                left_sum * left_sum / static_cast<double>(left_count) +
+                right_sum * right_sum / static_cast<double>(right_count) -
+                parent_score;
+            if (improvement > best_improvement) {
+                best_improvement = improvement;
+                best_feature = f;
+                best_bin = b;
+            }
+        }
+    }
+
+    if (best_improvement <= params_.minImprovement)
+        return node_index; // no acceptable split: stay a leaf
+
+    // Partition rows by the winning split.
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    left_rows.reserve(rows.size());
+    right_rows.reserve(rows.size());
+    for (std::size_t r : rows) {
+        if (binner.bin(best_feature, r) <= best_bin)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    CM_ASSERT(!left_rows.empty() && !right_rows.empty());
+    rows.clear();
+    rows.shrink_to_fit();
+
+    splits_.push_back({best_feature, best_improvement});
+    nodes_[node_index].leaf = false;
+    nodes_[node_index].feature = best_feature;
+    nodes_[node_index].threshold =
+        binner.upperEdge(best_feature, best_bin);
+
+    const std::size_t left_child =
+        grow(data, binner, targets, left_rows, depth + 1, rng);
+    nodes_[node_index].left = left_child;
+    const std::size_t right_child =
+        grow(data, binner, targets, right_rows, depth + 1, rng);
+    nodes_[node_index].right = right_child;
+    return node_index;
+}
+
+double
+RegressionTree::predict(const std::vector<double> &features) const
+{
+    CM_ASSERT(fitted());
+    std::size_t index = 0;
+    while (!nodes_[index].leaf) {
+        const Node &node = nodes_[index];
+        CM_ASSERT(node.feature < features.size());
+        index = features[node.feature] <= node.threshold ? node.left
+                                                         : node.right;
+    }
+    return nodes_[index].value;
+}
+
+std::size_t
+RegressionTree::leafCount() const
+{
+    std::size_t count = 0;
+    for (const auto &node : nodes_) {
+        if (node.leaf)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,114 @@
+#include "ml/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace cminer::ml {
+
+Gbrt::Gbrt(GbrtParams params)
+    : params_(params)
+{
+    CM_ASSERT(params_.treeCount >= 1);
+    CM_ASSERT(params_.learningRate > 0.0 && params_.learningRate <= 1.0);
+    CM_ASSERT(params_.subsample > 0.0 && params_.subsample <= 1.0);
+}
+
+void
+Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
+{
+    CM_ASSERT(data.rowCount() >= 2 * params_.tree.minSamplesLeaf);
+    featureNames_ = data.featureNames();
+    trees_.clear();
+
+    const FeatureBinner binner(data, params_.tree.maxBins);
+
+    baseline_ = stats::mean(data.targets());
+    std::vector<double> predictions(data.rowCount(), baseline_);
+    std::vector<double> residuals(data.rowCount(), 0.0);
+
+    const std::size_t sample_size = std::max<std::size_t>(
+        2 * params_.tree.minSamplesLeaf,
+        static_cast<std::size_t>(params_.subsample *
+                                 static_cast<double>(data.rowCount())));
+
+    for (std::size_t stage = 0; stage < params_.treeCount; ++stage) {
+        for (std::size_t r = 0; r < data.rowCount(); ++r)
+            residuals[r] = data.target(r) - predictions[r];
+
+        const std::vector<std::size_t> rows =
+            rng.sampleIndices(data.rowCount(),
+                              std::min(sample_size, data.rowCount()));
+
+        RegressionTree tree(params_.tree);
+        tree.fit(data, binner, residuals, rows, rng);
+        if (tree.splits().empty()) {
+            // Residuals have no structure left; further stages would all
+            // be stumps predicting ~0.
+            break;
+        }
+
+        for (std::size_t r = 0; r < data.rowCount(); ++r)
+            predictions[r] +=
+                params_.learningRate * tree.predict(data.row(r));
+        trees_.push_back(std::move(tree));
+    }
+    fitted_ = true;
+}
+
+double
+Gbrt::predict(const std::vector<double> &features) const
+{
+    CM_ASSERT(fitted_);
+    double y = baseline_;
+    for (const auto &tree : trees_)
+        y += params_.learningRate * tree.predict(features);
+    return y;
+}
+
+std::vector<double>
+Gbrt::predictAll(const Dataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        out.push_back(predict(data.row(r)));
+    return out;
+}
+
+std::vector<FeatureImportance>
+Gbrt::featureImportances() const
+{
+    CM_ASSERT(fitted_);
+    std::vector<double> influence(featureNames_.size(), 0.0);
+    for (const auto &tree : trees_) {
+        for (const auto &split : tree.splits())
+            influence[split.feature] += split.improvement;
+    }
+    if (!trees_.empty()) {
+        for (auto &v : influence)
+            v /= static_cast<double>(trees_.size());
+    }
+
+    double total = 0.0;
+    for (double v : influence)
+        total += v;
+
+    std::vector<FeatureImportance> ranking;
+    ranking.reserve(featureNames_.size());
+    for (std::size_t f = 0; f < featureNames_.size(); ++f) {
+        FeatureImportance fi;
+        fi.feature = featureNames_[f];
+        fi.importance = total > 0.0 ? 100.0 * influence[f] / total : 0.0;
+        ranking.push_back(std::move(fi));
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const FeatureImportance &a, const FeatureImportance &b) {
+                  return a.importance > b.importance;
+              });
+    return ranking;
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Stochastic Gradient Boosted Regression Trees (Friedman 2002) — the
+ * performance model of the paper's importance ranker (Section III-C).
+ *
+ * Squared-error boosting: F_0 is the target mean; each stage fits a
+ * regression tree to the current residuals on a random row subsample and
+ * adds it with shrinkage. Event importance follows Friedman's relative
+ * influence (paper Eqs. 10-11): per-feature squared improvements summed
+ * over each tree's splits, averaged over trees, normalized to 100%.
+ */
+
+#ifndef CMINER_ML_GBRT_H
+#define CMINER_ML_GBRT_H
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace cminer::ml {
+
+/** SGBRT hyperparameters. */
+struct GbrtParams
+{
+    std::size_t treeCount = 150;
+    double learningRate = 0.1;
+    /** Row subsample fraction per stage (the "stochastic" part). */
+    double subsample = 0.4;
+    TreeParams tree = {.maxDepth = 5,
+                       .minSamplesLeaf = 3,
+                       .featureFraction = 0.25,
+                       .minImprovement = 1e-12,
+                       .maxBins = 32};
+};
+
+/** One entry of a normalized importance ranking. */
+struct FeatureImportance
+{
+    std::string feature;
+    double importance = 0.0; ///< percent; all entries sum to 100
+};
+
+/** Stochastic gradient boosted regression tree ensemble. */
+class Gbrt
+{
+  public:
+    explicit Gbrt(GbrtParams params = {});
+
+    /**
+     * Fit the ensemble.
+     *
+     * @param data training data
+     * @param rng subsampling source (deterministic given the seed)
+     */
+    void fit(const Dataset &data, cminer::util::Rng &rng);
+
+    /** Predict one raw feature vector. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Predictions for every row of a dataset. */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+    /**
+     * Friedman relative influence per feature, normalized so the sum is
+     * 100% (paper Eqs. 10-11), sorted descending.
+     */
+    std::vector<FeatureImportance> featureImportances() const;
+
+    /** Number of fitted trees. */
+    std::size_t treeCount() const { return trees_.size(); }
+
+    /** True after fit(). */
+    bool fitted() const { return fitted_; }
+
+  private:
+    GbrtParams params_;
+    double baseline_ = 0.0;
+    std::vector<RegressionTree> trees_;
+    std::vector<std::string> featureNames_;
+    bool fitted_ = false;
+};
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_GBRT_H

@@ -1,0 +1,124 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cminer::ml {
+
+KnnRegressor::KnnRegressor(std::size_t k)
+    : k_(k)
+{
+    CM_ASSERT(k >= 1);
+}
+
+void
+KnnRegressor::fit(const Dataset &data)
+{
+    CM_ASSERT(data.rowCount() >= 1);
+    trainX_.clear();
+    trainY_.clear();
+    trainX_.reserve(data.rowCount());
+    trainY_.reserve(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r) {
+        trainX_.push_back(data.row(r));
+        trainY_.push_back(data.target(r));
+    }
+}
+
+double
+KnnRegressor::predict(const std::vector<double> &features) const
+{
+    CM_ASSERT(!trainX_.empty());
+    CM_ASSERT(features.size() == trainX_.front().size());
+
+    std::vector<std::pair<double, double>> dist_target;
+    dist_target.reserve(trainX_.size());
+    for (std::size_t r = 0; r < trainX_.size(); ++r) {
+        double d2 = 0.0;
+        for (std::size_t f = 0; f < features.size(); ++f) {
+            const double d = features[f] - trainX_[r][f];
+            d2 += d * d;
+        }
+        dist_target.emplace_back(d2, trainY_[r]);
+    }
+    const std::size_t k = std::min(k_, dist_target.size());
+    std::partial_sort(dist_target.begin(),
+                      dist_target.begin() + static_cast<long>(k),
+                      dist_target.end());
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i)
+        total += dist_target[i].second;
+    return total / static_cast<double>(k);
+}
+
+std::vector<double>
+KnnRegressor::predictAll(const Dataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        out.push_back(predict(data.row(r)));
+    return out;
+}
+
+std::size_t
+knnImputeSeries(std::vector<double> &values,
+                const std::vector<std::size_t> &missing, std::size_t k)
+{
+    CM_ASSERT(k >= 1);
+    if (missing.empty())
+        return 0;
+
+    std::unordered_set<std::size_t> missing_set(missing.begin(),
+                                                missing.end());
+    // Observed indices, in order.
+    std::vector<std::size_t> observed;
+    observed.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!missing_set.count(i))
+            observed.push_back(i);
+    }
+    if (observed.empty())
+        return 0;
+
+    std::size_t imputed = 0;
+    for (std::size_t idx : missing) {
+        CM_ASSERT(idx < values.size());
+        // Locate the insertion point among observed indices and expand
+        // outward to collect the k nearest by index distance.
+        auto it = std::lower_bound(observed.begin(), observed.end(), idx);
+        std::size_t right = static_cast<std::size_t>(
+            it - observed.begin());
+        std::size_t left = right; // left neighbor is observed[left-1]
+        double total = 0.0;
+        std::size_t taken = 0;
+        while (taken < k && (left > 0 || right < observed.size())) {
+            const bool has_left = left > 0;
+            const bool has_right = right < observed.size();
+            bool take_left;
+            if (has_left && has_right) {
+                const std::size_t dl = idx - observed[left - 1];
+                const std::size_t dr = observed[right] - idx;
+                take_left = dl <= dr;
+            } else {
+                take_left = has_left;
+            }
+            if (take_left) {
+                total += values[observed[left - 1]];
+                --left;
+            } else {
+                total += values[observed[right]];
+                ++right;
+            }
+            ++taken;
+        }
+        values[idx] = total / static_cast<double>(taken);
+        ++imputed;
+    }
+    return imputed;
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * K-nearest-neighbor regression, in two flavors:
+ *  - a general brute-force KNN regressor on feature vectors;
+ *  - the 1-D temporal imputer the cleaner uses: a missing value in a
+ *    time series is replaced by the average of the k nearest *observed*
+ *    neighbors by time index (paper Section III-B2, k = 5).
+ */
+
+#ifndef CMINER_ML_KNN_H
+#define CMINER_ML_KNN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace cminer::ml {
+
+/** Brute-force KNN regressor with Euclidean distance. */
+class KnnRegressor
+{
+  public:
+    /** @param k neighborhood size (>= 1) */
+    explicit KnnRegressor(std::size_t k = 5);
+
+    /** Store the training data (lazy learner). */
+    void fit(const Dataset &data);
+
+    /** Mean target of the k nearest training rows. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Predictions for every row of a dataset. */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+  private:
+    std::size_t k_;
+    std::vector<std::vector<double>> trainX_;
+    std::vector<double> trainY_;
+};
+
+/**
+ * Impute missing entries of a series by temporal KNN.
+ *
+ * @param values the series; entries at `missing` indices are ignored as
+ *        inputs and overwritten with imputed values
+ * @param missing indices to impute (sorted or not)
+ * @param k neighborhood size
+ * @return number of entries actually imputed (0 when every index was
+ *         missing, in which case nothing can be inferred)
+ */
+std::size_t knnImputeSeries(std::vector<double> &values,
+                            const std::vector<std::size_t> &missing,
+                            std::size_t k);
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_KNN_H

@@ -1,0 +1,116 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::ml {
+
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    CM_ASSERT(a.size() == n);
+    for (const auto &row : a)
+        CM_ASSERT(row.size() == n);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot][col]) < 1e-14)
+            util::fatal("ml: singular system in linear regression");
+        std::swap(a[pivot], a[col]);
+        std::swap(b[pivot], b[col]);
+
+        const double diag = a[col][col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r][col] / diag;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double accum = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            accum -= a[i][c] * x[c];
+        x[i] = accum / a[i][i];
+    }
+    return x;
+}
+
+LinearRegression::LinearRegression(double ridge)
+    : ridge_(ridge)
+{
+    CM_ASSERT(ridge >= 0.0);
+}
+
+void
+LinearRegression::fit(const Dataset &data)
+{
+    const std::size_t p = data.featureCount();
+    const std::size_t n = data.rowCount();
+    if (n < p + 1)
+        util::fatal("ml: too few rows to fit a linear model");
+
+    // Augmented design: p features plus the intercept column.
+    const std::size_t dim = p + 1;
+    std::vector<std::vector<double>> xtx(dim,
+                                         std::vector<double>(dim, 0.0));
+    std::vector<double> xty(dim, 0.0);
+
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto &row = data.row(r);
+        const double y = data.target(r);
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double xi = i < p ? row[i] : 1.0;
+            xty[i] += xi * y;
+            for (std::size_t j = i; j < dim; ++j) {
+                const double xj = j < p ? row[j] : 1.0;
+                xtx[i][j] += xi * xj;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            xtx[i][j] = xtx[j][i];
+        if (i < p)
+            xtx[i][i] += ridge_ * (xtx[i][i] + 1.0);
+    }
+
+    const auto solution = solveLinearSystem(std::move(xtx), std::move(xty));
+    coef_.assign(solution.begin(), solution.begin() + static_cast<long>(p));
+    intercept_ = solution[p];
+    fitted_ = true;
+}
+
+double
+LinearRegression::predict(const std::vector<double> &features) const
+{
+    CM_ASSERT(fitted_);
+    CM_ASSERT(features.size() == coef_.size());
+    double y = intercept_;
+    for (std::size_t i = 0; i < coef_.size(); ++i)
+        y += coef_[i] * features[i];
+    return y;
+}
+
+std::vector<double>
+LinearRegression::predictAll(const Dataset &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        out.push_back(predict(data.row(r)));
+    return out;
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ordinary least squares linear regression.
+ *
+ * The interaction ranker (paper Section III-D) fits a *linear* model of
+ * IPC on each pair of events; a large residual variance means the pair's
+ * combined effect is not additive, i.e. the events interact.
+ */
+
+#ifndef CMINER_ML_LINEAR_REGRESSION_H
+#define CMINER_ML_LINEAR_REGRESSION_H
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace cminer::ml {
+
+/**
+ * OLS with an intercept, solved by normal equations with a tiny ridge
+ * term for numerical safety on collinear features.
+ */
+class LinearRegression
+{
+  public:
+    /** @param ridge L2 regularization added to the diagonal (>= 0) */
+    explicit LinearRegression(double ridge = 1e-9);
+
+    /** Fit on a dataset. Requires at least featureCount()+1 rows. */
+    void fit(const Dataset &data);
+
+    /** Predict one row (width must match the training features). */
+    double predict(const std::vector<double> &features) const;
+
+    /** Predictions for every row of a dataset. */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+    /** Fitted coefficients, one per feature (valid after fit). */
+    const std::vector<double> &coefficients() const { return coef_; }
+
+    /** Fitted intercept (valid after fit). */
+    double intercept() const { return intercept_; }
+
+    /** True after a successful fit. */
+    bool fitted() const { return fitted_; }
+
+  private:
+    double ridge_;
+    std::vector<double> coef_;
+    double intercept_ = 0.0;
+    bool fitted_ = false;
+};
+
+/**
+ * Solve the dense symmetric positive-definite system A x = b in place via
+ * Gaussian elimination with partial pivoting. Exposed for tests.
+ *
+ * @param a row-major n x n matrix (destroyed)
+ * @param b right-hand side (destroyed)
+ * @return solution vector x
+ */
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_LINEAR_REGRESSION_H

@@ -1,0 +1,74 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace cminer::ml {
+
+double
+mape(std::span<const double> actual, std::span<const double> predicted)
+{
+    CM_ASSERT(actual.size() == predicted.size());
+    CM_ASSERT(!actual.empty());
+    double total = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (std::abs(actual[i]) < 1e-12)
+            continue;
+        total += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+        ++used;
+    }
+    if (used == 0)
+        return 0.0;
+    return 100.0 * total / static_cast<double>(used);
+}
+
+double
+rmse(std::span<const double> actual, std::span<const double> predicted)
+{
+    CM_ASSERT(actual.size() == predicted.size());
+    CM_ASSERT(!actual.empty());
+    double total = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double d = actual[i] - predicted[i];
+        total += d * d;
+    }
+    return std::sqrt(total / static_cast<double>(actual.size()));
+}
+
+double
+r2(std::span<const double> actual, std::span<const double> predicted)
+{
+    CM_ASSERT(actual.size() == predicted.size());
+    CM_ASSERT(!actual.empty());
+    const double mu = stats::mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double res = actual[i] - predicted[i];
+        const double dev = actual[i] - mu;
+        ss_res += res * res;
+        ss_tot += dev * dev;
+    }
+    if (ss_tot <= 0.0)
+        return ss_res <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+residualVariance(std::span<const double> actual,
+                 std::span<const double> predicted)
+{
+    CM_ASSERT(actual.size() == predicted.size());
+    CM_ASSERT(!actual.empty());
+    double total = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        total += d * d;
+    }
+    return total / static_cast<double>(actual.size());
+}
+
+} // namespace cminer::ml

@@ -1,0 +1,64 @@
+#include "ml/permutation.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace cminer::ml {
+
+std::vector<FeatureImportance>
+permutationImportance(const Gbrt &model, const Dataset &data,
+                      cminer::util::Rng &rng, std::size_t repeats)
+{
+    CM_ASSERT(model.fitted());
+    CM_ASSERT(data.rowCount() >= 2);
+    CM_ASSERT(repeats >= 1);
+
+    const double baseline =
+        rmse(data.targets(), model.predictAll(data));
+
+    std::vector<double> deltas(data.featureCount(), 0.0);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        rows.push_back(data.row(r));
+
+    std::vector<double> shuffled(data.rowCount());
+    std::vector<double> predictions(data.rowCount());
+    for (std::size_t f = 0; f < data.featureCount(); ++f) {
+        double delta = 0.0;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            for (std::size_t r = 0; r < rows.size(); ++r)
+                shuffled[r] = rows[r][f];
+            rng.shuffle(shuffled);
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                const double original = rows[r][f];
+                rows[r][f] = shuffled[r];
+                predictions[r] = model.predict(rows[r]);
+                rows[r][f] = original;
+            }
+            delta += rmse(data.targets(), predictions) - baseline;
+        }
+        deltas[f] =
+            std::max(0.0, delta / static_cast<double>(repeats));
+    }
+
+    double total = 0.0;
+    for (double d : deltas)
+        total += d;
+
+    std::vector<FeatureImportance> out;
+    out.reserve(deltas.size());
+    for (std::size_t f = 0; f < deltas.size(); ++f) {
+        out.push_back({data.featureNames()[f],
+                       total > 0.0 ? 100.0 * deltas[f] / total : 0.0});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FeatureImportance &a, const FeatureImportance &b) {
+                  return a.importance > b.importance;
+              });
+    return out;
+}
+
+} // namespace cminer::ml

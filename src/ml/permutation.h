@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Permutation importance — a model-agnostic alternative to Friedman's
+ * split-improvement influence: shuffle one feature column, measure how
+ * much the model's error grows. Used by the ablation benches to
+ * cross-check the paper's importance measure.
+ */
+
+#ifndef CMINER_ML_PERMUTATION_H
+#define CMINER_ML_PERMUTATION_H
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/gbrt.h"
+#include "util/rng.h"
+
+namespace cminer::ml {
+
+/**
+ * Permutation importance of every feature, normalized to sum to 100%.
+ *
+ * @param model fitted model
+ * @param data evaluation data (ideally held-out)
+ * @param rng shuffle source
+ * @param repeats shuffles averaged per feature
+ * @return importances sorted descending; negative raw deltas clamp to 0
+ */
+std::vector<FeatureImportance>
+permutationImportance(const Gbrt &model, const Dataset &data,
+                      cminer::util::Rng &rng, std::size_t repeats = 3);
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_PERMUTATION_H

@@ -1,0 +1,46 @@
+#include "pmu/counter.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::pmu {
+
+HardwareCounter::HardwareCounter(const PmuConfig &config)
+    : readNoise_(config.readNoise),
+      wrapLimit_(std::pow(2.0, static_cast<double>(config.counterWidth)))
+{
+    CM_ASSERT(config.counterWidth >= 32 && config.counterWidth <= 64);
+}
+
+void
+HardwareCounter::program(EventId event)
+{
+    event_ = event;
+    programmed_ = true;
+    accumulated_ = 0.0;
+}
+
+void
+HardwareCounter::accumulate(double count)
+{
+    CM_ASSERT(programmed_);
+    CM_ASSERT(count >= 0.0);
+    accumulated_ += count;
+}
+
+double
+HardwareCounter::readAndClear(cminer::util::Rng &rng)
+{
+    CM_ASSERT(programmed_);
+    double value = accumulated_;
+    accumulated_ = 0.0;
+    if (readNoise_ > 0.0)
+        value *= std::max(0.0, 1.0 + rng.gaussian(0.0, readNoise_));
+    // Register wrap: counts are reported modulo the register width.
+    if (value >= wrapLimit_)
+        value = std::fmod(value, wrapLimit_);
+    return value;
+}
+
+} // namespace cminer::pmu

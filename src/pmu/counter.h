@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hardware-counter model: a small PMU description plus the per-counter
+ * accumulate/read behaviour, including the read jitter real counters show
+ * (Weaver et al. measured nondeterminism and overcount on real PMUs).
+ */
+
+#ifndef CMINER_PMU_COUNTER_H
+#define CMINER_PMU_COUNTER_H
+
+#include <cstdint>
+
+#include "pmu/event.h"
+#include "util/rng.h"
+
+namespace cminer::pmu {
+
+/** Static PMU configuration (per SMT thread). */
+struct PmuConfig
+{
+    /** Programmable counters per thread (Haswell with SMT on: 4). */
+    std::size_t programmableCounters = 4;
+    /** Fixed counters (cycles, instructions, ref cycles). */
+    std::size_t fixedCounters = 3;
+    /** Sampling interval in milliseconds (perf stat -I style). */
+    double intervalMs = 10.0;
+    /**
+     * Rotation quanta per sampling interval: how many times the MLPX
+     * scheduler can switch event groups within one interval.
+     */
+    std::size_t rotationQuanta = 3;
+    /** Relative read noise (sigma) applied to every counter read. */
+    double readNoise = 0.005;
+    /** Counter register width in bits (reads wrap at 2^width). */
+    unsigned counterWidth = 48;
+};
+
+/**
+ * One hardware counter register.
+ *
+ * Counts accumulate until read; reads apply multiplicative jitter and
+ * wrap at the register width, mimicking a real PMU programmed in
+ * counting (non-sampling) mode.
+ */
+class HardwareCounter
+{
+  public:
+    /** @param config PMU description this counter belongs to */
+    explicit HardwareCounter(const PmuConfig &config);
+
+    /** Program the counter to count the given event and clear it. */
+    void program(EventId event);
+
+    /** Currently programmed event (valid only when programmed()). */
+    EventId event() const { return event_; }
+
+    /** True when an event has been programmed. */
+    bool programmed() const { return programmed_; }
+
+    /** Accumulate `count` occurrences of the programmed event. */
+    void accumulate(double count);
+
+    /**
+     * Read and clear, applying read jitter and register wrap.
+     *
+     * @param rng noise source
+     * @return observed count since the last read
+     */
+    double readAndClear(cminer::util::Rng &rng);
+
+    /** Raw accumulated value (test hook; no noise, no clear). */
+    double raw() const { return accumulated_; }
+
+  private:
+    EventId event_ = 0;
+    bool programmed_ = false;
+    double accumulated_ = 0.0;
+    double readNoise_;
+    double wrapLimit_;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_COUNTER_H

@@ -1,0 +1,527 @@
+#include "pmu/event.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::pmu {
+
+std::string
+categoryName(EventCategory category)
+{
+    switch (category) {
+      case EventCategory::Fixed: return "fixed";
+      case EventCategory::Frontend: return "frontend";
+      case EventCategory::Branch: return "branch";
+      case EventCategory::Cache: return "cache";
+      case EventCategory::Tlb: return "tlb";
+      case EventCategory::Memory: return "memory";
+      case EventCategory::Remote: return "remote";
+      case EventCategory::Uops: return "uops";
+      case EventCategory::Stall: return "stall";
+      case EventCategory::Other: return "other";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Default per-interval magnitude and burstiness per category. */
+struct CategoryDefaults
+{
+    double baseRate;
+    double burstiness;
+    DistFamily family;
+};
+
+CategoryDefaults
+defaultsFor(EventCategory category)
+{
+    switch (category) {
+      case EventCategory::Fixed:
+        return {2.4e7, 0.05, DistFamily::Gaussian};
+      case EventCategory::Frontend:
+        return {5.0e4, 0.35, DistFamily::Gaussian};
+      case EventCategory::Branch:
+        return {8.0e4, 0.15, DistFamily::Gaussian};
+      case EventCategory::Cache:
+        return {1.2e4, 0.45, DistFamily::LongTail};
+      case EventCategory::Tlb:
+        return {1.5e3, 0.50, DistFamily::LongTail};
+      case EventCategory::Memory:
+        return {5.0e4, 0.40, DistFamily::LongTail};
+      case EventCategory::Remote:
+        return {6.0e2, 0.60, DistFamily::LongTail};
+      case EventCategory::Uops:
+        return {9.0e5, 0.10, DistFamily::Gaussian};
+      case EventCategory::Stall:
+        return {1.5e5, 0.20, DistFamily::Gaussian};
+      case EventCategory::Other:
+        return {2.0e2, 0.55, DistFamily::LongTail};
+    }
+    return {1.0, 0.2, DistFamily::Gaussian};
+}
+
+constexpr std::size_t catalog_size = 229;
+
+} // namespace
+
+void
+EventCatalog::add(EventInfo info)
+{
+    events_.push_back(std::move(info));
+}
+
+EventCatalog::EventCatalog()
+{
+    // Shorthand for a fully specified (Table III) event.
+    auto named = [this](const std::string &name, const std::string &abbrev,
+                        const std::string &description,
+                        EventCategory category, DistFamily family,
+                        double base_rate, double burstiness) {
+        EventInfo info;
+        info.name = name;
+        info.abbrev = abbrev;
+        info.description = description;
+        info.category = category;
+        info.family = family;
+        info.baseRate = base_rate;
+        info.burstiness = burstiness;
+        add(std::move(info));
+    };
+
+    // Shorthand for a family of related events with category defaults.
+    // Abbreviations are positional codes ("E042") — only the Table III
+    // events have paper abbreviations.
+    auto family = [this](const std::string &prefix,
+                         const std::vector<std::string> &members,
+                         EventCategory category) {
+        for (const auto &member : members) {
+            const CategoryDefaults d = defaultsFor(category);
+            EventInfo info;
+            info.name = prefix + "." + member;
+            info.abbrev = util::format("E%03zu", events_.size());
+            info.description = prefix + " / " + member;
+            info.category = category;
+            info.family = d.family;
+            info.baseRate = d.baseRate;
+            info.burstiness = d.burstiness;
+            add(std::move(info));
+        }
+    };
+
+    // --- fixed counters ------------------------------------------------
+    {
+        EventInfo ins;
+        ins.name = "INST_RETIRED.ANY";
+        ins.abbrev = "INS";
+        ins.description = "Instructions retired (fixed counter 0)";
+        ins.category = EventCategory::Fixed;
+        ins.family = DistFamily::Gaussian;
+        ins.baseRate = 2.9e7;
+        ins.burstiness = 0.05;
+        ins.fixedCounter = true;
+        add(ins);
+
+        EventInfo cyc;
+        cyc.name = "CPU_CLK_UNHALTED.THREAD";
+        cyc.abbrev = "CYC";
+        cyc.description = "Core clock cycles when not halted (fixed 1)";
+        cyc.category = EventCategory::Fixed;
+        cyc.family = DistFamily::Gaussian;
+        cyc.baseRate = 2.4e7;
+        cyc.burstiness = 0.02;
+        cyc.fixedCounter = true;
+        add(cyc);
+
+        EventInfo ref;
+        ref.name = "CPU_CLK_UNHALTED.REF_TSC";
+        ref.abbrev = "REF";
+        ref.description = "Reference cycles at TSC rate (fixed 2)";
+        ref.category = EventCategory::Fixed;
+        ref.family = DistFamily::Gaussian;
+        ref.baseRate = 2.4e7;
+        ref.burstiness = 0.02;
+        ref.fixedCounter = true;
+        add(ref);
+    }
+
+    // --- Table III events (paper abbreviations) -------------------------
+    named("RESOURCE_STALLS.IQ_FULL", "ISF",
+          "Stall cycles: instruction queue full",
+          EventCategory::Stall, DistFamily::Gaussian, 2.0e5, 0.15);
+    named("BR_INST_EXEC.ALL_BRANCHES", "BRE",
+          "Branch instructions executed",
+          EventCategory::Branch, DistFamily::Gaussian, 1.5e5, 0.12);
+    named("BR_INST_RETIRED.ALL_BRANCHES", "BRB",
+          "Branch instructions successfully retired",
+          EventCategory::Branch, DistFamily::Gaussian, 1.4e5, 0.12);
+    named("BR_MISP_RETIRED.ALL_BRANCHES", "BMP",
+          "Mispredicted branches that finally retired",
+          EventCategory::Branch, DistFamily::Gaussian, 6.0e3, 0.25);
+    named("BR_INST_RETIRED.CONDITIONAL", "BRC",
+          "Conditional branch instructions retired",
+          EventCategory::Branch, DistFamily::Gaussian, 9.0e4, 0.12);
+    named("BR_INST_RETIRED.NOT_TAKEN", "BNT",
+          "Not-taken branch instructions retired",
+          EventCategory::Branch, DistFamily::Gaussian, 5.0e4, 0.12);
+    named("BACLEARS.ANY", "BAA",
+          "Front-end resteers due to branch address clears",
+          EventCategory::Frontend, DistFamily::LongTail, 1.2e3, 0.50);
+    named("OFFCORE_RESPONSE.ALL_READS.LLC_MISS.REMOTE_DRAM", "ORA",
+          "Reads served from remote DRAM",
+          EventCategory::Remote, DistFamily::LongTail, 8.0e2, 0.60);
+    named("OFFCORE_RESPONSE.ALL_RFO.LLC_MISS.REMOTE_HITM", "ORO",
+          "RFOs hitting modified lines in a remote cache",
+          EventCategory::Remote, DistFamily::LongTail, 3.0e2, 0.65);
+    named("MEM_LOAD_UOPS_L3_MISS_RETIRED.REMOTE_DRAM", "LRA",
+          "Retired load uops served from remote DRAM",
+          EventCategory::Remote, DistFamily::LongTail, 6.0e2, 0.60);
+    named("MEM_LOAD_UOPS_L3_MISS_RETIRED.REMOTE_HITM", "LRC",
+          "Retired load uops served from a remote dirty cache line",
+          EventCategory::Remote, DistFamily::LongTail, 2.5e2, 0.65);
+    named("MACHINE_CLEARS.MEMORY_ORDERING", "MMR",
+          "Machine clears due to memory-ordering conflicts",
+          EventCategory::Memory, DistFamily::LongTail, 1.5e2, 0.55);
+    named("MACHINE_CLEARS.COUNT", "MCO",
+          "All machine clears",
+          EventCategory::Other, DistFamily::LongTail, 1.8e2, 0.55);
+    named("MEM_LOAD_UOPS_RETIRED.L3_MISS", "MSL",
+          "Retired load uops missing the last-level cache",
+          EventCategory::Memory, DistFamily::LongTail, 2.0e3, 0.50);
+    named("MEM_UOPS_RETIRED.ALL_STORES", "MST",
+          "All retired store uops",
+          EventCategory::Memory, DistFamily::Gaussian, 3.0e5, 0.10);
+    named("MEM_UOPS_RETIRED.ALL_LOADS", "MUL",
+          "All retired load uops",
+          EventCategory::Memory, DistFamily::Gaussian, 6.0e5, 0.10);
+    named("MEM_UOPS_RETIRED.LOCK_LOADS", "MLL",
+          "Retired locked load uops",
+          EventCategory::Memory, DistFamily::LongTail, 4.0e2, 0.55);
+    named("MEM_LOAD_UOPS_RETIRED.L3_HIT", "LMH",
+          "Retired load uops hitting the last-level cache",
+          EventCategory::Memory, DistFamily::LongTail, 8.0e3, 0.40);
+    named("MEM_LOAD_UOPS_L3_HIT_RETIRED.XSNP_NONE", "LHN",
+          "L3-hit loads needing no cross-core snoop",
+          EventCategory::Memory, DistFamily::LongTail, 3.0e3, 0.45);
+    named("ITLB_MISSES.MISS_CAUSES_A_WALK", "ITM",
+          "ITLB misses causing a page walk",
+          EventCategory::Tlb, DistFamily::LongTail, 9.0e2, 0.50);
+    named("ITLB_MISSES.WALK_COMPLETED", "IMT",
+          "Completed ITLB page walks",
+          EventCategory::Tlb, DistFamily::LongTail, 7.0e2, 0.50);
+    named("TLB_FLUSH.STLB_ANY", "TFA",
+          "Second-level TLB flushes",
+          EventCategory::Tlb, DistFamily::LongTail, 6.0e1, 0.60);
+    named("DTLB_LOAD_MISSES.WALK_DURATION", "IPD",
+          "Cycles spent in DTLB load page walks",
+          EventCategory::Tlb, DistFamily::LongTail, 5.0e3, 0.45);
+    named("PAGE_WALKER_LOADS.DTLB_L3", "PI3",
+          "Page-walker loads served from L3",
+          EventCategory::Tlb, DistFamily::LongTail, 3.5e2, 0.55);
+    named("ICACHE.MISSES", "IMC",
+          "Instruction cache misses",
+          EventCategory::Frontend, DistFamily::LongTail, 4.0e3, 0.55);
+    named("ICACHE.IFETCH_STALL", "IM4",
+          "Cycles with an icache-miss fetch stall outstanding",
+          EventCategory::Frontend, DistFamily::Gaussian, 2.0e4, 0.30);
+    named("IDQ.MITE_UOPS", "MIE",
+          "Uops delivered via the legacy decode pipeline (MITE)",
+          EventCategory::Frontend, DistFamily::Gaussian, 4.0e5, 0.20);
+    named("IDQ.DSB_UOPS", "IDU",
+          "Uops delivered from the Decode Stream Buffer",
+          EventCategory::Frontend, DistFamily::Gaussian, 6.0e5, 0.70);
+    named("ILD_STALL.LCP", "ISL",
+          "Length-changing-prefix decode stalls",
+          EventCategory::Frontend, DistFamily::LongTail, 1.2e2, 0.55);
+    named("DSB2MITE_SWITCHES.PENALTY_CYCLES", "DSP",
+          "Penalty cycles of DSB-to-MITE switches",
+          EventCategory::Frontend, DistFamily::LongTail, 2.5e3, 0.45);
+    named("DSB_FILL.EXCEED_DSB_LINES", "DSH",
+          "DSB fills evicted for exceeding way capacity",
+          EventCategory::Frontend, DistFamily::LongTail, 6.0e2, 0.50);
+    named("UOPS_RETIRED.ALL", "URA",
+          "All retired uops",
+          EventCategory::Uops, DistFamily::Gaussian, 1.2e6, 0.08);
+    named("UOPS_RETIRED.RETIRE_SLOTS", "URS",
+          "Retirement slots used",
+          EventCategory::Uops, DistFamily::Gaussian, 1.1e6, 0.08);
+    named("CYCLE_ACTIVITY.CYCLES_L2_PENDING", "CAC",
+          "Cycles with an outstanding L2 miss",
+          EventCategory::Stall, DistFamily::Gaussian, 1.0e5, 0.25);
+    named("OTHER_ASSISTS.ANY_WB_ASSIST", "OTS",
+          "Microcode assists",
+          EventCategory::Other, DistFamily::LongTail, 4.0e1, 0.60);
+    named("OFFCORE_REQUESTS.DEMAND_RFO", "CRX",
+          "Demand RFO requests sent off-core",
+          EventCategory::Cache, DistFamily::LongTail, 5.0e3, 0.45);
+    named("IDQ_UOPS_NOT_DELIVERED.CYCLES_LE_4_UOPS", "I4U",
+          "Cycles with fewer than four uops delivered",
+          EventCategory::Frontend, DistFamily::Gaussian, 8.0e4, 0.20);
+    named("L2_RQSTS.DEMAND_DATA_RD_HIT", "L2H",
+          "L2 demand data-read hits",
+          EventCategory::Cache, DistFamily::LongTail, 2.0e4, 0.40);
+    named("L2_RQSTS.ALL_DEMAND_DATA_RD", "L2R",
+          "All L2 demand data reads",
+          EventCategory::Cache, DistFamily::LongTail, 3.0e4, 0.40);
+    named("L2_RQSTS.CODE_RD_HIT", "L2C",
+          "L2 code-read hits",
+          EventCategory::Cache, DistFamily::LongTail, 8.0e3, 0.40);
+    named("L2_RQSTS.ALL_CODE_RD", "L2A",
+          "All L2 code reads",
+          EventCategory::Cache, DistFamily::LongTail, 1.0e4, 0.40);
+    named("L2_RQSTS.DEMAND_DATA_RD_MISS", "L2M",
+          "L2 demand data-read misses",
+          EventCategory::Cache, DistFamily::LongTail, 6.0e3, 0.45);
+    named("L2_RQSTS.ALL_RFO", "L2S",
+          "All L2 RFO (store) requests",
+          EventCategory::Cache, DistFamily::LongTail, 7.0e3, 0.45);
+
+    // --- generated families to fill out the Haswell-E event list --------
+    family("UOPS_DISPATCHED_PORT",
+           {"PORT_0", "PORT_1", "PORT_2", "PORT_3", "PORT_4", "PORT_5",
+            "PORT_6", "PORT_7"},
+           EventCategory::Uops);
+    family("UOPS_EXECUTED",
+           {"CORE", "THREAD", "CYCLES_GE_1_UOP_EXEC",
+            "CYCLES_GE_2_UOPS_EXEC", "CYCLES_GE_3_UOPS_EXEC",
+            "CYCLES_GE_4_UOPS_EXEC", "STALL_CYCLES"},
+           EventCategory::Uops);
+    family("UOPS_ISSUED",
+           {"ANY", "FLAGS_MERGE", "SLOW_LEA", "SINGLE_MUL",
+            "STALL_CYCLES", "CORE_STALL_CYCLES"},
+           EventCategory::Uops);
+    family("UOPS_RETIRED",
+           {"TOTAL_CYCLES", "STALL_CYCLES", "CYCLES_GE_1_UOP",
+            "CYCLES_GE_2_UOPS"},
+           EventCategory::Uops);
+    family("IDQ",
+           {"EMPTY", "MITE_CYCLES", "DSB_CYCLES", "MS_UOPS", "MS_CYCLES",
+            "MS_DSB_UOPS", "MS_DSB_CYCLES", "MS_MITE_UOPS",
+            "ALL_DSB_CYCLES_ANY_UOPS", "ALL_DSB_CYCLES_4_UOPS",
+            "ALL_MITE_CYCLES_ANY_UOPS", "ALL_MITE_CYCLES_4_UOPS"},
+           EventCategory::Frontend);
+    family("IDQ_UOPS_NOT_DELIVERED",
+           {"CORE", "CYCLES_0_UOPS_DELIV_CORE", "CYCLES_FE_WAS_OK"},
+           EventCategory::Frontend);
+    family("ICACHE", {"HIT"}, EventCategory::Frontend);
+    family("DSB2MITE_SWITCHES", {"COUNT"}, EventCategory::Frontend);
+    family("ILD_STALL", {"IQ_FULL"}, EventCategory::Frontend);
+    family("LSD", {"UOPS", "CYCLES_ACTIVE", "CYCLES_4_UOPS"},
+           EventCategory::Frontend);
+    family("INST_RETIRED", {"PREC_DIST", "X87"}, EventCategory::Uops);
+    family("ARITH", {"DIVIDER_UOPS"}, EventCategory::Uops);
+    family("MOVE_ELIMINATION",
+           {"INT_ELIMINATED", "SIMD_ELIMINATED", "INT_NOT_ELIMINATED",
+            "SIMD_NOT_ELIMINATED"},
+           EventCategory::Uops);
+    family("FP_ASSIST",
+           {"ANY", "X87_OUTPUT", "X87_INPUT", "SIMD_OUTPUT", "SIMD_INPUT"},
+           EventCategory::Other);
+    family("L1D", {"REPLACEMENT"}, EventCategory::Cache);
+    family("L1D_PEND_MISS",
+           {"PENDING", "PENDING_CYCLES", "REQUEST_FB_FULL", "FB_FULL"},
+           EventCategory::Cache);
+    family("L2_TRANS",
+           {"DEMAND_DATA_RD", "RFO", "CODE_RD", "ALL_PF", "L1D_WB",
+            "L2_FILL", "L2_WB", "ALL_REQUESTS"},
+           EventCategory::Cache);
+    family("L2_LINES_IN", {"I", "S", "E", "ALL"}, EventCategory::Cache);
+    family("L2_LINES_OUT", {"DEMAND_CLEAN", "DEMAND_DIRTY"},
+           EventCategory::Cache);
+    family("L2_RQSTS",
+           {"RFO_HIT", "RFO_MISS", "CODE_RD_MISS", "L2_PF_HIT",
+            "L2_PF_MISS", "ALL_PF", "MISS", "REFERENCES"},
+           EventCategory::Cache);
+    family("LONGEST_LAT_CACHE", {"MISS", "REFERENCE"},
+           EventCategory::Cache);
+    family("OFFCORE_REQUESTS",
+           {"DEMAND_DATA_RD", "DEMAND_CODE_RD", "ALL_DATA_RD"},
+           EventCategory::Cache);
+    family("OFFCORE_REQUESTS_BUFFER", {"SQ_FULL"}, EventCategory::Cache);
+    family("OFFCORE_REQUESTS_OUTSTANDING",
+           {"DEMAND_DATA_RD", "DEMAND_RFO", "DEMAND_CODE_RD", "ALL_DATA_RD",
+            "CYCLES_WITH_DEMAND_DATA_RD", "CYCLES_WITH_DATA_RD"},
+           EventCategory::Cache);
+    family("OFFCORE_RESPONSE.DEMAND_DATA_RD",
+           {"LLC_HIT.ANY_RESPONSE", "LLC_MISS.LOCAL_DRAM",
+            "LLC_MISS.REMOTE_DRAM", "LLC_MISS.REMOTE_HITM",
+            "LLC_MISS.ANY_RESPONSE"},
+           EventCategory::Remote);
+    family("OFFCORE_RESPONSE.DEMAND_RFO",
+           {"LLC_HIT.ANY_RESPONSE", "LLC_MISS.LOCAL_DRAM",
+            "LLC_MISS.REMOTE_DRAM", "LLC_MISS.ANY_RESPONSE"},
+           EventCategory::Remote);
+    family("OFFCORE_RESPONSE.DEMAND_CODE_RD",
+           {"LLC_HIT.ANY_RESPONSE", "LLC_MISS.LOCAL_DRAM",
+            "LLC_MISS.REMOTE_DRAM", "LLC_MISS.ANY_RESPONSE"},
+           EventCategory::Remote);
+    family("OFFCORE_RESPONSE.ALL_READS",
+           {"LLC_HIT.ANY_RESPONSE", "LLC_MISS.LOCAL_DRAM",
+            "LLC_MISS.ANY_RESPONSE"},
+           EventCategory::Remote);
+    family("BR_INST_EXEC",
+           {"COND", "DIRECT_JMP", "INDIRECT_JMP_NON_CALL_RET",
+            "RETURN_NEAR", "DIRECT_NEAR_CALL", "INDIRECT_NEAR_CALL",
+            "TAKEN"},
+           EventCategory::Branch);
+    family("BR_MISP_EXEC",
+           {"COND", "INDIRECT_JMP_NON_CALL_RET", "RETURN_NEAR",
+            "INDIRECT_NEAR_CALL", "TAKEN"},
+           EventCategory::Branch);
+    family("BR_INST_RETIRED",
+           {"NEAR_CALL", "NEAR_RETURN", "NEAR_TAKEN", "FAR_BRANCH"},
+           EventCategory::Branch);
+    family("BR_MISP_RETIRED", {"CONDITIONAL", "NEAR_TAKEN"},
+           EventCategory::Branch);
+    family("MEM_LOAD_UOPS_RETIRED",
+           {"L1_HIT", "L2_HIT", "L1_MISS", "L2_MISS", "HIT_LFB"},
+           EventCategory::Memory);
+    family("MEM_LOAD_UOPS_L3_HIT_RETIRED",
+           {"XSNP_HIT", "XSNP_HITM", "XSNP_MISS"},
+           EventCategory::Memory);
+    family("MEM_UOPS_RETIRED",
+           {"STLB_MISS_LOADS", "STLB_MISS_STORES", "SPLIT_LOADS",
+            "SPLIT_STORES", "LOCK_STORES"},
+           EventCategory::Memory);
+    family("LD_BLOCKS", {"STORE_FORWARD", "NO_SR"},
+           EventCategory::Memory);
+    family("LD_BLOCKS_PARTIAL", {"ADDRESS_ALIAS"},
+           EventCategory::Memory);
+    family("MISALIGN_MEM_REF", {"LOADS", "STORES"},
+           EventCategory::Memory);
+    family("DTLB_LOAD_MISSES",
+           {"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "STLB_HIT",
+            "PDE_CACHE_MISS"},
+           EventCategory::Tlb);
+    family("DTLB_STORE_MISSES",
+           {"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "WALK_DURATION",
+            "STLB_HIT"},
+           EventCategory::Tlb);
+    family("PAGE_WALKER_LOADS",
+           {"DTLB_L1", "DTLB_L2", "DTLB_MEMORY", "ITLB_L1", "ITLB_L2",
+            "ITLB_L3", "ITLB_MEMORY"},
+           EventCategory::Tlb);
+    family("TLB_FLUSH", {"DTLB_THREAD"}, EventCategory::Tlb);
+    family("CYCLE_ACTIVITY",
+           {"STALLS_L1D_PENDING", "STALLS_L2_PENDING", "STALLS_LDM_PENDING",
+            "CYCLES_NO_EXECUTE", "CYCLES_L1D_PENDING",
+            "CYCLES_LDM_PENDING", "CYCLES_MEM_ANY"},
+           EventCategory::Stall);
+    family("RESOURCE_STALLS", {"ANY", "RS", "SB", "ROB"},
+           EventCategory::Stall);
+    family("RS_EVENTS", {"EMPTY_CYCLES", "EMPTY_END"},
+           EventCategory::Stall);
+    family("LOCK_CYCLES",
+           {"SPLIT_LOCK_UC_LOCK_DURATION", "CACHE_LOCK_DURATION"},
+           EventCategory::Stall);
+    family("MACHINE_CLEARS", {"SMC", "MASKMOV", "CYCLES"},
+           EventCategory::Other);
+
+    // Pad with uncore CBox lookups until the Haswell-E count is reached.
+    CM_ASSERT(events_.size() <= catalog_size);
+    std::size_t cbo = 0;
+    while (events_.size() < catalog_size) {
+        const CategoryDefaults d = defaultsFor(EventCategory::Cache);
+        EventInfo info;
+        info.name = util::format("UNC_CBO_%zu_CACHE_LOOKUP.ANY", cbo);
+        info.abbrev = util::format("E%03zu", events_.size());
+        info.description =
+            util::format("Uncore CBox %zu cache lookups", cbo);
+        info.category = EventCategory::Cache;
+        info.family = d.family;
+        info.baseRate = d.baseRate;
+        info.burstiness = d.burstiness;
+        add(std::move(info));
+        ++cbo;
+    }
+    CM_ASSERT(events_.size() == catalog_size);
+}
+
+const EventInfo &
+EventCatalog::info(EventId id) const
+{
+    CM_ASSERT(id < events_.size());
+    return events_[id];
+}
+
+std::optional<EventId>
+EventCatalog::findByName(const std::string &name) const
+{
+    for (EventId id = 0; id < events_.size(); ++id) {
+        if (events_[id].name == name)
+            return id;
+    }
+    return std::nullopt;
+}
+
+std::optional<EventId>
+EventCatalog::findByAbbrev(const std::string &abbrev) const
+{
+    for (EventId id = 0; id < events_.size(); ++id) {
+        if (events_[id].abbrev == abbrev)
+            return id;
+    }
+    return std::nullopt;
+}
+
+EventId
+EventCatalog::idOf(const std::string &name) const
+{
+    auto id = findByName(name);
+    if (!id)
+        util::fatal("pmu: unknown event name: " + name);
+    return *id;
+}
+
+EventId
+EventCatalog::idOfAbbrev(const std::string &abbrev) const
+{
+    auto id = findByAbbrev(abbrev);
+    if (!id)
+        util::fatal("pmu: unknown event abbreviation: " + abbrev);
+    return *id;
+}
+
+std::vector<EventId>
+EventCatalog::byCategory(EventCategory category) const
+{
+    std::vector<EventId> ids;
+    for (EventId id = 0; id < events_.size(); ++id) {
+        if (events_[id].category == category)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::vector<EventId>
+EventCatalog::programmableEvents() const
+{
+    std::vector<EventId> ids;
+    for (EventId id = 0; id < events_.size(); ++id) {
+        if (!events_[id].fixedCounter)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::size_t
+EventCatalog::countFamily(DistFamily family) const
+{
+    std::size_t count = 0;
+    for (const auto &e : events_) {
+        if (e.family == family)
+            ++count;
+    }
+    return count;
+}
+
+const EventCatalog &
+EventCatalog::instance()
+{
+    static const EventCatalog catalog;
+    return catalog;
+}
+
+} // namespace cminer::pmu

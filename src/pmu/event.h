@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The microarchitectural event catalog.
+ *
+ * The paper's testbed (Xeon E5-2630 v3, Haswell-E) exposes 229 measurable
+ * events; every abbreviation from the paper's Table III appears here with
+ * a plausible Haswell event name. The catalog also records, per event, the
+ * statistical family its values follow (the paper found ~100 Gaussian and
+ * 129 long-tailed/GEV events) and a burstiness level that drives the MLPX
+ * artifact model.
+ */
+
+#ifndef CMINER_PMU_EVENT_H
+#define CMINER_PMU_EVENT_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cminer::pmu {
+
+/** Index of an event within the catalog. */
+using EventId = std::size_t;
+
+/** Broad grouping used for base rates and reporting. */
+enum class EventCategory
+{
+    Fixed,     ///< fixed-counter events (cycles, retired instructions)
+    Frontend,  ///< icache, decode, DSB/MITE, instruction queue
+    Branch,    ///< branch execution / retirement / misprediction
+    Cache,     ///< L1/L2/LLC demand traffic
+    Tlb,       ///< ITLB, DTLB, STLB, page walks
+    Memory,    ///< load/store uops, memory stalls
+    Remote,    ///< remote DRAM / remote cache (NUMA) traffic
+    Uops,      ///< uop issue/execute/retire and ports
+    Stall,     ///< stall-cycle accounting
+    Other,     ///< assists, machine clears, miscellaneous
+};
+
+/** Value-distribution family of an event (paper Section III-B). */
+enum class DistFamily
+{
+    Gaussian,
+    LongTail, ///< GEV-like heavy right tail
+};
+
+/** Static description of one measurable event. */
+struct EventInfo
+{
+    std::string name;        ///< full vendor-style name ("ICACHE.MISSES")
+    std::string abbrev;      ///< short code used in the paper's figures
+    std::string description; ///< human-readable meaning
+    EventCategory category = EventCategory::Other;
+    DistFamily family = DistFamily::Gaussian;
+    /**
+     * Typical per-interval magnitude for the synthetic workload model
+     * (arbitrary units; what matters downstream is relative variation).
+     */
+    double baseRate = 1.0;
+    /**
+     * Within-interval burstiness in [0, 1]; high values concentrate the
+     * event's activity into few time quanta, which is what makes MLPX
+     * extrapolation produce outliers.
+     */
+    double burstiness = 0.2;
+    bool fixedCounter = false; ///< measurable only on a fixed counter
+};
+
+/** Human-readable category name. */
+std::string categoryName(EventCategory category);
+
+/**
+ * The full event catalog of the simulated processor.
+ *
+ * Singleton-by-value: construct once and share by reference. Contents are
+ * deterministic — no RNG involved — so EventIds are stable across runs.
+ */
+class EventCatalog
+{
+  public:
+    /** Build the full 229-event Haswell-E-like catalog. */
+    EventCatalog();
+
+    /** Number of events (229 for the default catalog). */
+    std::size_t size() const { return events_.size(); }
+
+    /** Event description by id. */
+    const EventInfo &info(EventId id) const;
+
+    /** Lookup by full name; empty when unknown. */
+    std::optional<EventId> findByName(const std::string &name) const;
+
+    /** Lookup by abbreviation; empty when unknown. */
+    std::optional<EventId> findByAbbrev(const std::string &abbrev) const;
+
+    /** Id for a full name; fatal when unknown. */
+    EventId idOf(const std::string &name) const;
+
+    /** Id for an abbreviation; fatal when unknown. */
+    EventId idOfAbbrev(const std::string &abbrev) const;
+
+    /** All ids in a category. */
+    std::vector<EventId> byCategory(EventCategory category) const;
+
+    /** Ids of all programmable (non-fixed) events. */
+    std::vector<EventId> programmableEvents() const;
+
+    /** Number of events following a given distribution family. */
+    std::size_t countFamily(DistFamily family) const;
+
+    /** Shared default catalog instance. */
+    static const EventCatalog &instance();
+
+  private:
+    void add(EventInfo info);
+
+    std::vector<EventInfo> events_;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_EVENT_H

@@ -1,0 +1,193 @@
+#include "pmu/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::pmu {
+
+using cminer::ts::TimeSeries;
+using cminer::util::Rng;
+
+namespace {
+
+/** Probability multiplier: burstiness -> chance of a concentrated
+ *  interval (all activity inside one scheduler quantum). */
+constexpr double burst_prob_scale = 0.26;
+
+/** Log-weight sigma of the smooth within-interval split. */
+constexpr double smooth_sigma_base = 0.02;
+constexpr double smooth_sigma_slope = 0.04;
+
+} // namespace
+
+Sampler::Sampler(const EventCatalog &catalog, PmuConfig config)
+    : catalog_(catalog), config_(config)
+{
+    CM_ASSERT(config_.programmableCounters >= 1);
+    CM_ASSERT(config_.rotationQuanta >= 1);
+    CM_ASSERT(config_.intervalMs > 0.0);
+}
+
+std::vector<double>
+Sampler::splitAcrossQuanta(double count, double level_ratio,
+                           double burstiness, std::size_t quanta,
+                           Rng &rng) const
+{
+    std::vector<double> split(quanta, 0.0);
+
+    // Bursty interval: the event fires inside a single scheduler quantum
+    // (think a code-phase transition or a batched flush). Bursts are
+    // activity-correlated — flushes and phase transitions happen while
+    // the event is hot — so the probability scales with how far the
+    // interval sits above the run's median level. If the burst quantum
+    // is not one the event's group owns, MLPX observes zero — the
+    // paper's missing value; if it is, duty-cycle extrapolation inflates
+    // the full count — the paper's outlier.
+    const double level_factor = std::clamp(level_ratio - 1.0, 0.0, 2.5);
+    const double burst_prob = std::min(
+        0.9, burst_prob_scale * burstiness * level_factor);
+    if (quanta > 1 && rng.bernoulli(burst_prob)) {
+        const std::size_t q = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(quanta) - 1));
+        split[q] = count;
+        return split;
+    }
+
+    // Smooth interval: activity spread over all quanta with mild
+    // lognormal weight noise (the residual duty-cycle sampling error
+    // that cleaning cannot remove).
+    const double sigma =
+        smooth_sigma_base + smooth_sigma_slope * burstiness;
+    double total = 0.0;
+    std::vector<double> weights(quanta);
+    for (auto &w : weights) {
+        w = std::exp(sigma * rng.gaussian());
+        total += w;
+    }
+    for (std::size_t q = 0; q < quanta; ++q)
+        split[q] = count * weights[q] / total;
+    return split;
+}
+
+std::vector<TimeSeries>
+Sampler::measureOcoe(const TrueTrace &trace,
+                     const std::vector<EventId> &events, Rng &rng) const
+{
+    CM_ASSERT(!events.empty());
+    std::vector<TimeSeries> out;
+    out.reserve(events.size());
+    for (EventId event : events) {
+        HardwareCounter counter(config_);
+        counter.program(event);
+        std::vector<double> values;
+        values.reserve(trace.intervalCount());
+        for (std::size_t t = 0; t < trace.intervalCount(); ++t) {
+            counter.accumulate(trace.count(event, t));
+            values.push_back(counter.readAndClear(rng));
+        }
+        out.emplace_back(catalog_.info(event).name, std::move(values),
+                         trace.intervalMs());
+    }
+    return out;
+}
+
+std::vector<TimeSeries>
+Sampler::measureMlpx(const TrueTrace &trace, const MlpxSchedule &schedule,
+                     Rng &rng) const
+{
+    const auto &events = schedule.events();
+    // The scheduler rotates fast enough to visit every group within a
+    // sampling interval when there are more groups than the configured
+    // quanta (Linux perf rotates on every timer tick, ~1 ms or faster).
+    const std::size_t quanta =
+        std::max(config_.rotationQuanta, schedule.groupCount());
+
+    std::vector<std::vector<double>> measured(
+        events.size(),
+        std::vector<double>(trace.intervalCount(), 0.0));
+
+    std::vector<HardwareCounter> counters(
+        events.size(), HardwareCounter(config_));
+    for (std::size_t i = 0; i < events.size(); ++i)
+        counters[i].program(events[i]);
+
+    // Per-event median level of the run, for the activity-correlated
+    // burst model.
+    std::vector<double> median_level(events.size(), 1.0);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        std::vector<double> sorted = trace.eventRow(events[i]);
+        std::sort(sorted.begin(), sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        median_level[i] = median > 0.0 ? median : 1.0;
+    }
+
+    for (std::size_t t = 0; t < trace.intervalCount(); ++t) {
+        // Which quanta of this interval each group owns.
+        std::vector<std::size_t> active_quanta(schedule.groupCount(), 0);
+        std::vector<std::size_t> quantum_group(quanta);
+        for (std::size_t q = 0; q < quanta; ++q) {
+            const std::size_t group = schedule.activeGroup(t * quanta + q);
+            quantum_group[q] = group;
+            ++active_quanta[group];
+        }
+
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const EventId event = events[i];
+            const double true_count = trace.count(event, t);
+            const std::size_t group = schedule.groupOf(i);
+            const std::size_t running = active_quanta[group];
+            if (running == 0) {
+                // Group never scheduled this interval: perf reports the
+                // sample as not counted; the stored value is zero — the
+                // paper's "missing value".
+                measured[i][t] = 0.0;
+                continue;
+            }
+            // Distribute the interval's activity over the quanta and
+            // accumulate only what happens while this group is live.
+            const auto split = splitAcrossQuanta(
+                true_count, true_count / median_level[i],
+                catalog_.info(event).burstiness, quanta, rng);
+            double observed = 0.0;
+            for (std::size_t q = 0; q < quanta; ++q) {
+                if (quantum_group[q] == group)
+                    observed += split[q];
+            }
+            counters[i].accumulate(observed);
+            const double read = counters[i].readAndClear(rng);
+            // Duty-cycle extrapolation (perf time_enabled/time_running).
+            const double scale = static_cast<double>(quanta) /
+                                 static_cast<double>(running);
+            measured[i][t] = read * scale;
+        }
+    }
+
+    std::vector<TimeSeries> out;
+    out.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        out.emplace_back(catalog_.info(events[i]).name,
+                         std::move(measured[i]), trace.intervalMs());
+    }
+    return out;
+}
+
+TimeSeries
+Sampler::measuredIpc(const TrueTrace &trace, Rng &rng) const
+{
+    // The fixed counters observe the truth up to read noise; IPC is their
+    // ratio. The trace carries true IPC directly, so apply read noise to
+    // it rather than reconstructing instruction counts.
+    std::vector<double> values;
+    values.reserve(trace.intervalCount());
+    for (std::size_t t = 0; t < trace.intervalCount(); ++t) {
+        const double noisy =
+            trace.ipc(t) *
+            std::max(0.0, 1.0 + rng.gaussian(0.0, config_.readNoise));
+        values.push_back(noisy);
+    }
+    return TimeSeries("IPC", std::move(values), trace.intervalMs());
+}
+
+} // namespace cminer::pmu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The PMU sampler: observes a ground-truth trace through the counter
+ * model, in OCOE or MLPX mode.
+ *
+ * This is where the paper's measurement-error mechanism lives. In MLPX
+ * mode, event groups rotate across scheduler quanta within each sampling
+ * interval; an event's observed count is extrapolated by its duty cycle
+ * (perf's time_enabled/time_running scaling). Two artifact types emerge
+ * naturally:
+ *  - outliers: a bursty event whose activity lands in its own scheduled
+ *    quantum gets its full count extrapolated upward by 1/duty;
+ *  - missing values: activity that falls entirely outside the event's
+ *    scheduled quanta is never seen, so the interval reports zero.
+ */
+
+#ifndef CMINER_PMU_SAMPLER_H
+#define CMINER_PMU_SAMPLER_H
+
+#include <vector>
+
+#include "pmu/counter.h"
+#include "pmu/event.h"
+#include "pmu/schedule.h"
+#include "pmu/trace.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace cminer::pmu {
+
+/**
+ * Observes TrueTraces through the simulated PMU.
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param catalog event catalog (lifetime must cover the sampler's)
+     * @param config PMU description
+     */
+    Sampler(const EventCatalog &catalog, PmuConfig config = {});
+
+    /** PMU description in use. */
+    const PmuConfig &config() const { return config_; }
+
+    /**
+     * OCOE measurement: each event gets a dedicated counter for the whole
+     * run — accurate up to read noise. The caller is responsible for
+     * respecting the physical counter limit across runs (see OcoePlan);
+     * this method measures whatever list it is given.
+     *
+     * @param trace ground truth
+     * @param events events to measure
+     * @param rng noise source
+     * @return one TimeSeries per event, in input order
+     */
+    std::vector<cminer::ts::TimeSeries>
+    measureOcoe(const TrueTrace &trace, const std::vector<EventId> &events,
+                cminer::util::Rng &rng) const;
+
+    /**
+     * MLPX measurement with duty-cycle extrapolation.
+     *
+     * @param trace ground truth
+     * @param schedule the multiplexing schedule (events + rotation)
+     * @param rng noise source
+     * @return one TimeSeries per scheduled event, in schedule order
+     */
+    std::vector<cminer::ts::TimeSeries>
+    measureMlpx(const TrueTrace &trace, const MlpxSchedule &schedule,
+                cminer::util::Rng &rng) const;
+
+    /**
+     * Per-interval IPC observed through the fixed counters
+     * (INST_RETIRED.ANY / CPU_CLK_UNHALTED.THREAD). Fixed counters are
+     * never multiplexed, so this is accurate in both modes.
+     */
+    cminer::ts::TimeSeries measuredIpc(const TrueTrace &trace,
+                                       cminer::util::Rng &rng) const;
+
+  private:
+    /**
+     * Split an interval's true count across rotation quanta with the
+     * event's burstiness (higher burstiness concentrates the activity
+     * into fewer quanta).
+     */
+    std::vector<double> splitAcrossQuanta(double count,
+                                          double level_ratio,
+                                          double burstiness,
+                                          std::size_t quanta,
+                                          cminer::util::Rng &rng) const;
+
+    const EventCatalog &catalog_;
+    PmuConfig config_;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_SAMPLER_H

@@ -1,0 +1,75 @@
+#include "pmu/schedule.h"
+
+#include "util/error.h"
+
+namespace cminer::pmu {
+
+MlpxSchedule::MlpxSchedule(std::vector<EventId> events, std::size_t counters,
+                           RotationPolicy policy)
+    : events_(std::move(events)), counters_(counters), policy_(policy)
+{
+    CM_ASSERT(!events_.empty());
+    CM_ASSERT(counters_ >= 1);
+    groupCount_ = (events_.size() + counters_ - 1) / counters_;
+}
+
+std::size_t
+MlpxSchedule::groupOf(std::size_t event_index) const
+{
+    CM_ASSERT(event_index < events_.size());
+    return event_index / counters_;
+}
+
+std::vector<std::size_t>
+MlpxSchedule::groupMembers(std::size_t group) const
+{
+    CM_ASSERT(group < groupCount_);
+    std::vector<std::size_t> members;
+    const std::size_t first = group * counters_;
+    const std::size_t last = std::min(first + counters_, events_.size());
+    for (std::size_t i = first; i < last; ++i)
+        members.push_back(i);
+    return members;
+}
+
+std::size_t
+MlpxSchedule::activeGroup(std::size_t quantum) const
+{
+    switch (policy_) {
+      case RotationPolicy::RoundRobin:
+        return quantum % groupCount_;
+      case RotationPolicy::Strided:
+        // Stride-2 walk over the group ring; covers every group when the
+        // count is odd, degenerates to half coverage when even — which is
+        // exactly the pathology the ablation bench demonstrates.
+        return (quantum * 2) % groupCount_;
+    }
+    CM_PANIC("unhandled rotation policy");
+}
+
+double
+MlpxSchedule::dutyCycle() const
+{
+    return 1.0 / static_cast<double>(groupCount_);
+}
+
+OcoePlan::OcoePlan(std::vector<EventId> events, std::size_t counters)
+{
+    CM_ASSERT(!events.empty());
+    CM_ASSERT(counters >= 1);
+    for (std::size_t first = 0; first < events.size(); first += counters) {
+        const std::size_t last =
+            std::min(first + counters, events.size());
+        runs_.emplace_back(events.begin() + static_cast<long>(first),
+                           events.begin() + static_cast<long>(last));
+    }
+}
+
+const std::vector<EventId> &
+OcoePlan::run(std::size_t index) const
+{
+    CM_ASSERT(index < runs_.size());
+    return runs_[index];
+}
+
+} // namespace cminer::pmu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Event-to-counter scheduling for OCOE and MLPX measurement.
+ *
+ * MLPX follows the Linux perf default: events are packed into groups of
+ * at most `counters` events, and groups rotate round-robin on every
+ * scheduler quantum. OCOE instead plans one *run* per group, dedicating a
+ * counter to each event for the whole execution (accurate but needing
+ * ceil(E/C) runs).
+ */
+
+#ifndef CMINER_PMU_SCHEDULE_H
+#define CMINER_PMU_SCHEDULE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "pmu/event.h"
+
+namespace cminer::pmu {
+
+/** Group rotation policy for MLPX. */
+enum class RotationPolicy
+{
+    RoundRobin, ///< perf default: groups rotate in a fixed cycle
+    Strided,    ///< deterministic stride-2 rotation (ablation baseline)
+};
+
+/**
+ * A multiplexing schedule: which events share which counters and which
+ * group is live during a given scheduler quantum.
+ */
+class MlpxSchedule
+{
+  public:
+    /**
+     * @param events the events to measure, in priority order
+     * @param counters number of programmable counters available
+     * @param policy group rotation policy
+     */
+    MlpxSchedule(std::vector<EventId> events, std::size_t counters,
+                 RotationPolicy policy = RotationPolicy::RoundRobin);
+
+    /** Events being measured. */
+    const std::vector<EventId> &events() const { return events_; }
+
+    /** Number of counter-sized groups. */
+    std::size_t groupCount() const { return groupCount_; }
+
+    /** Group an event (by position in events()) belongs to. */
+    std::size_t groupOf(std::size_t event_index) const;
+
+    /** Members of one group, as positions into events(). */
+    std::vector<std::size_t> groupMembers(std::size_t group) const;
+
+    /** The group scheduled onto the counters during a global quantum. */
+    std::size_t activeGroup(std::size_t quantum) const;
+
+    /**
+     * Fraction of time an event is scheduled (its duty cycle),
+     * 1/groupCount for the rotation policies implemented here.
+     */
+    double dutyCycle() const;
+
+  private:
+    std::vector<EventId> events_;
+    std::size_t counters_;
+    std::size_t groupCount_;
+    RotationPolicy policy_;
+};
+
+/**
+ * An OCOE measurement plan: the runs needed to cover all events with a
+ * dedicated counter each.
+ */
+class OcoePlan
+{
+  public:
+    /**
+     * @param events events to cover
+     * @param counters programmable counters per run
+     */
+    OcoePlan(std::vector<EventId> events, std::size_t counters);
+
+    /** Number of runs required (ceil(E / C)). */
+    std::size_t runCount() const { return runs_.size(); }
+
+    /** Events measured in the given run. */
+    const std::vector<EventId> &run(std::size_t index) const;
+
+  private:
+    std::vector<std::vector<EventId>> runs_;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_SCHEDULE_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Anderson-Darling goodness-of-fit test.
+ *
+ * The paper's cleaner uses scipy.stats.anderson to classify each event's
+ * value distribution (Section III-B): Gaussian vs long tail. We implement
+ * the same test: the A^2 statistic against a fitted Normal (case 3 — both
+ * parameters estimated) with Stephens' small-sample correction and
+ * critical values, plus a generic A^2 against any supplied distribution so
+ * GEV / Gumbel / Logistic candidates can be compared.
+ */
+
+#ifndef CMINER_STATS_ANDERSON_DARLING_H
+#define CMINER_STATS_ANDERSON_DARLING_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace cminer::stats {
+
+/** Result of an Anderson-Darling normality test. */
+struct AndersonDarlingResult
+{
+    double statistic = 0.0;       ///< corrected A^2 (A*^2)
+    double rawStatistic = 0.0;    ///< uncorrected A^2
+    /// Stephens' critical values at 15%, 10%, 5%, 2.5%, 1% significance.
+    std::vector<double> criticalValues;
+    std::vector<double> significanceLevels;
+
+    /** True when normality is NOT rejected at the given significance. */
+    bool acceptsNormalityAt(double significance_percent) const;
+};
+
+/**
+ * Anderson-Darling test for normality with estimated mean/stddev.
+ *
+ * @param values sample, size >= 8 recommended
+ * @return statistic plus critical values, scipy-compatible
+ */
+AndersonDarlingResult andersonDarlingNormal(std::span<const double> values);
+
+/**
+ * Raw A^2 statistic of a sample against an arbitrary fitted distribution.
+ *
+ * No finite-sample correction is applied; use only to *compare* candidate
+ * families on the same sample (lower is a better fit).
+ */
+double andersonDarlingStatistic(std::span<const double> values,
+                                const Distribution &dist);
+
+/** Which family fit a sample best (see fitBestDistribution). */
+struct DistributionFitReport
+{
+    std::string bestFamily;  ///< "normal", "gev", "gumbel", or "logistic"
+    double bestStatistic = 0.0;
+    bool isGaussian = false; ///< normality not rejected at 5%
+};
+
+/**
+ * Reproduce the paper's distribution triage: test normality first; when
+ * rejected, compare long-tail candidates (GEV, Gumbel, Logistic) by A^2.
+ */
+DistributionFitReport fitBestDistribution(std::span<const double> values);
+
+} // namespace cminer::stats
+
+#endif // CMINER_STATS_ANDERSON_DARLING_H

@@ -1,0 +1,254 @@
+#include "stats/distribution.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+#include "stats/lmoments.h"
+#include "util/error.h"
+
+namespace cminer::stats {
+
+namespace {
+
+constexpr double euler_gamma = 0.57721566490153286;
+
+} // namespace
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double
+normalQuantile(double q)
+{
+    CM_ASSERT(q > 0.0 && q < 1.0);
+    // Acklam's rational approximation, |relative error| < 1.15e-9.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+    double x;
+    if (q < p_low) {
+        const double r = std::sqrt(-2.0 * std::log(q));
+        x = (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+             c[5]) /
+            ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+    } else if (q <= p_high) {
+        const double r = q - 0.5;
+        const double s = r * r;
+        x = (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s +
+             a[5]) *
+            r /
+            (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s +
+             1.0);
+    } else {
+        const double r = std::sqrt(-2.0 * std::log(1.0 - q));
+        x = -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+              c[5]) /
+            ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+    }
+    return x;
+}
+
+// --- Normal ---------------------------------------------------------------
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev)
+{
+    CM_ASSERT(stddev > 0.0);
+}
+
+double
+NormalDistribution::pdf(double x) const
+{
+    const double z = (x - mean_) / stddev_;
+    return std::exp(-0.5 * z * z) /
+           (stddev_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double
+NormalDistribution::cdf(double x) const
+{
+    return normalCdf((x - mean_) / stddev_);
+}
+
+double
+NormalDistribution::quantile(double q) const
+{
+    return mean_ + stddev_ * normalQuantile(q);
+}
+
+NormalDistribution
+NormalDistribution::fit(std::span<const double> values)
+{
+    const double mu = stats::mean(values);
+    double sigma = stats::stddev(values);
+    if (sigma <= 0.0)
+        sigma = 1e-12; // degenerate sample; keep the object usable
+    return NormalDistribution(mu, sigma);
+}
+
+// --- Gumbel ---------------------------------------------------------------
+
+GumbelDistribution::GumbelDistribution(double location, double scale)
+    : location_(location), scale_(scale)
+{
+    CM_ASSERT(scale > 0.0);
+}
+
+double
+GumbelDistribution::pdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    return std::exp(-z - std::exp(-z)) / scale_;
+}
+
+double
+GumbelDistribution::cdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    return std::exp(-std::exp(-z));
+}
+
+double
+GumbelDistribution::quantile(double q) const
+{
+    CM_ASSERT(q > 0.0 && q < 1.0);
+    return location_ - scale_ * std::log(-std::log(q));
+}
+
+GumbelDistribution
+GumbelDistribution::fit(std::span<const double> values)
+{
+    const double sigma = stddev(values);
+    double beta = sigma * std::sqrt(6.0) / std::numbers::pi;
+    if (beta <= 0.0)
+        beta = 1e-12;
+    const double mu = mean(values) - euler_gamma * beta;
+    return GumbelDistribution(mu, beta);
+}
+
+// --- GEV ------------------------------------------------------------------
+
+GevDistribution::GevDistribution(double location, double scale, double shape)
+    : location_(location), scale_(scale), shape_(shape)
+{
+    CM_ASSERT(scale > 0.0);
+}
+
+double
+GevDistribution::pdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    if (std::abs(shape_) < 1e-12) {
+        const double t = std::exp(-z);
+        return t * std::exp(-t) / scale_;
+    }
+    const double base = 1.0 + shape_ * z;
+    if (base <= 0.0)
+        return 0.0; // outside the support
+    const double t = std::pow(base, -1.0 / shape_);
+    return std::pow(base, -1.0 / shape_ - 1.0) * std::exp(-t) / scale_;
+}
+
+double
+GevDistribution::cdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    if (std::abs(shape_) < 1e-12)
+        return std::exp(-std::exp(-z));
+    const double base = 1.0 + shape_ * z;
+    if (base <= 0.0)
+        return shape_ > 0.0 ? 0.0 : 1.0;
+    return std::exp(-std::pow(base, -1.0 / shape_));
+}
+
+double
+GevDistribution::quantile(double q) const
+{
+    CM_ASSERT(q > 0.0 && q < 1.0);
+    if (std::abs(shape_) < 1e-12)
+        return location_ - scale_ * std::log(-std::log(q));
+    return location_ +
+           scale_ * (std::pow(-std::log(q), -shape_) - 1.0) / shape_;
+}
+
+GevDistribution
+GevDistribution::fit(std::span<const double> values)
+{
+    const LMoments lm = sampleLMoments(values);
+
+    // Hosking's L-moment estimator. Hosking's kappa equals -xi in the
+    // parameterization used here (xi > 0 <=> heavy right tail).
+    const double t3 = lm.t3;
+    const double c = 2.0 / (3.0 + t3) - std::log(2.0) / std::log(3.0);
+    double kappa = 7.8590 * c + 2.9554 * c * c;
+    // Clamp to the region where the moment expressions are well behaved.
+    kappa = std::max(-0.99, std::min(0.99, kappa));
+    if (std::abs(kappa) < 1e-6)
+        kappa = kappa >= 0.0 ? 1e-6 : -1e-6;
+
+    const double gamma1k = std::tgamma(1.0 + kappa);
+    double sigma =
+        lm.l2 * kappa / ((1.0 - std::pow(2.0, -kappa)) * gamma1k);
+    if (sigma <= 0.0)
+        sigma = 1e-12;
+    const double mu = lm.l1 - sigma * (1.0 - gamma1k) / kappa;
+
+    return GevDistribution(mu, sigma, -kappa);
+}
+
+// --- Logistic ---------------------------------------------------------------
+
+LogisticDistribution::LogisticDistribution(double location, double scale)
+    : location_(location), scale_(scale)
+{
+    CM_ASSERT(scale > 0.0);
+}
+
+double
+LogisticDistribution::pdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    const double e = std::exp(-std::abs(z));
+    const double denom = (1.0 + e) * (1.0 + e);
+    return e / (scale_ * denom);
+}
+
+double
+LogisticDistribution::cdf(double x) const
+{
+    const double z = (x - location_) / scale_;
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+double
+LogisticDistribution::quantile(double q) const
+{
+    CM_ASSERT(q > 0.0 && q < 1.0);
+    return location_ + scale_ * std::log(q / (1.0 - q));
+}
+
+LogisticDistribution
+LogisticDistribution::fit(std::span<const double> values)
+{
+    double s = stddev(values) * std::numbers::sqrt3 / std::numbers::pi;
+    if (s <= 0.0)
+        s = 1e-12;
+    return LogisticDistribution(mean(values), s);
+}
+
+} // namespace cminer::stats

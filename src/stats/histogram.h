@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Equi-width histogram with the paper's square-root binning rule.
+ *
+ * Eq. 7 of the paper sets the interval length for outlier replacement to
+ *   L = (max - min) / roundup(sqrt(count))
+ * and replaces an outlier with the median of the interval it falls into.
+ */
+
+#ifndef CMINER_STATS_HISTOGRAM_H
+#define CMINER_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cminer::stats {
+
+/**
+ * Fixed-width histogram over a sample, with per-bin medians.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Build a histogram using the square-root choice of bin count
+     * (Eq. 7).
+     *
+     * @param values the sample; must be non-empty
+     */
+    explicit Histogram(std::span<const double> values);
+
+    /**
+     * Build with an explicit bin count (>= 1).
+     */
+    Histogram(std::span<const double> values, std::size_t bin_count);
+
+    /** Number of bins. */
+    std::size_t binCount() const { return counts_.size(); }
+
+    /** Width of each bin (the paper's L). */
+    double binWidth() const { return width_; }
+
+    /** Bin index a value falls into (clamped to the edge bins). */
+    std::size_t binIndex(double value) const;
+
+    /** Number of sample values in a bin. */
+    std::size_t count(std::size_t bin) const;
+
+    /**
+     * Median of the sample values inside the bin containing `value`.
+     *
+     * When that bin is empty (possible for injected out-of-range
+     * outliers), falls back to the nearest non-empty bin's median, and
+     * ultimately the global median. This is the replacement value the
+     * cleaner uses for outliers.
+     */
+    double intervalMedian(double value) const;
+
+    /** Lower edge of the histogram. */
+    double low() const { return low_; }
+
+    /** Upper edge of the histogram. */
+    double high() const { return high_; }
+
+  private:
+    void build(std::span<const double> values, std::size_t bin_count);
+
+    double low_ = 0.0;
+    double high_ = 0.0;
+    double width_ = 0.0;
+    std::vector<std::size_t> counts_;
+    std::vector<double> medians_;   ///< median per bin; NaN when empty
+    double globalMedian_ = 0.0;
+};
+
+} // namespace cminer::stats
+
+#endif // CMINER_STATS_HISTOGRAM_H

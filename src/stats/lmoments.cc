@@ -1,0 +1,42 @@
+#include "stats/lmoments.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cminer::stats {
+
+LMoments
+sampleLMoments(std::span<const double> values)
+{
+    const std::size_t n = values.size();
+    CM_ASSERT(n >= 3);
+
+    std::vector<double> x(values.begin(), values.end());
+    std::sort(x.begin(), x.end());
+
+    // Probability-weighted moments b0, b1, b2 (unbiased estimators).
+    double b0 = 0.0;
+    double b1 = 0.0;
+    double b2 = 0.0;
+    const double dn = static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double di = static_cast<double>(i); // 0-based rank
+        b0 += x[i];
+        b1 += x[i] * di / (dn - 1.0);
+        b2 += x[i] * di * (di - 1.0) / ((dn - 1.0) * (dn - 2.0));
+    }
+    b0 /= dn;
+    b1 /= dn;
+    b2 /= dn;
+
+    LMoments lm;
+    lm.l1 = b0;
+    lm.l2 = 2.0 * b1 - b0;
+    lm.l3 = 6.0 * b2 - 6.0 * b1 + b0;
+    lm.t3 = lm.l2 != 0.0 ? lm.l3 / lm.l2 : 0.0;
+    return lm;
+}
+
+} // namespace cminer::stats

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Sample L-moments (Hosking 1990), used to fit GEV parameters.
+ *
+ * L-moments are linear combinations of order statistics; unlike ordinary
+ * moments they exist whenever the mean exists and are far less sensitive
+ * to the extreme observations that the long-tailed counter events produce.
+ */
+
+#ifndef CMINER_STATS_LMOMENTS_H
+#define CMINER_STATS_LMOMENTS_H
+
+#include <span>
+
+namespace cminer::stats {
+
+/** The first three sample L-moments plus the L-skewness ratio. */
+struct LMoments
+{
+    double l1 = 0.0; ///< L-location (equals the mean)
+    double l2 = 0.0; ///< L-scale
+    double l3 = 0.0; ///< third L-moment
+    double t3 = 0.0; ///< L-skewness, l3 / l2
+};
+
+/**
+ * Compute unbiased sample L-moments.
+ *
+ * @param values the sample; need not be sorted. Requires size >= 3.
+ */
+LMoments sampleLMoments(std::span<const double> values);
+
+} // namespace cminer::stats
+
+#endif // CMINER_STATS_LMOMENTS_H

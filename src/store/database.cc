@@ -1,0 +1,316 @@
+#include "store/database.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::store {
+
+using cminer::ts::TimeSeries;
+
+namespace {
+
+Schema
+catalogSchema()
+{
+    return Schema({{"run_id", ColumnType::Integer},
+                   {"program", ColumnType::Text},
+                   {"suite", ColumnType::Text},
+                   {"mode", ColumnType::Text},
+                   {"exec_time_ms", ColumnType::Real},
+                   {"events", ColumnType::Text},
+                   {"series_table", ColumnType::Text}});
+}
+
+// --- tiny binary I/O helpers -----------------------------------------------
+
+void
+writeU64(std::ostream &out, std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeF64(std::ostream &out, double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writeU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        util::fatal("store: truncated database file");
+    return v;
+}
+
+double
+readF64(std::istream &in)
+{
+    double v = 0.0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        util::fatal("store: truncated database file");
+    return v;
+}
+
+std::string
+readString(std::istream &in)
+{
+    const std::uint64_t size = readU64(in);
+    if (size > (1ULL << 32))
+        util::fatal("store: corrupt string length in database file");
+    std::string s(size, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    if (!in)
+        util::fatal("store: truncated database file");
+    return s;
+}
+
+constexpr char db_magic[4] = {'C', 'M', 'D', 'B'};
+constexpr std::uint64_t db_version = 1;
+
+} // namespace
+
+Database::Database(std::string microarch)
+    : microarch_(std::move(microarch)),
+      catalog_("runs", catalogSchema())
+{
+}
+
+RunId
+Database::addRun(const std::string &program, const std::string &suite,
+                 const std::string &mode, double exec_time_ms,
+                 const std::vector<TimeSeries> &series)
+{
+    if (series.empty())
+        util::fatal("store: addRun requires at least one series");
+    const std::size_t length = series.front().size();
+    for (const auto &s : series) {
+        if (s.size() != length)
+            util::fatal("store: series length mismatch within a run");
+    }
+
+    const RunId id = nextId_++;
+    RunMetadata meta;
+    meta.id = id;
+    meta.program = program;
+    meta.suite = suite;
+    meta.mode = mode;
+    meta.execTimeMs = exec_time_ms;
+    meta.seriesTable = "run_" + std::to_string(id);
+    for (const auto &s : series)
+        meta.events.push_back(s.eventName());
+
+    // Level-2 table: interval index plus one REAL column per event.
+    std::vector<ColumnSpec> columns;
+    columns.push_back({"interval", ColumnType::Integer});
+    for (const auto &s : series)
+        columns.push_back({s.eventName(), ColumnType::Real});
+    Table table(meta.seriesTable, Schema(std::move(columns)));
+    for (std::size_t i = 0; i < length; ++i) {
+        Row row;
+        row.reserve(series.size() + 1);
+        row.emplace_back(static_cast<std::int64_t>(i));
+        for (const auto &s : series)
+            row.emplace_back(s.at(i));
+        table.insert(std::move(row));
+    }
+
+    intervalMs_[id] = series.front().intervalMs();
+    seriesTables_.emplace(id, std::move(table));
+    runs_.emplace(id, std::move(meta));
+
+    const RunMetadata &stored = runs_.at(id);
+    catalog_.insert({id, stored.program, stored.suite, stored.mode,
+                     stored.execTimeMs,
+                     util::join(stored.events, ";"),
+                     stored.seriesTable});
+    return id;
+}
+
+const RunMetadata &
+Database::runInfo(RunId id) const
+{
+    auto it = runs_.find(id);
+    if (it == runs_.end())
+        util::fatal("store: unknown run id " + std::to_string(id));
+    return it->second;
+}
+
+std::vector<RunId>
+Database::findRuns(const std::string &program, const std::string &mode) const
+{
+    std::vector<RunId> ids;
+    for (const auto &[id, meta] : runs_) {
+        if (meta.program != program)
+            continue;
+        if (!mode.empty() && meta.mode != mode)
+            continue;
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+std::vector<std::string>
+Database::programs() const
+{
+    std::set<std::string> names;
+    for (const auto &[id, meta] : runs_)
+        names.insert(meta.program);
+    return {names.begin(), names.end()};
+}
+
+TimeSeries
+Database::series(RunId id, const std::string &event) const
+{
+    const Table &table = seriesTable(id);
+    if (!table.schema().hasColumn(event))
+        util::fatal("store: run " + std::to_string(id) +
+                    " has no event " + event);
+    auto it = intervalMs_.find(id);
+    CM_ASSERT(it != intervalMs_.end());
+    return TimeSeries(event, table.numericColumn(event), it->second);
+}
+
+std::vector<TimeSeries>
+Database::allSeries(RunId id) const
+{
+    const RunMetadata &meta = runInfo(id);
+    std::vector<TimeSeries> out;
+    out.reserve(meta.events.size());
+    for (const auto &event : meta.events)
+        out.push_back(series(id, event));
+    return out;
+}
+
+const Table &
+Database::seriesTable(RunId id) const
+{
+    auto it = seriesTables_.find(id);
+    if (it == seriesTables_.end())
+        util::fatal("store: unknown run id " + std::to_string(id));
+    return it->second;
+}
+
+void
+Database::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("store: cannot open for writing: " + path);
+
+    out.write(db_magic, sizeof(db_magic));
+    writeU64(out, db_version);
+    writeString(out, microarch_);
+    writeU64(out, runs_.size());
+    for (const auto &[id, meta] : runs_) {
+        writeU64(out, static_cast<std::uint64_t>(id));
+        writeString(out, meta.program);
+        writeString(out, meta.suite);
+        writeString(out, meta.mode);
+        writeF64(out, meta.execTimeMs);
+        writeF64(out, intervalMs_.at(id));
+        writeU64(out, meta.events.size());
+        const Table &table = seriesTables_.at(id);
+        writeU64(out, table.rowCount());
+        for (const auto &event : meta.events) {
+            writeString(out, event);
+            const auto values = table.numericColumn(event);
+            for (double v : values)
+                writeF64(out, v);
+        }
+    }
+    if (!out)
+        util::fatal("store: write failed: " + path);
+}
+
+Database
+Database::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        util::fatal("store: cannot open for reading: " + path);
+
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, db_magic, sizeof(db_magic)) != 0)
+        util::fatal("store: not a CounterMiner database: " + path);
+    const std::uint64_t version = readU64(in);
+    if (version != db_version)
+        util::fatal("store: unsupported database version in " + path);
+
+    Database db(readString(in));
+    const std::uint64_t run_count = readU64(in);
+    for (std::uint64_t r = 0; r < run_count; ++r) {
+        readU64(in); // original id; ids are reassigned densely on load
+        const std::string program = readString(in);
+        const std::string suite = readString(in);
+        const std::string mode = readString(in);
+        const double exec_time_ms = readF64(in);
+        const double interval_ms = readF64(in);
+        const std::uint64_t event_count = readU64(in);
+        const std::uint64_t length = readU64(in);
+        std::vector<TimeSeries> series;
+        series.reserve(event_count);
+        for (std::uint64_t e = 0; e < event_count; ++e) {
+            const std::string event = readString(in);
+            std::vector<double> values(length);
+            for (auto &v : values)
+                v = readF64(in);
+            series.emplace_back(event, std::move(values), interval_ms);
+        }
+        db.addRun(program, suite, mode, exec_time_ms, series);
+    }
+    return db;
+}
+
+void
+Database::exportCsv(const std::string &directory) const
+{
+    std::filesystem::create_directories(directory);
+
+    util::CsvWriter catalog_csv(directory + "/catalog.csv");
+    std::vector<std::string> header;
+    for (const auto &col : catalog_.schema().columns())
+        header.push_back(col.name);
+    catalog_csv.writeRow(header);
+    for (std::size_t r = 0; r < catalog_.rowCount(); ++r) {
+        std::vector<std::string> fields;
+        for (const auto &cell : catalog_.row(r))
+            fields.push_back(toString(cell));
+        catalog_csv.writeRow(fields);
+    }
+    catalog_csv.close();
+
+    for (const auto &[id, table] : seriesTables_) {
+        util::CsvWriter run_csv(directory + "/" + table.name() + ".csv");
+        std::vector<std::string> run_header;
+        for (const auto &col : table.schema().columns())
+            run_header.push_back(col.name);
+        run_csv.writeRow(run_header);
+        for (std::size_t r = 0; r < table.rowCount(); ++r) {
+            std::vector<std::string> fields;
+            for (const auto &cell : table.row(r))
+                fields.push_back(toString(cell));
+            run_csv.writeRow(fields);
+        }
+        run_csv.close();
+    }
+}
+
+} // namespace cminer::store

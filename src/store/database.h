@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The two-level performance database (Section III-A of the paper).
+ *
+ * Level 1 is a catalog table holding, per run: the program name, suite,
+ * sampling mode, execution time, the measured event names, and the name
+ * of the level-2 table. Level 2 holds one table per run with the sampled
+ * time series (one REAL column per event, one row per interval).
+ *
+ * The paper uses SQLite for this; we provide an embedded from-scratch
+ * equivalent with binary persistence and CSV export. Per the paper, the
+ * catalog is tied to one microarchitecture: loading a database recorded
+ * on a different microarchitecture re-initializes the tables.
+ */
+
+#ifndef CMINER_STORE_DATABASE_H
+#define CMINER_STORE_DATABASE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/table.h"
+#include "ts/time_series.h"
+
+namespace cminer::store {
+
+/** Identifier of one recorded program run. */
+using RunId = std::int64_t;
+
+/** Catalog entry describing one run. */
+struct RunMetadata
+{
+    RunId id = -1;
+    std::string program;       ///< benchmark name, e.g. "wordcount"
+    std::string suite;         ///< "hibench" or "cloudsuite"
+    std::string mode;          ///< "ocoe" or "mlpx"
+    double execTimeMs = 0.0;   ///< run wall-clock time
+    std::vector<std::string> events; ///< measured event names
+    std::string seriesTable;   ///< name of the level-2 table
+};
+
+/**
+ * The performance database: catalog plus per-run series tables.
+ */
+class Database
+{
+  public:
+    /** @param microarch the microarchitecture this database describes */
+    explicit Database(std::string microarch = "haswell-e");
+
+    /** Microarchitecture tag. */
+    const std::string &microarch() const { return microarch_; }
+
+    /**
+     * Record one run: catalog entry plus a level-2 series table.
+     *
+     * All series must have the same length (one value per interval).
+     *
+     * @param program benchmark name
+     * @param suite benchmark suite name
+     * @param mode "ocoe" or "mlpx"
+     * @param exec_time_ms run duration
+     * @param series one TimeSeries per measured event
+     * @return the new run's id
+     */
+    RunId addRun(const std::string &program, const std::string &suite,
+                 const std::string &mode, double exec_time_ms,
+                 const std::vector<cminer::ts::TimeSeries> &series);
+
+    /** Number of recorded runs. */
+    std::size_t runCount() const { return runs_.size(); }
+
+    /** Metadata for a run; fatal for unknown ids. */
+    const RunMetadata &runInfo(RunId id) const;
+
+    /** Ids of runs matching program (and optionally mode). */
+    std::vector<RunId> findRuns(const std::string &program,
+                                const std::string &mode = "") const;
+
+    /** All distinct program names in the catalog. */
+    std::vector<std::string> programs() const;
+
+    /** One event's series from one run; fatal when absent. */
+    cminer::ts::TimeSeries series(RunId id,
+                                  const std::string &event) const;
+
+    /** All series of a run, in catalog event order. */
+    std::vector<cminer::ts::TimeSeries> allSeries(RunId id) const;
+
+    /** Direct access to the level-1 catalog table (read-only). */
+    const Table &catalog() const { return catalog_; }
+
+    /** Direct access to a run's level-2 table (read-only). */
+    const Table &seriesTable(RunId id) const;
+
+    /**
+     * Persist to a single binary file.
+     * @throws util::FatalError on I/O failure
+     */
+    void save(const std::string &path) const;
+
+    /**
+     * Load from a binary file written by save().
+     * @throws util::FatalError on I/O failure or format mismatch
+     */
+    static Database load(const std::string &path);
+
+    /**
+     * Export the catalog and every run table as CSV files into a
+     * directory (catalog.csv + run_<id>.csv).
+     */
+    void exportCsv(const std::string &directory) const;
+
+  private:
+    std::string microarch_;
+    RunId nextId_ = 0;
+    std::map<RunId, RunMetadata> runs_;
+    std::map<RunId, Table> seriesTables_;
+    std::map<RunId, double> intervalMs_;
+    Table catalog_;
+};
+
+} // namespace cminer::store
+
+#endif // CMINER_STORE_DATABASE_H

@@ -1,0 +1,129 @@
+#include "store/table.h"
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cminer::store {
+
+Schema::Schema(std::vector<ColumnSpec> columns)
+    : columns_(std::move(columns))
+{
+    std::unordered_set<std::string> seen;
+    for (const auto &col : columns_) {
+        if (col.name.empty())
+            util::fatal("store: empty column name in schema");
+        if (!seen.insert(col.name).second)
+            util::fatal("store: duplicate column name: " + col.name);
+    }
+}
+
+const ColumnSpec &
+Schema::column(std::size_t index) const
+{
+    CM_ASSERT(index < columns_.size());
+    return columns_[index];
+}
+
+std::size_t
+Schema::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == name)
+            return i;
+    }
+    util::fatal("store: no such column: " + name);
+}
+
+bool
+Schema::hasColumn(const std::string &name) const
+{
+    for (const auto &col : columns_) {
+        if (col.name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+Schema::validate(const Row &row) const
+{
+    if (row.size() != columns_.size())
+        util::fatal("store: row arity mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        const ColumnType want = columns_[i].type;
+        const ColumnType got = valueType(row[i]);
+        // Integers are acceptable in REAL columns (SQLite-like affinity).
+        const bool widened =
+            want == ColumnType::Real && got == ColumnType::Integer;
+        if (got != want && !widened) {
+            util::fatal("store: type mismatch in column '" +
+                        columns_[i].name + "': expected " +
+                        columnTypeName(want) + ", got " +
+                        columnTypeName(got));
+        }
+    }
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema))
+{
+    if (name_.empty())
+        util::fatal("store: empty table name");
+}
+
+void
+Table::insert(Row row)
+{
+    schema_.validate(row);
+    // Normalize integers stored in REAL columns so readers see doubles.
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (schema_.column(i).type == ColumnType::Real &&
+            valueType(row[i]) == ColumnType::Integer) {
+            row[i] = static_cast<double>(std::get<std::int64_t>(row[i]));
+        }
+    }
+    rows_.push_back(std::move(row));
+}
+
+const Row &
+Table::row(std::size_t index) const
+{
+    CM_ASSERT(index < rows_.size());
+    return rows_[index];
+}
+
+std::vector<Row>
+Table::select(const std::function<bool(const Row &)> &predicate) const
+{
+    std::vector<Row> matched;
+    for (const auto &r : rows_) {
+        if (predicate(r))
+            matched.push_back(r);
+    }
+    return matched;
+}
+
+std::vector<Value>
+Table::column(const std::string &name) const
+{
+    const std::size_t index = schema_.indexOf(name);
+    std::vector<Value> out;
+    out.reserve(rows_.size());
+    for (const auto &r : rows_)
+        out.push_back(r[index]);
+    return out;
+}
+
+std::vector<double>
+Table::numericColumn(const std::string &name) const
+{
+    const std::size_t index = schema_.indexOf(name);
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto &r : rows_)
+        out.push_back(asReal(r[index]));
+    return out;
+}
+
+} // namespace cminer::store

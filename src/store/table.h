@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A typed in-memory table with schema validation — the building block of
+ * the two-level store (Section III-A of the paper).
+ */
+
+#ifndef CMINER_STORE_TABLE_H
+#define CMINER_STORE_TABLE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "store/value.h"
+
+namespace cminer::store {
+
+/** One column: a name and a type. */
+struct ColumnSpec
+{
+    std::string name;
+    ColumnType type;
+};
+
+/** Ordered column specification for a table. */
+class Schema
+{
+  public:
+    Schema() = default;
+
+    /** @param columns column specs; names must be unique and non-empty */
+    explicit Schema(std::vector<ColumnSpec> columns);
+
+    /** Number of columns. */
+    std::size_t size() const { return columns_.size(); }
+
+    /** Column spec by position. */
+    const ColumnSpec &column(std::size_t index) const;
+
+    /** Position of a named column; fatal when absent. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** True when a column with this name exists. */
+    bool hasColumn(const std::string &name) const;
+
+    /** All columns in order. */
+    const std::vector<ColumnSpec> &columns() const { return columns_; }
+
+    /** Validate a row against this schema (arity and cell types). */
+    void validate(const std::vector<Value> &row) const;
+
+  private:
+    std::vector<ColumnSpec> columns_;
+};
+
+/** A row of cells matching some schema. */
+using Row = std::vector<Value>;
+
+/**
+ * An append-oriented table: insert rows, scan with predicates, project
+ * columns. Deliberately small — the store needs no joins or updates.
+ */
+class Table
+{
+  public:
+    Table() = default;
+
+    /**
+     * @param name table name (unique within a Database)
+     * @param schema column layout
+     */
+    Table(std::string name, Schema schema);
+
+    /** Table name. */
+    const std::string &name() const { return name_; }
+
+    /** Column layout. */
+    const Schema &schema() const { return schema_; }
+
+    /** Number of stored rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Append a row after validating it against the schema. */
+    void insert(Row row);
+
+    /** Row by position (bounds-checked). */
+    const Row &row(std::size_t index) const;
+
+    /** All rows matching a predicate. */
+    std::vector<Row> select(
+        const std::function<bool(const Row &)> &predicate) const;
+
+    /** Values of one column across all rows. */
+    std::vector<Value> column(const std::string &name) const;
+
+    /** Numeric column as doubles (integers widened). */
+    std::vector<double> numericColumn(const std::string &name) const;
+
+    /** Remove all rows, keeping the schema. */
+    void clear() { rows_.clear(); }
+
+  private:
+    std::string name_;
+    Schema schema_;
+    std::vector<Row> rows_;
+};
+
+} // namespace cminer::store
+
+#endif // CMINER_STORE_TABLE_H

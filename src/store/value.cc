@@ -1,0 +1,68 @@
+#include "store/value.h"
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::store {
+
+ColumnType
+valueType(const Value &value)
+{
+    switch (value.index()) {
+      case 0: return ColumnType::Integer;
+      case 1: return ColumnType::Real;
+      default: return ColumnType::Text;
+    }
+}
+
+std::string
+columnTypeName(ColumnType type)
+{
+    switch (type) {
+      case ColumnType::Integer: return "integer";
+      case ColumnType::Real: return "real";
+      case ColumnType::Text: return "text";
+    }
+    return "?";
+}
+
+std::int64_t
+asInteger(const Value &value)
+{
+    if (const auto *i = std::get_if<std::int64_t>(&value))
+        return *i;
+    util::fatal("store: cell is not an integer");
+}
+
+double
+asReal(const Value &value)
+{
+    if (const auto *d = std::get_if<double>(&value))
+        return *d;
+    if (const auto *i = std::get_if<std::int64_t>(&value))
+        return static_cast<double>(*i);
+    util::fatal("store: cell is not numeric");
+}
+
+const std::string &
+asText(const Value &value)
+{
+    if (const auto *s = std::get_if<std::string>(&value))
+        return *s;
+    util::fatal("store: cell is not text");
+}
+
+std::string
+toString(const Value &value)
+{
+    switch (value.index()) {
+      case 0:
+        return std::to_string(std::get<std::int64_t>(value));
+      case 1:
+        return util::format("%.17g", std::get<double>(value));
+      default:
+        return std::get<std::string>(value);
+    }
+}
+
+} // namespace cminer::store

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The cell value type of the embedded table store.
+ *
+ * The paper stores counter data in SQLite; our from-scratch store keeps
+ * the same three column types SQLite would have used there: INTEGER,
+ * REAL, and TEXT.
+ */
+
+#ifndef CMINER_STORE_VALUE_H
+#define CMINER_STORE_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cminer::store {
+
+/** Column type tags. */
+enum class ColumnType
+{
+    Integer,
+    Real,
+    Text,
+};
+
+/** One table cell. */
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/** Type tag of a Value. */
+ColumnType valueType(const Value &value);
+
+/** Human-readable type name ("integer", "real", "text"). */
+std::string columnTypeName(ColumnType type);
+
+/** Extract an integer; fatal when the cell holds another type. */
+std::int64_t asInteger(const Value &value);
+
+/** Extract a real; integers are widened, text is fatal. */
+double asReal(const Value &value);
+
+/** Extract text; fatal when the cell holds another type. */
+const std::string &asText(const Value &value);
+
+/** Render any Value for display or CSV export. */
+std::string toString(const Value &value);
+
+} // namespace cminer::store
+
+#endif // CMINER_STORE_VALUE_H

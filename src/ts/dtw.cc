@@ -1,0 +1,163 @@
+#include "ts/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cminer::ts {
+
+namespace {
+
+constexpr double infinity = std::numeric_limits<double>::infinity();
+
+std::size_t
+bandHalfWidth(std::size_t n, std::size_t m, double fraction)
+{
+    if (fraction <= 0.0)
+        return std::max(n, m); // effectively unconstrained
+    const std::size_t base = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(std::max(n, m))));
+    // The band must at least cover the length difference or no path exists.
+    const std::size_t diff = n > m ? n - m : m - n;
+    return std::max(base, diff + 1);
+}
+
+} // namespace
+
+double
+dtwDistance(std::span<const double> a, std::span<const double> b,
+            const DtwOptions &options)
+{
+    CM_ASSERT(!a.empty() && !b.empty());
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const std::size_t band = bandHalfWidth(n, m, options.bandFraction);
+
+    // Two-row dynamic program; rows indexed by i over a, columns by j
+    // over b. prev[j] = D(i-1, j), curr[j] = D(i, j).
+    std::vector<double> prev(m, infinity);
+    std::vector<double> curr(m, infinity);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::fill(curr.begin(), curr.end(), infinity);
+        // Column range allowed by the band around the diagonal.
+        const double center =
+            static_cast<double>(i) * static_cast<double>(m) /
+            static_cast<double>(n);
+        const std::size_t j_lo = center > static_cast<double>(band)
+            ? static_cast<std::size_t>(center) - band : 0;
+        const std::size_t j_hi =
+            std::min(m, static_cast<std::size_t>(center) + band + 1);
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+            const double cost = std::abs(a[i] - b[j]);
+            double best;
+            if (i == 0 && j == 0) {
+                best = 0.0;
+            } else {
+                best = infinity;
+                if (i > 0)
+                    best = std::min(best, prev[j]);          // insertion
+                if (j > 0)
+                    best = std::min(best, curr[j - 1]);      // deletion
+                if (i > 0 && j > 0)
+                    best = std::min(best, prev[j - 1]);      // match
+            }
+            curr[j] = cost + best;
+        }
+        std::swap(prev, curr);
+    }
+
+    double distance = prev[m - 1];
+    CM_ASSERT(std::isfinite(distance));
+    if (options.normalizeByPathLength)
+        distance /= static_cast<double>(n + m);
+    return distance;
+}
+
+double
+dtwDistance(const TimeSeries &a, const TimeSeries &b,
+            const DtwOptions &options)
+{
+    return dtwDistance(a.span(), b.span(), options);
+}
+
+DtwResult
+dtwAlign(std::span<const double> a, std::span<const double> b,
+         const DtwOptions &options)
+{
+    CM_ASSERT(!a.empty() && !b.empty());
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+
+    // Full matrix for traceback; fine for the series sizes the tests and
+    // examples align (use dtwDistance for the hot path).
+    std::vector<std::vector<double>> d(
+        n, std::vector<double>(m, infinity));
+    const std::size_t band = bandHalfWidth(n, m, options.bandFraction);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double center =
+            static_cast<double>(i) * static_cast<double>(m) /
+            static_cast<double>(n);
+        const std::size_t j_lo = center > static_cast<double>(band)
+            ? static_cast<std::size_t>(center) - band : 0;
+        const std::size_t j_hi =
+            std::min(m, static_cast<std::size_t>(center) + band + 1);
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+            const double cost = std::abs(a[i] - b[j]);
+            double best;
+            if (i == 0 && j == 0) {
+                best = 0.0;
+            } else {
+                best = infinity;
+                if (i > 0)
+                    best = std::min(best, d[i - 1][j]);
+                if (j > 0)
+                    best = std::min(best, d[i][j - 1]);
+                if (i > 0 && j > 0)
+                    best = std::min(best, d[i - 1][j - 1]);
+            }
+            d[i][j] = cost + best;
+        }
+    }
+
+    DtwResult result;
+    result.distance = d[n - 1][m - 1];
+    CM_ASSERT(std::isfinite(result.distance));
+    if (options.normalizeByPathLength)
+        result.distance /= static_cast<double>(n + m);
+
+    // Greedy traceback along minimal predecessors.
+    std::size_t i = n - 1;
+    std::size_t j = m - 1;
+    result.path.emplace_back(i, j);
+    while (i > 0 || j > 0) {
+        double best = infinity;
+        std::size_t ni = i;
+        std::size_t nj = j;
+        if (i > 0 && j > 0 && d[i - 1][j - 1] <= best) {
+            best = d[i - 1][j - 1];
+            ni = i - 1;
+            nj = j - 1;
+        }
+        if (i > 0 && d[i - 1][j] < best) {
+            best = d[i - 1][j];
+            ni = i - 1;
+            nj = j;
+        }
+        if (j > 0 && d[i][j - 1] < best) {
+            best = d[i][j - 1];
+            ni = i;
+            nj = j - 1;
+        }
+        i = ni;
+        j = nj;
+        result.path.emplace_back(i, j);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    return result;
+}
+
+} // namespace cminer::ts

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dynamic time warping distance (Eq. 1 of the paper).
+ *
+ * Two runs of the same program produce event series of different lengths;
+ * DTW aligns them before measuring distance. The paper computes
+ *   dist_ref = DTW(S_ocoe1, S_ocoe2)    (Eq. 2)
+ *   dist_mea = DTW(S_mlpx,  S_ocoe)     (Eq. 3)
+ *   error    = |1 - dist_ref/dist_mea|  (Eq. 4)
+ * Implementation: classic O(n*m) dynamic program over |a_i - b_j| with an
+ * optional Sakoe-Chiba band for long series.
+ */
+
+#ifndef CMINER_TS_DTW_H
+#define CMINER_TS_DTW_H
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace cminer::ts {
+
+/** Options for the DTW dynamic program. */
+struct DtwOptions
+{
+    /**
+     * Sakoe-Chiba band half-width as a fraction of max(n, m); 0 disables
+     * the constraint. 0.1 is a common speed/accuracy tradeoff.
+     */
+    double bandFraction = 0.0;
+
+    /** When true, normalize the distance by the warping-path length. */
+    bool normalizeByPathLength = false;
+};
+
+/** DTW result: distance plus, optionally, the alignment path. */
+struct DtwResult
+{
+    double distance = 0.0;
+    /** Alignment path as (i, j) index pairs, first to last. */
+    std::vector<std::pair<std::size_t, std::size_t>> path;
+};
+
+/**
+ * DTW distance between two value sequences.
+ *
+ * @param a first sequence (length n >= 1)
+ * @param b second sequence (length m >= 1)
+ * @param options band / normalization controls
+ */
+double dtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions &options = {});
+
+/** DTW distance between two TimeSeries. */
+double dtwDistance(const TimeSeries &a, const TimeSeries &b,
+                   const DtwOptions &options = {});
+
+/**
+ * DTW with path recovery (needed for alignment inspection and tests).
+ */
+DtwResult dtwAlign(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions &options = {});
+
+} // namespace cminer::ts
+
+#endif // CMINER_TS_DTW_H

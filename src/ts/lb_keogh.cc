@@ -1,0 +1,122 @@
+#include "ts/lb_keogh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "ts/dtw.h"
+#include "ts/resample.h"
+#include "util/error.h"
+
+namespace cminer::ts {
+
+Envelope
+computeEnvelope(std::span<const double> values, std::size_t radius)
+{
+    CM_ASSERT(!values.empty());
+    const std::size_t n = values.size();
+    Envelope env;
+    env.upper.resize(n);
+    env.lower.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t lo = i > radius ? i - radius : 0;
+        const std::size_t hi = std::min(n - 1, i + radius);
+        double upper = values[lo];
+        double lower = values[lo];
+        for (std::size_t j = lo + 1; j <= hi; ++j) {
+            upper = std::max(upper, values[j]);
+            lower = std::min(lower, values[j]);
+        }
+        env.upper[i] = upper;
+        env.lower[i] = lower;
+    }
+    return env;
+}
+
+double
+lbKeogh(const Envelope &envelope, std::span<const double> candidate)
+{
+    CM_ASSERT(envelope.upper.size() == candidate.size());
+    double bound = 0.0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+        if (candidate[i] > envelope.upper[i])
+            bound += candidate[i] - envelope.upper[i];
+        else if (candidate[i] < envelope.lower[i])
+            bound += envelope.lower[i] - candidate[i];
+    }
+    return bound;
+}
+
+NearestResult
+nearestNeighborDtw(const TimeSeries &query,
+                   const std::vector<TimeSeries> &candidates,
+                   double band_fraction)
+{
+    CM_ASSERT(!candidates.empty());
+    CM_ASSERT(!query.empty());
+    const std::size_t n = query.size();
+    // The envelope radius must be at least as wide as the DTW band or
+    // the "bound" could exceed the true distance; +1 covers the DTW
+    // implementation's minimum band.
+    const std::size_t radius =
+        static_cast<std::size_t>(
+            std::ceil(band_fraction * static_cast<double>(n))) +
+        1;
+    const Envelope envelope = computeEnvelope(query.span(), radius);
+
+    DtwOptions options;
+    options.bandFraction = band_fraction;
+
+    // Compute all lower bounds first and visit candidates bound-first:
+    // the best true distance is found early, so later candidates are
+    // pruned by their bound alone.
+    std::vector<std::pair<double, std::size_t>> order;
+    std::vector<std::vector<double>> resampled(candidates.size());
+    order.reserve(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+        CM_ASSERT(!candidates[c].empty());
+        resampled[c] = resampleLinear(candidates[c].values(), n);
+        order.emplace_back(lbKeogh(envelope, resampled[c]), c);
+    }
+    std::sort(order.begin(), order.end());
+
+    NearestResult result;
+    result.distance = std::numeric_limits<double>::infinity();
+    for (const auto &[bound, c] : order) {
+        if (bound >= result.distance)
+            break; // every remaining candidate is bounded out
+        const double distance =
+            dtwDistance(query.span(), resampled[c], options);
+        ++result.dtwEvaluations;
+        if (distance < result.distance) {
+            result.distance = distance;
+            result.index = c;
+        }
+    }
+    return result;
+}
+
+void
+zNormalize(std::vector<double> &values)
+{
+    if (values.empty())
+        return;
+    const double mu = stats::mean(values);
+    double sigma = stats::stddev(values, false);
+    if (sigma <= 0.0)
+        sigma = 1.0; // constant series normalizes to all zeros
+    for (auto &v : values)
+        v = (v - mu) / sigma;
+}
+
+TimeSeries
+zNormalized(const TimeSeries &series)
+{
+    std::vector<double> values = series.values();
+    zNormalize(values);
+    return TimeSeries(series.eventName(), std::move(values),
+                      series.intervalMs());
+}
+
+} // namespace cminer::ts

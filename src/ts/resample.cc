@@ -1,0 +1,62 @@
+#include "ts/resample.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::ts {
+
+std::vector<double>
+resampleLinear(const std::vector<double> &values, std::size_t target_length)
+{
+    CM_ASSERT(!values.empty());
+    CM_ASSERT(target_length >= 1);
+    std::vector<double> out(target_length);
+    if (values.size() == 1) {
+        std::fill(out.begin(), out.end(), values[0]);
+        return out;
+    }
+    const double scale = static_cast<double>(values.size() - 1) /
+                         static_cast<double>(
+                             target_length > 1 ? target_length - 1 : 1);
+    for (std::size_t i = 0; i < target_length; ++i) {
+        const double pos = static_cast<double>(i) * scale;
+        const std::size_t lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, values.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+    }
+    return out;
+}
+
+TimeSeries
+resampleLinear(const TimeSeries &series, std::size_t target_length)
+{
+    const double total_ms = series.durationMs();
+    auto values = resampleLinear(series.values(), target_length);
+    const double new_interval =
+        total_ms / static_cast<double>(target_length);
+    return TimeSeries(series.eventName(), std::move(values),
+                      new_interval > 0.0 ? new_interval
+                                         : series.intervalMs());
+}
+
+std::vector<double>
+downsampleMean(const std::vector<double> &values, std::size_t factor)
+{
+    CM_ASSERT(factor >= 1);
+    if (factor == 1)
+        return values;
+    std::vector<double> out;
+    out.reserve((values.size() + factor - 1) / factor);
+    for (std::size_t start = 0; start < values.size(); start += factor) {
+        const std::size_t end = std::min(start + factor, values.size());
+        double sum = 0.0;
+        for (std::size_t i = start; i < end; ++i)
+            sum += values[i];
+        out.push_back(sum / static_cast<double>(end - start));
+    }
+    return out;
+}
+
+} // namespace cminer::ts

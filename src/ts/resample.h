@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Resampling helpers: stretch/compress a series to a target length and
+ * aggregate adjacent intervals. Used when comparing series from runs with
+ * very different lengths and by the bench plots.
+ */
+
+#ifndef CMINER_TS_RESAMPLE_H
+#define CMINER_TS_RESAMPLE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace cminer::ts {
+
+/**
+ * Linear-interpolation resample to exactly `target_length` points.
+ *
+ * @param values source values (non-empty)
+ * @param target_length desired length (>= 1)
+ */
+std::vector<double> resampleLinear(const std::vector<double> &values,
+                                   std::size_t target_length);
+
+/** Resample a TimeSeries, preserving metadata and adjusting intervalMs. */
+TimeSeries resampleLinear(const TimeSeries &series,
+                          std::size_t target_length);
+
+/**
+ * Downsample by averaging groups of `factor` adjacent intervals (the last
+ * group may be smaller).
+ */
+std::vector<double> downsampleMean(const std::vector<double> &values,
+                                   std::size_t factor);
+
+} // namespace cminer::ts
+
+#endif // CMINER_TS_RESAMPLE_H

@@ -1,0 +1,144 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+std::size_t
+CsvDocument::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    return npos;
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path)
+{
+    std::ofstream probe(path_, std::ios::trunc);
+    if (!probe)
+        fatal("cannot open CSV file for writing: " + path_);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    CM_ASSERT(!closed_);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            buffer_ += ',';
+        buffer_ += csvQuote(fields[i]);
+    }
+    buffer_ += '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values)
+        fields.push_back(format("%.17g", v));
+    writeRow(fields);
+}
+
+void
+CsvWriter::close()
+{
+    if (closed_)
+        return;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out)
+        fatal("cannot write CSV file: " + path_);
+    out << buffer_;
+    closed_ = true;
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+std::string
+csvQuote(const std::string &field)
+{
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(current);
+            current.clear();
+        } else if (c != '\r') {
+            current += c;
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+CsvDocument
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open CSV file for reading: " + path);
+    CsvDocument doc;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto fields = parseCsvLine(line);
+        if (first) {
+            doc.header = std::move(fields);
+            first = false;
+        } else {
+            if (fields.size() != doc.header.size())
+                fatal("CSV row width mismatch in " + path);
+            doc.rows.push_back(std::move(fields));
+        }
+    }
+    if (first)
+        fatal("CSV file has no header row: " + path);
+    return doc;
+}
+
+} // namespace cminer::util

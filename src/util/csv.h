@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal CSV reader/writer used by the store's text export and the bench
+ * harness. Handles quoting of fields that contain commas, quotes, or
+ * newlines (RFC 4180 subset).
+ */
+
+#ifndef CMINER_UTIL_CSV_H
+#define CMINER_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace cminer::util {
+
+/** A parsed CSV document: a header row plus data rows of strings. */
+struct CsvDocument
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of a header column, or npos when absent. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/** Streaming CSV writer. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open a file for writing; throws FatalError when the file cannot be
+     * created.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row, quoting fields as needed. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Convenience: write a row of doubles at full precision. */
+    void writeNumericRow(const std::vector<double> &values);
+
+    /** Flush and close; called by the destructor as well. */
+    void close();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+  private:
+    std::string path_;
+    std::string buffer_;
+    bool closed_ = false;
+};
+
+/**
+ * Parse a CSV file with a header row.
+ *
+ * @param path file to read
+ * @return parsed document
+ * @throws FatalError when the file is missing or malformed
+ */
+CsvDocument readCsv(const std::string &path);
+
+/** Quote a single field per RFC 4180 when necessary. */
+std::string csvQuote(const std::string &field);
+
+/** Parse one CSV line into fields (handles quoted fields). */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_CSV_H

@@ -1,0 +1,21 @@
+#include "util/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cminer::util {
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+panicImpl(const char *message, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message, file, line);
+    std::abort();
+}
+
+} // namespace cminer::util

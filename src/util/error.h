@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-handling primitives shared across the CounterMiner library.
+ *
+ * Two severities, following the gem5 fatal/panic distinction:
+ *  - FatalError: the caller supplied input the library cannot work with
+ *    (bad configuration, inconsistent data). Recoverable by the caller.
+ *  - panic(): an internal invariant was violated; the library itself is
+ *    broken. Aborts.
+ */
+
+#ifndef CMINER_UTIL_ERROR_H
+#define CMINER_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace cminer::util {
+
+/**
+ * Exception thrown when caller-supplied input makes continuing impossible.
+ *
+ * Carries a human-readable message describing what the caller did wrong
+ * and, where possible, how to fix it.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Throw a FatalError with the given message.
+ *
+ * Kept out-of-line so call sites stay small and so a breakpoint on one
+ * function catches every fatal path.
+ *
+ * @param message description of the user-facing error condition
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param message description of the broken invariant
+ * @param file source file of the failing check
+ * @param line source line of the failing check
+ */
+[[noreturn]] void panicImpl(const char *message, const char *file, int line);
+
+} // namespace cminer::util
+
+/**
+ * Abort with a message when an internal invariant is violated.
+ */
+#define CM_PANIC(msg) ::cminer::util::panicImpl((msg), __FILE__, __LINE__)
+
+/**
+ * Check an internal invariant; abort with location info when it fails.
+ *
+ * Unlike assert(), stays active in release builds: the library's
+ * correctness claims are part of its contract.
+ */
+#define CM_ASSERT(cond)                                                      \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::cminer::util::panicImpl("assertion failed: " #cond,            \
+                                      __FILE__, __LINE__);                   \
+    } while (0)
+
+#endif // CMINER_UTIL_ERROR_H

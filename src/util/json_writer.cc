@@ -1,0 +1,168 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+void
+JsonWriter::separatorBeforeValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Scope::Object) {
+        CM_ASSERT(expectValue_); // object values need a preceding key
+        expectValue_ = false;
+        return;
+    }
+    if (hasItems_.back())
+        out_ += ',';
+    hasItems_.back() = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separatorBeforeValue();
+    out_ += '{';
+    stack_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    CM_ASSERT(!stack_.empty() && stack_.back() == Scope::Object);
+    CM_ASSERT(!expectValue_);
+    out_ += '}';
+    stack_.pop_back();
+    hasItems_.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    separatorBeforeValue();
+    out_ += '[';
+    stack_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    CM_ASSERT(!stack_.empty() && stack_.back() == Scope::Array);
+    out_ += ']';
+    stack_.pop_back();
+    hasItems_.pop_back();
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    CM_ASSERT(!stack_.empty() && stack_.back() == Scope::Object);
+    CM_ASSERT(!expectValue_);
+    if (hasItems_.back())
+        out_ += ',';
+    hasItems_.back() = true;
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    expectValue_ = true;
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    separatorBeforeValue();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    separatorBeforeValue();
+    if (!std::isfinite(number))
+        out_ += "null";
+    else
+        out_ += format("%.12g", number);
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    separatorBeforeValue();
+    out_ += std::to_string(number);
+}
+
+void
+JsonWriter::value(std::size_t number)
+{
+    separatorBeforeValue();
+    out_ += std::to_string(number);
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    separatorBeforeValue();
+    out_ += flag ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    separatorBeforeValue();
+    out_ += "null";
+}
+
+std::string
+JsonWriter::str() const
+{
+    CM_ASSERT(stack_.empty());
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            escaped += "\\\"";
+            break;
+          case '\\':
+            escaped += "\\\\";
+            break;
+          case '\n':
+            escaped += "\\n";
+            break;
+          case '\r':
+            escaped += "\\r";
+            break;
+          case '\t':
+            escaped += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                escaped += format("\\u%04x", c);
+            else
+                escaped += c;
+        }
+    }
+    return escaped;
+}
+
+} // namespace cminer::util

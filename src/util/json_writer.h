@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A minimal streaming JSON writer (objects, arrays, scalars) for report
+ * export. Write-only by design — the library never needs to parse JSON,
+ * only to emit it for downstream dashboards.
+ */
+
+#ifndef CMINER_UTIL_JSON_WRITER_H
+#define CMINER_UTIL_JSON_WRITER_H
+
+#include <string>
+#include <vector>
+
+namespace cminer::util {
+
+/**
+ * Builds a JSON document incrementally.
+ *
+ * Usage:
+ *   JsonWriter json;
+ *   json.beginObject();
+ *   json.key("benchmark"); json.value("wordcount");
+ *   json.key("events"); json.beginArray();
+ *   json.value(1.5); json.value("x");
+ *   json.endArray();
+ *   json.endObject();
+ *   std::string text = json.str();
+ *
+ * Nesting is validated with internal assertions; escaping follows RFC
+ * 8259 for the characters that require it.
+ */
+class JsonWriter
+{
+  public:
+    /** Begin an object ({). */
+    void beginObject();
+    /** End the current object (}). */
+    void endObject();
+    /** Begin an array ([). */
+    void beginArray();
+    /** End the current array (]). */
+    void endArray();
+
+    /** Emit an object key; must be inside an object. */
+    void key(const std::string &name);
+
+    /** String value. */
+    void value(const std::string &text);
+    /** C-string value (disambiguates from bool). */
+    void value(const char *text);
+    /** Numeric value; non-finite numbers emit null. */
+    void value(double number);
+    /** Integer value. */
+    void value(std::int64_t number);
+    /** Unsigned value. */
+    void value(std::size_t number);
+    /** Boolean value. */
+    void value(bool flag);
+    /** Null value. */
+    void null();
+
+    /** The finished document; all scopes must be closed. */
+    std::string str() const;
+
+    /** Escape a string per JSON rules (exposed for tests). */
+    static std::string escape(const std::string &text);
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    void separatorBeforeValue();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> hasItems_;
+    bool expectValue_ = false; ///< a key was just written
+};
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_JSON_WRITER_H

@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace cminer::util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    logMessage(LogLevel::Info, message);
+}
+
+void
+warn(const std::string &message)
+{
+    logMessage(LogLevel::Warn, message);
+}
+
+void
+debug(const std::string &message)
+{
+    logMessage(LogLevel::Debug, message);
+}
+
+} // namespace cminer::util

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal leveled logging for library status messages.
+ *
+ * Follows the gem5 inform/warn convention: these functions report status to
+ * the user and never stop execution. Output goes to stderr so bench tables
+ * on stdout stay machine-parseable.
+ */
+
+#ifndef CMINER_UTIL_LOGGING_H
+#define CMINER_UTIL_LOGGING_H
+
+#include <string>
+
+namespace cminer::util {
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+};
+
+/**
+ * Set the global minimum level that will be printed.
+ *
+ * Defaults to Warn so library consumers see nothing unless something is
+ * off; benches and examples raise it to Info.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/** Emit a message at the given level (filtered by the global level). */
+void logMessage(LogLevel level, const std::string &message);
+
+/** Status message with no connotation of incorrect behaviour. */
+void inform(const std::string &message);
+
+/** Something may be wrong but execution can continue. */
+void warn(const std::string &message);
+
+/** Developer-facing detail, hidden by default. */
+void debug(const std::string &message);
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_LOGGING_H

@@ -1,0 +1,94 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CM_ASSERT(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    CM_ASSERT(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &values, int decimals)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, decimals));
+    addRow(std::move(row));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line += std::string(widths[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    std::string separator = "+";
+    for (std::size_t width : widths)
+        separator += std::string(width + 2, '-') + "+";
+    separator += "\n";
+
+    std::string text = separator + render_row(headers_) + separator;
+    for (const auto &row : rows_)
+        text += render_row(row);
+    text += separator;
+    return text;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string
+asciiBar(double percent, double full_scale, int width)
+{
+    if (full_scale <= 0.0)
+        full_scale = 100.0;
+    double fraction = percent / full_scale;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const int filled = static_cast<int>(fraction * width + 0.5);
+    return std::string(static_cast<std::size_t>(filled), '#') +
+           std::string(static_cast<std::size_t>(width - filled), '.');
+}
+
+} // namespace cminer::util

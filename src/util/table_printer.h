@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Console table formatting for the bench harness.
+ *
+ * Every figure/table bench prints its result through TablePrinter so the
+ * regenerated paper rows have a uniform, diffable layout.
+ */
+
+#ifndef CMINER_UTIL_TABLE_PRINTER_H
+#define CMINER_UTIL_TABLE_PRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace cminer::util {
+
+/**
+ * Accumulates rows and renders an aligned ASCII table.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have the same width as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: first cell is a label, the rest formatted doubles. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int decimals = 2);
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Print a section banner so multi-table bench output reads like the paper
+ * ("=== Figure 6: ... ===").
+ */
+void printBanner(const std::string &title);
+
+/** Render a 0..100 value as a short ASCII bar for figure-style output. */
+std::string asciiBar(double percent, double full_scale = 100.0,
+                     int width = 40);
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_TABLE_PRINTER_H

@@ -1,0 +1,61 @@
+#include "workload/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::workload {
+
+using cminer::util::Rng;
+
+SimulatedCluster::SimulatedCluster(ClusterConfig config)
+    : config_(config)
+{
+    CM_ASSERT(config_.slaveNodes >= 1);
+}
+
+JobResult
+SimulatedCluster::runJob(const SyntheticBenchmark &benchmark,
+                         const SparkConfig &spark_config, Rng &rng) const
+{
+    JobResult result;
+    result.profiledTrace = benchmark.generateTrace(rng, spark_config);
+    const double profiled_ms = result.profiledTrace.durationMs();
+
+    result.nodeTimesMs.push_back(profiled_ms);
+    for (std::size_t node = 1; node < config_.slaveNodes; ++node) {
+        // Sibling nodes run the same work with straggler jitter.
+        const double straggle =
+            std::exp(rng.gaussian(0.0, config_.stragglerSigma));
+        result.nodeTimesMs.push_back(profiled_ms * straggle);
+    }
+    result.execTimeMs =
+        *std::max_element(result.nodeTimesMs.begin(),
+                          result.nodeTimesMs.end()) +
+        config_.schedulingOverheadMs;
+    return result;
+}
+
+double
+SimulatedCluster::runJobTimeOnly(const SyntheticBenchmark &benchmark,
+                                 const SparkConfig &spark_config,
+                                 Rng &rng) const
+{
+    // Same timing model as runJob without materializing the trace: mean
+    // intervals scaled by the config factor and OS jitter per node.
+    const double base_ms = benchmark.spec().meanIntervals *
+                           benchmark.spec().intervalMs *
+                           benchmark.durationFactor(spark_config);
+    double slowest = 0.0;
+    for (std::size_t node = 0; node < config_.slaveNodes; ++node) {
+        const double jitter = std::exp(
+            rng.gaussian(0.0, benchmark.spec().lengthJitter));
+        const double straggle =
+            std::exp(rng.gaussian(0.0, config_.stragglerSigma));
+        slowest = std::max(slowest, base_ms * jitter * straggle);
+    }
+    return slowest + config_.schedulingOverheadMs;
+}
+
+} // namespace cminer::workload

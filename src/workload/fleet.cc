@@ -1,0 +1,100 @@
+#include "workload/fleet.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+#include "workload/colocate.h"
+
+namespace cminer::workload {
+
+using cminer::pmu::TrueTrace;
+using cminer::util::Rng;
+
+Fleet::Fleet(const BenchmarkSuite &suite, FleetConfig config)
+    : suite_(suite), config_(config)
+{
+    CM_ASSERT(config_.serverCount >= 1);
+    CM_ASSERT(config_.machineSampleFraction > 0.0 &&
+              config_.machineSampleFraction <= 1.0);
+    CM_ASSERT(config_.windowIntervals >= 8);
+    CM_ASSERT(config_.colocationProbability >= 0.0 &&
+              config_.colocationProbability <= 1.0);
+}
+
+std::vector<FleetSample>
+Fleet::sampleCycle(Rng &rng) const
+{
+    const auto benchmarks = suite_.all();
+    CM_ASSERT(!benchmarks.empty());
+
+    // Level-1 sampling: which machines get profiled this cycle.
+    const std::size_t sampled_machines = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.machineSampleFraction *
+                                    static_cast<double>(
+                                        config_.serverCount)));
+    const auto machines =
+        rng.sampleIndices(config_.serverCount, sampled_machines);
+
+    std::vector<FleetSample> samples;
+    samples.reserve(machines.size());
+    for (std::size_t server : machines) {
+        FleetSample sample;
+        sample.serverId = server;
+
+        // The server's current job: one benchmark, or a co-located pair.
+        const auto *primary = benchmarks[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(benchmarks.size()) -
+                               1))];
+        TrueTrace run;
+        if (rng.bernoulli(config_.colocationProbability)) {
+            const auto *secondary = benchmarks[static_cast<std::size_t>(
+                rng.uniformInt(
+                    0,
+                    static_cast<std::int64_t>(benchmarks.size()) - 1))];
+            sample.program = primary->name() + "+" + secondary->name();
+            run = composeColocated(*primary, *secondary, rng);
+        } else {
+            sample.program = primary->name();
+            run = primary->generateTrace(rng);
+        }
+
+        // Level-2 sampling: a window within the job, not the whole run.
+        const std::size_t window =
+            std::min(config_.windowIntervals, run.intervalCount());
+        const std::size_t max_start = run.intervalCount() - window;
+        const std::size_t start = max_start == 0
+            ? 0
+            : static_cast<std::size_t>(rng.uniformInt(
+                  0, static_cast<std::int64_t>(max_start)));
+
+        TrueTrace windowed(window, run.eventCount(), run.intervalMs());
+        for (std::size_t e = 0; e < run.eventCount(); ++e) {
+            for (std::size_t t = 0; t < window; ++t)
+                windowed.setCount(e, t, run.count(e, start + t));
+        }
+        for (std::size_t t = 0; t < window; ++t)
+            windowed.setIpc(t, run.ipc(start + t));
+        sample.window = std::move(windowed);
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+Fleet::jobMix(const std::vector<FleetSample> &samples)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const auto &sample : samples)
+        ++counts[sample.program];
+    std::vector<std::pair<std::string, std::size_t>> mix(counts.begin(),
+                                                         counts.end());
+    std::sort(mix.begin(), mix.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return mix;
+}
+
+} // namespace cminer::workload

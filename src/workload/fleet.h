@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A GWP-style fleet simulator (the paper's motivating setting: thousands
+ * of servers running millions of jobs "24/7/365", profiled continuously
+ * by an infrastructure like the Google-Wide Profiler).
+ *
+ * The fleet holds N servers; each server runs a stream of jobs drawn
+ * from the benchmark suite (optionally co-located pairs). Profiling uses
+ * GWP's two-level sampling: sample a subset of machines each cycle, and
+ * sample a time window within each selected machine's current job rather
+ * than the whole run. The result is exactly the kind of heterogeneous,
+ * windowed, multiplexed data CounterMiner is built to mine.
+ */
+
+#ifndef CMINER_WORKLOAD_FLEET_H
+#define CMINER_WORKLOAD_FLEET_H
+
+#include <string>
+#include <vector>
+
+#include "pmu/trace.h"
+#include "util/rng.h"
+#include "workload/suites.h"
+
+namespace cminer::workload {
+
+/** Fleet shape and sampling policy. */
+struct FleetConfig
+{
+    std::size_t serverCount = 64;
+    /** Fraction of servers profiled per sampling cycle. */
+    double machineSampleFraction = 0.125;
+    /** Length of the profiled window within a job, in intervals. */
+    std::size_t windowIntervals = 120;
+    /** Probability a server runs a co-located pair instead of one job. */
+    double colocationProbability = 0.2;
+};
+
+/** One profiled window from one server. */
+struct FleetSample
+{
+    std::size_t serverId = 0;
+    std::string program;  ///< "a" or "a+b" for co-located pairs
+    cminer::pmu::TrueTrace window; ///< ground truth of the window
+};
+
+/**
+ * The simulated fleet.
+ */
+class Fleet
+{
+  public:
+    /**
+     * @param suite benchmark population servers draw jobs from
+     * @param config fleet shape
+     */
+    Fleet(const BenchmarkSuite &suite, FleetConfig config = {});
+
+    /** Fleet shape in effect. */
+    const FleetConfig &config() const { return config_; }
+
+    /**
+     * Run one GWP sampling cycle: pick machines, pick a window of each
+     * machine's current job, and return the ground-truth windows (the
+     * caller measures them through the PMU sampler, typically MLPX).
+     *
+     * @param rng job assignment + sampling randomness
+     */
+    std::vector<FleetSample> sampleCycle(cminer::util::Rng &rng) const;
+
+    /**
+     * Aggregate job mix of many cycles: how often each program (or
+     * co-located pair) was profiled. Useful to verify coverage.
+     */
+    static std::vector<std::pair<std::string, std::size_t>>
+    jobMix(const std::vector<FleetSample> &samples);
+
+  private:
+    const BenchmarkSuite &suite_;
+    FleetConfig config_;
+};
+
+} // namespace cminer::workload
+
+#endif // CMINER_WORKLOAD_FLEET_H

@@ -1,0 +1,144 @@
+#include "workload/spark_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cminer::workload {
+
+SparkParamCatalog::SparkParamCatalog()
+{
+    // Paper Table IV: Spark parameters that interact strongly with the
+    // important events. Ranges follow the Spark 2.0 documentation.
+    params_ = {
+        {"spark.broadcast.blockSize", "bbs", "MB", 1, 32, 4, true},
+        {"spark.network.timeout", "nwt", "s", 30, 600, 120, true},
+        {"spark.executor.memory", "exm", "GB", 1, 16, 4, true},
+        {"spark.executor.cores", "exc", "cores", 1, 8, 2, false},
+        {"spark.default.parallelism", "dpl", "tasks", 8, 256, 64, true},
+        {"spark.reducer.maxSizeInFlight", "rdm", "MB", 8, 192, 48, true},
+        {"spark.memory.fraction", "mmf", "", 0.3, 0.9, 0.6, false},
+        {"spark.kryoserializer.buffer", "kbf", "KB", 16, 512, 64, true},
+        {"spark.kryoserializer.buffer.max", "kbm", "MB", 8, 256, 64, true},
+        {"spark.shuffle.sort.bypassMergeThreshold", "ssb", "parts",
+         50, 800, 200, true},
+        {"spark.io.compression.snappy.blockSize", "ics", "KB",
+         8, 128, 32, true},
+        {"spark.shuffle.file.buffer", "sfb", "KB", 8, 128, 32, true},
+        {"spark.driver.memory", "dmm", "GB", 1, 16, 4, true},
+        {"spark.memory.storageFraction", "msf", "", 0.2, 0.8, 0.5, false},
+        {"spark.locality.wait", "lcw", "s", 0, 10, 3, false},
+        {"spark.speculation.quantile", "spq", "", 0.5, 0.95, 0.75, false},
+    };
+}
+
+const SparkParam &
+SparkParamCatalog::param(std::size_t index) const
+{
+    CM_ASSERT(index < params_.size());
+    return params_[index];
+}
+
+const SparkParam &
+SparkParamCatalog::byAbbrev(const std::string &abbrev) const
+{
+    for (const auto &p : params_) {
+        if (p.abbrev == abbrev)
+            return p;
+    }
+    util::fatal("workload: unknown Spark parameter abbreviation: " +
+                abbrev);
+}
+
+bool
+SparkParamCatalog::has(const std::string &abbrev) const
+{
+    for (const auto &p : params_) {
+        if (p.abbrev == abbrev)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+SparkParamCatalog::abbrevs() const
+{
+    std::vector<std::string> out;
+    out.reserve(params_.size());
+    for (const auto &p : params_)
+        out.push_back(p.abbrev);
+    return out;
+}
+
+const SparkParamCatalog &
+SparkParamCatalog::instance()
+{
+    static const SparkParamCatalog catalog;
+    return catalog;
+}
+
+void
+SparkConfig::set(const std::string &abbrev, double value)
+{
+    const SparkParam &p = SparkParamCatalog::instance().byAbbrev(abbrev);
+    values_[abbrev] = std::clamp(value, p.minValue, p.maxValue);
+}
+
+double
+SparkConfig::get(const std::string &abbrev) const
+{
+    const SparkParam &p = SparkParamCatalog::instance().byAbbrev(abbrev);
+    auto it = values_.find(abbrev);
+    return it != values_.end() ? it->second : p.defaultValue;
+}
+
+double
+SparkConfig::normalized(const std::string &abbrev) const
+{
+    const SparkParam &p = SparkParamCatalog::instance().byAbbrev(abbrev);
+    double value = get(abbrev);
+    double lo = p.minValue;
+    double hi = p.maxValue;
+    double mid = p.defaultValue;
+    if (p.logScale) {
+        // Guard against zero lower bounds in log space.
+        const double eps = 1e-9;
+        value = std::log(std::max(value, eps));
+        lo = std::log(std::max(p.minValue, eps));
+        hi = std::log(std::max(p.maxValue, eps));
+        mid = std::log(std::max(p.defaultValue, eps));
+    }
+    // Piecewise-linear map: [lo, mid] -> [-1, 0], [mid, hi] -> [0, 1].
+    if (value <= mid) {
+        if (mid <= lo)
+            return 0.0;
+        return (value - mid) / (mid - lo);
+    }
+    if (hi <= mid)
+        return 0.0;
+    return (value - mid) / (hi - mid);
+}
+
+SparkConfig
+SparkConfig::random(cminer::util::Rng &rng)
+{
+    SparkConfig config;
+    const auto &catalog = SparkParamCatalog::instance();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const SparkParam &p = catalog.param(i);
+        double value;
+        if (p.logScale) {
+            const double eps = 1e-9;
+            const double lo = std::log(std::max(p.minValue, eps));
+            const double hi = std::log(std::max(p.maxValue, eps));
+            value = std::exp(rng.uniform(lo, hi));
+        } else {
+            value = rng.uniform(p.minValue, p.maxValue);
+        }
+        config.set(p.abbrev, value);
+    }
+    return config;
+}
+
+} // namespace cminer::workload

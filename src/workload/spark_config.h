@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The Spark configuration-parameter catalog (paper Table IV) and a value
+ * assignment over it.
+ *
+ * Each parameter has a tuning range; a SparkConfig holds concrete values.
+ * The workload model consumes *normalized* values in [-1, 1] (default
+ * maps to 0) so coupling strengths compose cleanly.
+ */
+
+#ifndef CMINER_WORKLOAD_SPARK_CONFIG_H
+#define CMINER_WORKLOAD_SPARK_CONFIG_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cminer::workload {
+
+/** One tunable Spark parameter. */
+struct SparkParam
+{
+    std::string name;    ///< full name, e.g. "spark.broadcast.blockSize"
+    std::string abbrev;  ///< paper code, e.g. "bbs"
+    std::string unit;    ///< display unit ("MB", "s", "", ...)
+    double minValue = 0.0;
+    double maxValue = 1.0;
+    double defaultValue = 0.5;
+    bool logScale = false; ///< normalize in log space (sizes, timeouts)
+};
+
+/** The catalog of tunable parameters (paper Table IV). */
+class SparkParamCatalog
+{
+  public:
+    SparkParamCatalog();
+
+    /** Number of parameters. */
+    std::size_t size() const { return params_.size(); }
+
+    /** Parameter by position. */
+    const SparkParam &param(std::size_t index) const;
+
+    /** Parameter by abbreviation; fatal when unknown. */
+    const SparkParam &byAbbrev(const std::string &abbrev) const;
+
+    /** True when the abbreviation exists. */
+    bool has(const std::string &abbrev) const;
+
+    /** All abbreviations, in catalog order. */
+    std::vector<std::string> abbrevs() const;
+
+    /** Shared instance. */
+    static const SparkParamCatalog &instance();
+
+  private:
+    std::vector<SparkParam> params_;
+};
+
+/**
+ * A concrete assignment of values to (a subset of) the parameters.
+ * Unset parameters read as their defaults.
+ */
+class SparkConfig
+{
+  public:
+    /** All parameters at their defaults. */
+    SparkConfig() = default;
+
+    /** Set a parameter by abbreviation (clamped to its range). */
+    void set(const std::string &abbrev, double value);
+
+    /** Value of a parameter (default when unset). */
+    double get(const std::string &abbrev) const;
+
+    /**
+     * Normalized value in [-1, 1]: -1 at min, +1 at max, 0 at the
+     * default. Log-scale parameters normalize in log space.
+     */
+    double normalized(const std::string &abbrev) const;
+
+    /** Uniformly random configuration over all parameters. */
+    static SparkConfig random(cminer::util::Rng &rng);
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace cminer::workload
+
+#endif // CMINER_WORKLOAD_SPARK_CONFIG_H

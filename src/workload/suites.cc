@@ -1,0 +1,504 @@
+#include "workload/suites.h"
+
+#include "pmu/event.h"
+#include "util/error.h"
+
+namespace cminer::workload {
+
+using cminer::pmu::EventCatalog;
+using cminer::pmu::EventCategory;
+
+namespace {
+
+/**
+ * Importance-weight sequences for the one-three SMI law: `dominant`
+ * events clearly above the rest, the tail tapering below 2.2%.
+ */
+std::vector<double>
+topWeights(std::size_t dominant)
+{
+    switch (dominant) {
+      case 1:
+        return {6.9, 2.4, 2.2, 2.1, 2.0, 1.9, 1.8, 1.7, 1.6, 1.5};
+      case 2:
+        return {6.7, 5.8, 2.2, 2.0, 1.9, 1.8, 1.7, 1.6, 1.5, 1.4};
+      default:
+        return {6.2, 5.6, 5.1, 2.2, 2.0, 1.8, 1.7, 1.6, 1.5, 1.4};
+    }
+}
+
+/** Build the effect list for a ranked top-10 with given dominance. */
+std::vector<EventEffect>
+effects(const std::vector<std::string> &ranked, std::size_t dominant)
+{
+    const auto weights = topWeights(dominant);
+    CM_ASSERT(ranked.size() == weights.size());
+    static const EffectShape shapes[] = {
+        EffectShape::Softplus, EffectShape::Linear, EffectShape::Quadratic,
+        EffectShape::Linear, EffectShape::Cubic, EffectShape::Linear,
+        EffectShape::Quadratic, EffectShape::Softplus, EffectShape::Linear,
+        EffectShape::Quadratic};
+    std::vector<EventEffect> out;
+    for (std::size_t i = 0; i < ranked.size(); ++i)
+        out.push_back({ranked[i], weights[i], shapes[i]});
+    return out;
+}
+
+/**
+ * Interaction list from ranked pairs. The ranker's intensities scale as
+ * weight^2, so a `dominance` around 3 puts the top pair far ahead
+ * (CloudSuite) while ~1.4 keeps it moderate (HiBench).
+ */
+std::vector<InteractionEffect>
+interactions(const std::vector<std::pair<std::string, std::string>> &pairs,
+             double dominance)
+{
+    std::vector<InteractionEffect> out;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const double weight =
+            (i == 0 ? dominance : 1.0) * (6.0 - 0.35 * static_cast<double>(i));
+        out.push_back({pairs[i].first, pairs[i].second, weight});
+    }
+    return out;
+}
+
+PhaseSpec
+phase(const std::string &name, double fraction,
+      std::map<EventCategory, double> scale)
+{
+    PhaseSpec p;
+    p.name = name;
+    p.fraction = fraction;
+    p.categoryScale = std::move(scale);
+    return p;
+}
+
+} // namespace
+
+BenchmarkSuite::BenchmarkSuite()
+{
+    const EventCatalog &catalog = EventCatalog::instance();
+    std::uint64_t seed = 101;
+
+    auto add = [&](BenchmarkSpec spec) {
+        spec.structureSeed = seed++;
+        benchmarks_.push_back(
+            std::make_unique<SyntheticBenchmark>(std::move(spec), catalog));
+    };
+
+    // ---------------- HiBench (Spark 2.0) -------------------------------
+
+    {
+        BenchmarkSpec s;
+        s.name = "wordcount";
+        s.suite = "hibench";
+        s.baseIpc = 1.25;
+        s.meanIntervals = 440;
+        s.effects = effects({"ISF", "BRE", "ORA", "IPD", "BRB", "BMP",
+                             "MSL", "URA", "URS", "ITM"}, 3);
+        s.interactions = interactions({{"BRB", "BMP"}, {"ORA", "BRB"},
+                                       {"URA", "URS"}, {"BRB", "ITM"},
+                                       {"ORA", "BMP"}, {"ISF", "BRB"},
+                                       {"BRB", "URA"}, {"BRE", "BRB"},
+                                       {"ORA", "ITM"}, {"ISF", "BRE"}},
+                                      1.5);
+        s.couplings = {
+            {"exm", "ISF", 0.55, 0.30, 0.18, 0.02},
+            {"dpl", "ISF", 0.30, 0.12, 0.08, 0.01},
+            {"exm", "LMH", 0.25, 0.10, 0.03, 0.0},
+            {"rdm", "BMP", 0.20, 0.08, 0.02, 0.0},
+            {"mmf", "ITM", 0.22, 0.09, 0.02, 0.0},
+            {"exc", "BMP", 0.15, 0.06, 0.02, 0.0},
+            {"dpl", "BRC", 0.15, 0.05, 0.01, 0.0},
+            {"bbs", "MCO", 0.12, 0.04, 0.01, 0.0},
+        };
+        s.phases = {phase("map", 0.45, {{EventCategory::Branch, 1.2}}),
+                    phase("shuffle", 0.25,
+                          {{EventCategory::Remote, 1.8},
+                           {EventCategory::Memory, 1.3}}),
+                    phase("reduce", 0.30, {{EventCategory::Memory, 1.2}})};
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "pagerank";
+        s.suite = "hibench";
+        s.baseIpc = 0.95;
+        s.meanIntervals = 560;
+        s.effects = effects({"BRE", "ISF", "BRB", "LMH", "BMP", "ITM",
+                             "PI3", "MCO", "BRC", "TFA"}, 2);
+        s.interactions = interactions({{"BRB", "BMP"}, {"BRE", "ISF"},
+                                       {"BRE", "BRB"}, {"BRE", "BMP"},
+                                       {"ISF", "BRB"}, {"ISF", "BMP"},
+                                       {"BRB", "BRC"}, {"BRE", "PI3"},
+                                       {"BRE", "ITM"}, {"ISF", "ITM"}},
+                                      1.4);
+        s.couplings = {
+            {"mmf", "BRE", 0.55, 0.28, 0.16, 0.02},
+            {"mmf", "BAA", 0.25, 0.10, 0.03, 0.0},
+            {"mmf", "PI3", 0.22, 0.09, 0.02, 0.0},
+            {"kbf", "MMR", 0.20, 0.08, 0.02, 0.0},
+            {"nwt", "BAA", 0.14, 0.05, 0.02, 0.0},
+            {"ssb", "PI3", 0.16, 0.06, 0.02, 0.0},
+            {"ics", "ITM", 0.14, 0.05, 0.01, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "aggregation";
+        s.suite = "hibench";
+        s.baseIpc = 1.05;
+        s.meanIntervals = 420;
+        s.effects = effects({"ISF", "BRE", "BRB", "MSL", "BAA", "MMR",
+                             "PI3", "BMP", "IPD", "MCO"}, 3);
+        s.interactions = interactions({{"BRE", "MSL"}, {"ISF", "MSL"},
+                                       {"MSL", "BMP"}, {"MSL", "BAA"},
+                                       {"MMR", "BMP"}, {"ISF", "BRE"},
+                                       {"MSL", "PI3"}, {"BRB", "BMP"},
+                                       {"BRB", "MSL"}, {"BRE", "BRB"}},
+                                      1.5);
+        s.couplings = {
+            {"rdm", "MSL", 0.50, 0.26, 0.15, 0.02},
+            {"mmf", "BRE", 0.24, 0.10, 0.03, 0.0},
+            {"ics", "MMR", 0.20, 0.08, 0.02, 0.0},
+            {"nwt", "BAA", 0.14, 0.05, 0.02, 0.0},
+            {"dpl", "ISF", 0.22, 0.09, 0.03, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "join";
+        s.suite = "hibench";
+        s.baseIpc = 1.0;
+        s.meanIntervals = 480;
+        s.effects = effects({"BRE", "LRC", "ISF", "BRB", "LMH", "IPD",
+                             "BMP", "IMC", "IM4", "ITM"}, 2);
+        s.interactions = interactions({{"BRB", "BMP"}, {"BRE", "BRB"},
+                                       {"ISF", "BMP"}, {"ISF", "BRB"},
+                                       {"BRE", "ISF"}, {"BRE", "BMP"},
+                                       {"LRC", "BRB"}, {"LRC", "BMP"},
+                                       {"BRE", "IPD"}, {"BMP", "IMC"}},
+                                      1.4);
+        s.couplings = {
+            {"kbm", "BRE", 0.52, 0.27, 0.15, 0.02},
+            {"kbm", "ISF", 0.26, 0.11, 0.04, 0.0},
+            {"kbm", "BRB", 0.20, 0.08, 0.02, 0.0},
+            {"dmm", "LRC", 0.22, 0.09, 0.03, 0.0},
+            {"dpl", "IPD", 0.18, 0.07, 0.02, 0.0},
+            {"sfb", "ITM", 0.14, 0.05, 0.01, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "scan";
+        s.suite = "hibench";
+        s.baseIpc = 1.35;
+        s.meanIntervals = 390;
+        s.effects = effects({"BRE", "ISF", "LMH", "BRB", "MSL", "PI3",
+                             "MMR", "BMP", "MIE", "CAC"}, 2);
+        s.interactions = interactions({{"ISF", "BMP"}, {"ISF", "LMH"},
+                                       {"BRE", "BMP"}, {"LMH", "MMR"},
+                                       {"LMH", "BMP"}, {"BRE", "LMH"},
+                                       {"BRE", "ISF"}, {"MMR", "BMP"},
+                                       {"ISF", "MMR"}, {"BRE", "MMR"}},
+                                      1.4);
+        s.couplings = {
+            {"dmm", "BRE", 0.50, 0.26, 0.14, 0.02},
+            {"ics", "MMR", 0.20, 0.08, 0.02, 0.0},
+            {"exm", "LMH", 0.24, 0.10, 0.03, 0.0},
+            {"ssb", "ISF", 0.22, 0.09, 0.03, 0.0},
+            {"rdm", "BRE", 0.18, 0.07, 0.02, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "sort";
+        s.suite = "hibench";
+        s.baseIpc = 1.1;
+        s.meanIntervals = 460;
+        s.effects = effects({"ORO", "IDU", "ISF", "LRA", "BRE", "BRB",
+                             "BMP", "LMH", "MSL", "MST"}, 2);
+        s.interactions = interactions({{"ISF", "MST"}, {"LRA", "MST"},
+                                       {"ORO", "MST"}, {"BRE", "MST"},
+                                       {"IDU", "MST"}, {"BMP", "LMH"},
+                                       {"LRA", "BRE"}, {"BMP", "MST"},
+                                       {"ORO", "LRA"}, {"BRE", "MSL"}},
+                                      1.5);
+        // The case-study couplings: bbs drives the top event (ORO) and
+        // runtime hard (~111% swing over its range); nwt couples to the
+        // unimportant I4U with a mild runtime effect (~29%).
+        s.couplings = {
+            {"bbs", "ORO", 0.60, 0.32, 0.47, 0.05},
+            {"nwt", "I4U", 0.30, 0.05, 0.16, 0.01},
+            {"exm", "LRA", 0.22, 0.09, 0.03, 0.0},
+            {"rdm", "MSL", 0.18, 0.07, 0.02, 0.0},
+            {"kbf", "MST", 0.16, 0.06, 0.02, 0.0},
+            {"mmf", "BRB", 0.14, 0.05, 0.01, 0.0},
+        };
+        s.phases = {phase("sample", 0.15, {{EventCategory::Memory, 1.2}}),
+                    phase("shuffle", 0.45,
+                          {{EventCategory::Remote, 2.0},
+                           {EventCategory::Memory, 1.4}}),
+                    phase("merge", 0.40, {{EventCategory::Cache, 1.3}})};
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "bayes";
+        s.suite = "hibench";
+        s.baseIpc = 0.9;
+        s.meanIntervals = 610;
+        s.effects = effects({"BRE", "ISF", "PI3", "MSL", "BRB", "IPD",
+                             "MST", "TFA", "MMR", "LMH"}, 2);
+        s.interactions = interactions({{"ISF", "BRB"}, {"BRE", "BRB"},
+                                       {"BRE", "ISF"}, {"PI3", "BRB"},
+                                       {"ISF", "PI3"}, {"BRE", "PI3"},
+                                       {"MSL", "MST"}, {"MMR", "LMH"},
+                                       {"BRB", "LMH"}, {"BRE", "LMH"}},
+                                      1.4);
+        s.couplings = {
+            {"ssb", "PI3", 0.52, 0.27, 0.15, 0.02},
+            {"dpl", "BRE", 0.24, 0.10, 0.03, 0.0},
+            {"nwt", "MSL", 0.16, 0.06, 0.02, 0.0},
+            {"nwt", "MST", 0.14, 0.05, 0.02, 0.0},
+            {"mmf", "ISF", 0.22, 0.09, 0.03, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "kmeans";
+        s.suite = "hibench";
+        s.baseIpc = 1.45;
+        s.meanIntervals = 520;
+        s.effects = effects({"ISF", "BRE", "IPD", "BRB", "IMT", "MSL",
+                             "PI3", "OTS", "BMP", "MCO"}, 2);
+        s.interactions = interactions({{"BRB", "BMP"}, {"ISF", "BMP"},
+                                       {"ISF", "BRB"}, {"ITM", "BMP"},
+                                       {"BRB", "ITM"}, {"BRE", "BRB"},
+                                       {"BRE", "BMP"}, {"PI3", "BMP"},
+                                       {"MSL", "BMP"}, {"BRB", "PI3"}},
+                                      1.5);
+        s.couplings = {
+            {"mmf", "IPD", 0.52, 0.27, 0.15, 0.02},
+            {"kbm", "ISF", 0.24, 0.10, 0.03, 0.0},
+            {"ics", "IM4", 0.18, 0.07, 0.02, 0.0},
+            {"dpl", "BMP", 0.16, 0.06, 0.02, 0.0},
+            {"dpl", "MCO", 0.14, 0.05, 0.01, 0.0},
+        };
+        add(std::move(s));
+    }
+
+    // ---------------- CloudSuite 3.0 -------------------------------------
+
+    {
+        BenchmarkSpec s;
+        s.name = "DataAnalytics";
+        s.suite = "cloudsuite";
+        s.baseIpc = 0.85;
+        s.meanIntervals = 640;
+        s.effects = effects({"ISF", "BRB", "BRE", "IPD", "MMR", "MSL",
+                             "LMH", "MUL", "MST", "MLL"}, 1);
+        s.interactions = interactions({{"ISF", "BRB"}, {"BRB", "BMP"},
+                                       {"BRE", "BRB"}, {"MMR", "MSL"},
+                                       {"ISF", "BRE"}, {"MSL", "LMH"},
+                                       {"ISF", "MSL"}, {"MUL", "MST"},
+                                       {"IPD", "MMR"}, {"BRB", "MSL"}},
+                                      2.6);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "DataCaching";
+        s.suite = "cloudsuite";
+        s.baseIpc = 1.15;
+        s.meanIntervals = 500;
+        s.effects = effects({"ISF", "BRB", "IPD", "BRE", "MSL", "BMP",
+                             "MMR", "LMH", "MST", "MLL"}, 1);
+        s.interactions = interactions({{"BRB", "BMP"}, {"ISF", "BRB"},
+                                       {"BRE", "BRB"}, {"ISF", "BMP"},
+                                       {"BRE", "BMP"}, {"MSL", "LMH"},
+                                       {"IPD", "MMR"}, {"ISF", "BRE"},
+                                       {"MSL", "MMR"}, {"BRB", "MST"}},
+                                      2.8);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "DataServing";
+        s.suite = "cloudsuite";
+        s.baseIpc = 1.05;
+        s.meanIntervals = 540;
+        s.effects = effects({"ISF", "PI3", "BRE", "BRB", "IPD", "MMR",
+                             "MSL", "LMH", "ITM", "BMP"}, 1);
+        s.interactions = interactions({{"BRB", "BMP"}, {"ISF", "PI3"},
+                                       {"BRE", "BRB"}, {"PI3", "IPD"},
+                                       {"ISF", "BRB"}, {"MMR", "MSL"},
+                                       {"BRE", "BMP"}, {"ITM", "PI3"},
+                                       {"ISF", "BRE"}, {"LMH", "MSL"}},
+                                      2.7);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "GraphAnalytics";
+        s.suite = "cloudsuite";
+        s.baseIpc = 0.8;
+        s.meanIntervals = 620;
+        s.effects = effects({"ISF", "BRE", "BRB", "MSL", "DSP", "TFA",
+                             "MMR", "DSH", "MST", "BMP"}, 1);
+        // The paper singles GraphAnalytics out as the *weakest* dominant
+        // pair among CloudSuite (19% vs WebServing's 64%).
+        s.interactions = interactions({{"BRE", "BRB"}, {"BRB", "BMP"},
+                                       {"ISF", "BRE"}, {"MSL", "MMR"},
+                                       {"DSP", "DSH"}, {"ISF", "BRB"},
+                                       {"BRE", "MSL"}, {"TFA", "ITM"},
+                                       {"MST", "MSL"}, {"BRE", "BMP"}},
+                                      1.3);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "InMemoryAnalytics";
+        s.suite = "cloudsuite";
+        s.baseIpc = 1.3;
+        s.meanIntervals = 470;
+        s.effects = effects({"BRE", "ISF", "BRB", "MSL", "IPD", "MMR",
+                             "BMP", "PI3", "LMH", "MLL"}, 2);
+        s.interactions = interactions({{"BRB", "BMP"}, {"BRE", "BRB"},
+                                       {"BRE", "ISF"}, {"ISF", "BRB"},
+                                       {"MSL", "MMR"}, {"BRE", "BMP"},
+                                       {"IPD", "PI3"}, {"MSL", "LMH"},
+                                       {"ISF", "BMP"}, {"BRB", "MSL"}},
+                                      2.5);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "MediaStreaming";
+        s.suite = "cloudsuite";
+        s.baseIpc = 1.2;
+        s.meanIntervals = 520;
+        s.effects = effects({"BRE", "ISF", "BRB", "MMR", "IPD", "MSL",
+                             "LMH", "BMP", "MCO", "PI3"}, 2);
+        s.interactions = interactions({{"BRB", "BMP"}, {"BRE", "BRB"},
+                                       {"ISF", "BRB"}, {"MMR", "MCO"},
+                                       {"BRE", "ISF"}, {"MSL", "LMH"},
+                                       {"BRE", "BMP"}, {"IPD", "MSL"},
+                                       {"ISF", "BMP"}, {"MMR", "MSL"}},
+                                      2.6);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "WebSearch";
+        s.suite = "cloudsuite";
+        s.baseIpc = 1.0;
+        s.meanIntervals = 560;
+        s.effects = effects({"ISF", "MSL", "IPD", "BRE", "MMR", "BMP",
+                             "BRB", "MST", "LHN", "MLL"}, 1);
+        s.interactions = interactions({{"BRB", "BMP"}, {"ISF", "MSL"},
+                                       {"BRE", "BRB"}, {"MSL", "MMR"},
+                                       {"ISF", "BRB"}, {"IPD", "MSL"},
+                                       {"BRE", "BMP"}, {"LHN", "MSL"},
+                                       {"MST", "MSL"}, {"ISF", "BRE"}},
+                                      2.7);
+        add(std::move(s));
+    }
+
+    {
+        BenchmarkSpec s;
+        s.name = "WebServing";
+        s.suite = "cloudsuite";
+        s.baseIpc = 0.9;
+        s.meanIntervals = 580;
+        s.effects = effects({"MSL", "ISF", "BMP", "MMR", "LHN", "IPD",
+                             "ISL", "BRE", "MLL", "LMH"}, 1);
+        // Four software tiers -> the strongest dominant pair (about 64%).
+        s.interactions = interactions({{"MSL", "MMR"}, {"BRB", "BMP"},
+                                       {"ISF", "MSL"}, {"LHN", "MSL"},
+                                       {"BRE", "BMP"}, {"ISL", "ISF"},
+                                       {"IPD", "MSL"}, {"MLL", "MSL"},
+                                       {"ISF", "BMP"}, {"LMH", "MSL"}},
+                                      6.0);
+        add(std::move(s));
+    }
+}
+
+std::vector<const SyntheticBenchmark *>
+BenchmarkSuite::all() const
+{
+    std::vector<const SyntheticBenchmark *> out;
+    out.reserve(benchmarks_.size());
+    for (const auto &b : benchmarks_)
+        out.push_back(b.get());
+    return out;
+}
+
+std::vector<const SyntheticBenchmark *>
+BenchmarkSuite::hibench() const
+{
+    std::vector<const SyntheticBenchmark *> out;
+    for (const auto &b : benchmarks_) {
+        if (b->suite() == "hibench")
+            out.push_back(b.get());
+    }
+    return out;
+}
+
+std::vector<const SyntheticBenchmark *>
+BenchmarkSuite::cloudsuite() const
+{
+    std::vector<const SyntheticBenchmark *> out;
+    for (const auto &b : benchmarks_) {
+        if (b->suite() == "cloudsuite")
+            out.push_back(b.get());
+    }
+    return out;
+}
+
+const SyntheticBenchmark &
+BenchmarkSuite::byName(const std::string &name) const
+{
+    for (const auto &b : benchmarks_) {
+        if (b->name() == name)
+            return *b;
+    }
+    util::fatal("workload: unknown benchmark: " + name);
+}
+
+bool
+BenchmarkSuite::has(const std::string &name) const
+{
+    for (const auto &b : benchmarks_) {
+        if (b->name() == name)
+            return true;
+    }
+    return false;
+}
+
+const BenchmarkSuite &
+BenchmarkSuite::instance()
+{
+    static const BenchmarkSuite suite;
+    return suite;
+}
+
+} // namespace cminer::workload

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The sixteen evaluated benchmarks (paper Table II): eight Spark programs
+ * from HiBench and eight CloudSuite 3.0 services.
+ *
+ * Each benchmark's planted structure encodes the paper's published
+ * results: the top-10 important events (Figs. 9-10, with the one-three
+ * SMI dominance), the top-10 interaction pairs (Figs. 11-12, BRB-BMP
+ * dominating, CloudSuite pairs stronger than HiBench's), and — for the
+ * Spark programs — the configuration couplings behind the case study
+ * (Figs. 13-15).
+ */
+
+#ifndef CMINER_WORKLOAD_SUITES_H
+#define CMINER_WORKLOAD_SUITES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/benchmark.h"
+
+namespace cminer::workload {
+
+/**
+ * Owns the sixteen benchmark instances.
+ */
+class BenchmarkSuite
+{
+  public:
+    /** Build all benchmarks against the default event catalog. */
+    BenchmarkSuite();
+
+    /** All sixteen benchmarks. */
+    std::vector<const SyntheticBenchmark *> all() const;
+
+    /** The eight HiBench (Spark) benchmarks. */
+    std::vector<const SyntheticBenchmark *> hibench() const;
+
+    /** The eight CloudSuite benchmarks. */
+    std::vector<const SyntheticBenchmark *> cloudsuite() const;
+
+    /** Lookup by name; fatal when unknown. */
+    const SyntheticBenchmark &byName(const std::string &name) const;
+
+    /** True when the name exists. */
+    bool has(const std::string &name) const;
+
+    /** Shared instance (builds once). */
+    static const BenchmarkSuite &instance();
+
+  private:
+    std::vector<std::unique_ptr<SyntheticBenchmark>> benchmarks_;
+};
+
+} // namespace cminer::workload
+
+#endif // CMINER_WORKLOAD_SUITES_H

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the data cleaner and the DTW error metric: threshold-n
+ * selection (Table I logic), outlier replacement (Eqs. 6-7), the
+ * true-zero rule and KNN imputation, idempotence, ordering ablation,
+ * and end-to-end error reduction on the simulator (Fig. 6 behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cleaner.h"
+#include "core/collector.h"
+#include "core/error_metrics.h"
+#include "pmu/event.h"
+#include "stats/descriptive.h"
+#include "store/database.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+#include "workload/suites.h"
+
+namespace {
+
+using namespace cminer;
+using namespace cminer::core;
+using cminer::ts::TimeSeries;
+using cminer::util::Rng;
+
+/** A clean Gaussian-ish base series. */
+std::vector<double>
+baseSeries(std::size_t n, double mean, double sd, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> values(n);
+    for (auto &v : values)
+        v = std::max(0.1, rng.gaussian(mean, sd));
+    return values;
+}
+
+// --- threshold selection (Table I) ----------------------------------------
+
+TEST(Cleaner, ChoosesSmallestNMeetingCoverage)
+{
+    DataCleaner cleaner;
+    // Tight Gaussian data: n = 3 already keeps > 99% inside.
+    const auto gaussian = baseSeries(2000, 100.0, 5.0, 1);
+    EXPECT_DOUBLE_EQ(cleaner.chooseThresholdN(gaussian), 3.0);
+}
+
+TEST(Cleaner, LongTailNeedsLargerN)
+{
+    // 3% of the data sits at a moderate outlier level beyond mean+5*std
+    // but inside mean+6*std: coverage forces n up to 6.
+    std::vector<double> skewed = baseSeries(970, 100.0, 5.0, 2);
+    for (int i = 0; i < 30; ++i)
+        skewed.push_back(160.0);
+    DataCleaner cleaner;
+    EXPECT_GT(cleaner.chooseThresholdN(skewed), 3.0);
+}
+
+// --- outlier replacement ----------------------------------------------------
+
+TEST(Cleaner, ReplacesInjectedOutliers)
+{
+    auto values = baseSeries(500, 1000.0, 50.0, 3);
+    values[100] = 5000.0;
+    values[300] = 6000.0;
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.outliersReplaced, 2u);
+    // Replacements land at a plausible level.
+    EXPECT_LT(series.at(100), 1400.0);
+    EXPECT_GT(series.at(100), 600.0);
+    EXPECT_LT(series.at(300), 1400.0);
+}
+
+TEST(Cleaner, LeavesCleanSeriesAlone)
+{
+    const auto values = baseSeries(500, 1000.0, 50.0, 4);
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.missingFilled, 0u);
+    // A global mean+n*sigma rule may clip at most the top ~1%.
+    EXPECT_LE(report.outliersReplaced, 5u);
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series.at(i) != values[i])
+            ++changed;
+    }
+    EXPECT_LE(changed, 5u);
+}
+
+TEST(Cleaner, ReportsThresholdDetails)
+{
+    auto values = baseSeries(300, 500.0, 20.0, 5);
+    values[50] = 3000.0;
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_GE(report.thresholdN, 3.0);
+    EXPECT_GT(report.threshold, 500.0);
+    EXPECT_EQ(report.event, "X");
+    EXPECT_FALSE(report.distribution.empty());
+}
+
+// --- missing values -------------------------------------------------------
+
+TEST(Cleaner, FillsZerosAsMissing)
+{
+    auto values = baseSeries(400, 800.0, 40.0, 6);
+    values[10] = 0.0;
+    values[200] = 0.0;
+    values[399] = 0.0;
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.missingFilled, 3u);
+    for (std::size_t i : {10u, 200u, 399u}) {
+        EXPECT_GT(series.at(i), 500.0) << "index " << i;
+        EXPECT_LT(series.at(i), 1100.0) << "index " << i;
+    }
+}
+
+TEST(Cleaner, TrueZeroRuleKeepsGenuineZeros)
+{
+    // An event that is essentially never active: min 0, max < 0.01.
+    std::vector<double> values(200, 0.0);
+    values[5] = 0.005;
+    values[100] = 0.003;
+    TimeSeries series("RARE_EVENT", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.missingFilled, 0u);
+    EXPECT_GT(report.trueZerosKept, 190u);
+    EXPECT_DOUBLE_EQ(series.at(0), 0.0);
+}
+
+TEST(Cleaner, NegativeValuesTreatedAsCorrupt)
+{
+    auto values = baseSeries(300, 100.0, 5.0, 7);
+    values[42] = -50.0;
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_GE(report.missingFilled, 1u);
+    EXPECT_GT(series.at(42), 0.0);
+}
+
+TEST(Cleaner, KnnNeighborhoodSizeMatters)
+{
+    // With a trend, k = 1 copies the nearest neighbor while k = 5
+    // averages across the local slope.
+    std::vector<double> values;
+    for (int i = 0; i < 100; ++i)
+        values.push_back(100.0 + i);
+    values[50] = 0.0;
+
+    CleanerOptions small_k;
+    small_k.knnK = 1;
+    auto copy1 = values;
+    TimeSeries s1("X", copy1);
+    DataCleaner(small_k).clean(s1);
+
+    CleanerOptions paper_k;
+    paper_k.knnK = 5;
+    auto copy5 = values;
+    TimeSeries s5("X", copy5);
+    DataCleaner(paper_k).clean(s5);
+
+    EXPECT_NEAR(s5.at(50), 150.0, 2.0);
+    EXPECT_NEAR(s1.at(50), 150.0, 2.0);
+}
+
+// --- stage toggles / ordering -------------------------------------------
+
+TEST(Cleaner, StageTogglesRespected)
+{
+    auto values = baseSeries(400, 900.0, 30.0, 8);
+    values[10] = 0.0;
+    values[20] = 9000.0;
+
+    CleanerOptions outliers_only;
+    outliers_only.fillMissing = false;
+    auto copy_a = values;
+    TimeSeries sa("X", copy_a);
+    const auto report_a = DataCleaner(outliers_only).clean(sa);
+    EXPECT_EQ(report_a.missingFilled, 0u);
+    EXPECT_DOUBLE_EQ(sa.at(10), 0.0);
+    EXPECT_GE(report_a.outliersReplaced, 1u);
+
+    CleanerOptions missing_only;
+    missing_only.replaceOutliers = false;
+    auto copy_b = values;
+    TimeSeries sb("X", copy_b);
+    const auto report_b = DataCleaner(missing_only).clean(sb);
+    EXPECT_EQ(report_b.outliersReplaced, 0u);
+    EXPECT_GE(report_b.missingFilled, 1u);
+    EXPECT_DOUBLE_EQ(sb.at(20), 9000.0);
+}
+
+TEST(Cleaner, MissingFirstOrderingWorks)
+{
+    auto values = baseSeries(400, 900.0, 30.0, 9);
+    values[10] = 0.0;
+    values[20] = 9000.0;
+    CleanerOptions options;
+    options.missingFirst = true;
+    TimeSeries series("X", values);
+    const auto report = DataCleaner(options).clean(series);
+    EXPECT_GE(report.missingFilled, 1u);
+    EXPECT_GE(report.outliersReplaced, 1u);
+}
+
+TEST(Cleaner, SecondPassIsNearNoop)
+{
+    auto values = baseSeries(500, 700.0, 35.0, 10);
+    values[100] = 0.0;
+    values[200] = 7000.0;
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    cleaner.clean(series);
+    const auto before = series.values();
+    const auto report = cleaner.clean(series);
+    // Idempotence up to at most a couple of marginal threshold moves.
+    EXPECT_EQ(report.missingFilled, 0u);
+    EXPECT_LE(report.outliersReplaced, 3u);
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series.at(i) != before[i])
+            ++changed;
+    }
+    EXPECT_LE(changed, 3u);
+}
+
+TEST(Cleaner, EmptyAndTinySeriesSafe)
+{
+    TimeSeries empty;
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(empty);
+    EXPECT_EQ(report.outliersReplaced, 0u);
+
+    TimeSeries tiny("X", {1.0, 2.0, 3.0});
+    const auto tiny_report = cleaner.clean(tiny);
+    EXPECT_EQ(tiny_report.outliersReplaced, 0u);
+}
+
+TEST(Cleaner, CleanAllProcessesEverySeries)
+{
+    std::vector<TimeSeries> batch;
+    for (int s = 0; s < 4; ++s) {
+        auto values = baseSeries(200, 100.0 * (s + 1), 5.0, 11 + s);
+        values[50] = 0.0;
+        batch.emplace_back("S" + std::to_string(s), values);
+    }
+    DataCleaner cleaner;
+    const auto reports = cleaner.cleanAll(batch);
+    ASSERT_EQ(reports.size(), 4u);
+    for (const auto &report : reports)
+        EXPECT_EQ(report.missingFilled, 1u);
+}
+
+// --- DTW error metric ----------------------------------------------------
+
+TEST(ErrorMetric, ZeroWhenMlpxMatchesOcoe)
+{
+    const auto values = baseSeries(100, 50.0, 5.0, 15);
+    const TimeSeries a("X", values);
+    const auto result = mlpxError(a, a, a);
+    EXPECT_DOUBLE_EQ(result.errorPercent, 0.0);
+}
+
+TEST(ErrorMetric, GrowsWithInjectedDamage)
+{
+    const auto ocoe1 = baseSeries(300, 100.0, 8.0, 16);
+    const auto ocoe2 = baseSeries(300, 100.0, 8.0, 17);
+    auto light = ocoe1;
+    auto heavy = ocoe1;
+    Rng rng(18);
+    for (int k = 0; k < 10; ++k)
+        light[rng.uniformInt(0, 299)] = 0.0;
+    for (int k = 0; k < 80; ++k)
+        heavy[rng.uniformInt(0, 299)] = 0.0;
+    const TimeSeries o1("X", ocoe1);
+    const TimeSeries o2("X", ocoe2);
+    const double light_err =
+        mlpxError(o1, o2, TimeSeries("X", light)).errorPercent;
+    const double heavy_err =
+        mlpxError(o1, o2, TimeSeries("X", heavy)).errorPercent;
+    EXPECT_GT(heavy_err, light_err);
+}
+
+// --- end-to-end error reduction (Fig. 6 behaviour) -------------------------
+
+class CleaningReducesError : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CleaningReducesError, OnSimulatedBenchmark)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &bench =
+        workload::BenchmarkSuite::instance().byName(GetParam());
+    store::Database db;
+    DataCollector collector(db, catalog);
+    Rng rng(19);
+
+    const auto imc = catalog.idOf("ICACHE.MISSES");
+    std::vector<pmu::EventId> ten = {imc};
+    for (const char *a :
+         {"IDU", "ISF", "BRE", "BRB", "BMP", "MSL", "LMH", "ITM", "ORA"})
+        ten.push_back(catalog.idOfAbbrev(a));
+
+    double raw_total = 0.0;
+    double clean_total = 0.0;
+    const int reps = 8;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto o1 = collector.collectOcoe(bench, {imc}, rng);
+        auto o2 = collector.collectOcoe(bench, {imc}, rng);
+        auto m = collector.collectMlpx(bench, ten, rng);
+        raw_total +=
+            mlpxError(o1.series[0], o2.series[0], m.series[0])
+                .errorPercent;
+        TimeSeries cleaned = m.series[0];
+        DataCleaner cleaner;
+        cleaner.clean(cleaned);
+        clean_total +=
+            mlpxError(o1.series[0], o2.series[0], cleaned).errorPercent;
+    }
+    const double raw = raw_total / reps;
+    const double cleaned = clean_total / reps;
+    EXPECT_GT(raw, 8.0) << "MLPX damage too small to be interesting";
+    EXPECT_LT(cleaned, raw) << "cleaning must reduce the error";
+    EXPECT_LT(cleaned, 0.8 * raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, CleaningReducesError,
+                         ::testing::Values("wordcount", "sort",
+                                           "DataCaching", "WebServing"));
+
+} // namespace

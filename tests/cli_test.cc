@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the JSON writer, the report exporter, and the
+ * `counterminer` CLI (driven through cli::run, no subprocesses).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "cli/cli.h"
+#include "core/counterminer.h"
+#include "core/perf_text.h"
+#include "core/report_export.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "workload/suites.h"
+
+namespace {
+
+using namespace cminer;
+using cminer::util::JsonWriter;
+
+// --- JsonWriter ---------------------------------------------------------
+
+TEST(JsonWriter, FlatObject)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("name");
+    json.value("wordcount");
+    json.key("runs");
+    json.value(std::size_t{3});
+    json.key("error");
+    json.value(7.7);
+    json.key("ok");
+    json.value(true);
+    json.key("none");
+    json.null();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"name\":\"wordcount\",\"runs\":3,\"error\":7.7,"
+              "\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("events");
+    json.beginArray();
+    json.beginObject();
+    json.key("e");
+    json.value("ISF");
+    json.endObject();
+    json.value(1.5);
+    json.value("tail");
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"events\":[{\"e\":\"ISF\"},1.5,\"tail\"]}");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"),
+              "a\\\"b\\\\c\\nd\\te");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray();
+    json.value(std::nan(""));
+    json.value(1.0 / 0.0);
+    json.endArray();
+    EXPECT_EQ(json.str(), "[null,null]");
+}
+
+// --- report export -----------------------------------------------------
+
+TEST(ReportExport, ContainsAllSections)
+{
+    const auto &catalog = pmu::EventCatalog::instance();
+    const auto &bench =
+        workload::BenchmarkSuite::instance().byName("scan");
+    store::Database db;
+    core::ProfileOptions options;
+    options.mlpxRuns = 2;
+    options.importance.minEvents = 196;
+    core::CounterMiner miner(db, catalog, options);
+    util::Rng rng(5);
+    const auto report = miner.profile(bench, rng);
+
+    const std::string json = core::reportToJson(report);
+    EXPECT_NE(json.find("\"benchmark\":\"scan\""), std::string::npos);
+    EXPECT_NE(json.find("\"cleaning\""), std::string::npos);
+    EXPECT_NE(json.find("\"mapm\""), std::string::npos);
+    EXPECT_NE(json.find("\"eirCurve\""), std::string::npos);
+    EXPECT_NE(json.find("\"topEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"interactions\""), std::string::npos);
+    // Balanced braces (a crude well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+// --- CLI ---------------------------------------------------------------
+
+TEST(Cli, NoArgumentsShowsUsageAndFails)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({}, output), 1);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"help"}, output), 0);
+    EXPECT_NE(output.find("profile"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"frobnicate"}, output), 1);
+    EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ListBenchmarks)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"list-benchmarks"}, output), 0);
+    EXPECT_NE(output.find("wordcount"), std::string::npos);
+    EXPECT_NE(output.find("WebServing"), std::string::npos);
+}
+
+TEST(Cli, ListEventsWithCategoryFilter)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"list-events", "--category", "remote"}, output),
+              0);
+    EXPECT_NE(output.find("ORA"), std::string::npos);
+    EXPECT_EQ(output.find("ICACHE.MISSES"), std::string::npos);
+}
+
+TEST(Cli, ListEventsBadCategoryFails)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"list-events", "--category", "bogus"}, output),
+              1);
+    EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownBenchmarkFailsWithSuggestions)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"profile", "nope"}, output), 1);
+    EXPECT_NE(output.find("unknown benchmark"), std::string::npos);
+    EXPECT_NE(output.find("wordcount"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueFails)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"profile", "sort", "--runs"}, output), 1);
+    EXPECT_NE(output.find("expects a value"), std::string::npos);
+}
+
+TEST(Cli, ErrorCommandReportsBothNumbers)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"error", "wordcount", "--seed", "3"}, output),
+              0);
+    EXPECT_NE(output.find("raw"), std::string::npos);
+    EXPECT_NE(output.find("cleaned"), std::string::npos);
+}
+
+TEST(Cli, ProfileWritesJsonAndDb)
+{
+    const std::string json_path = "/tmp/cminer_cli_report.json";
+    const std::string db_path = "/tmp/cminer_cli_db.cmdb";
+    std::string output;
+    const int code = cli::run({"profile", "scan", "--runs", "2",
+                               "--min-events", "196", "--json",
+                               json_path, "--db", db_path},
+                              output);
+    EXPECT_EQ(code, 0) << output;
+    EXPECT_NE(output.find("MAPM"), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(json_path));
+    EXPECT_TRUE(std::filesystem::exists(db_path));
+
+    // The saved database loads and the explore command reads it.
+    std::string explore_output;
+    EXPECT_EQ(cli::run({"explore", db_path}, explore_output), 0);
+    EXPECT_NE(explore_output.find("scan"), std::string::npos);
+
+    std::filesystem::remove(json_path);
+    std::filesystem::remove(db_path);
+}
+
+TEST(Cli, CleanRoundTripsPerfLog)
+{
+    // Write a perf-style log with missing values, clean it via the CLI,
+    // and check the output parses with the zeros repaired.
+    const std::string in_path = "/tmp/cminer_cli_perf.csv";
+    const std::string out_path = "/tmp/cminer_cli_perf_clean.csv";
+    {
+        std::vector<ts::TimeSeries> series;
+        std::vector<double> values(100, 500.0);
+        values[10] = 0.0;
+        values[50] = 0.0;
+        series.emplace_back("ICACHE.MISSES", values, 10.0);
+        std::ofstream out(in_path);
+        out << core::renderPerfIntervals(series);
+    }
+    std::string output;
+    const int code =
+        cli::run({"clean", in_path, "--out", out_path}, output);
+    EXPECT_EQ(code, 0) << output;
+    EXPECT_NE(output.find("filled 2 missing"), std::string::npos);
+
+    std::ifstream in(out_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto cleaned = core::parsePerfIntervals(buffer.str());
+    ASSERT_EQ(cleaned.size(), 1u);
+    EXPECT_GT(cleaned[0].at(10), 0.0);
+    EXPECT_GT(cleaned[0].at(50), 0.0);
+
+    std::filesystem::remove(in_path);
+    std::filesystem::remove(out_path);
+}
+
+TEST(Cli, CleanMissingFileFails)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"clean", "/nonexistent.csv"}, output), 1);
+    EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the GWP-style fleet simulator and the series statistics
+ * (autocorrelation, two-sample KS test) added for fleet analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/series_stats.h"
+#include "util/rng.h"
+#include "workload/fleet.h"
+#include "workload/suites.h"
+
+namespace {
+
+using namespace cminer;
+using cminer::util::Rng;
+
+// --- series stats ---------------------------------------------------------
+
+TEST(SeriesStats, AutocorrelationOfAr1MatchesRho)
+{
+    Rng rng(1);
+    std::vector<double> series(20000);
+    double x = 0.0;
+    const double rho = 0.7;
+    for (auto &v : series) {
+        x = rho * x + rng.gaussian();
+        v = x;
+    }
+    EXPECT_NEAR(stats::autocorrelation(series, 1), rho, 0.03);
+    EXPECT_NEAR(stats::autocorrelation(series, 2), rho * rho, 0.04);
+}
+
+TEST(SeriesStats, WhiteNoiseUncorrelated)
+{
+    Rng rng(2);
+    std::vector<double> series(20000);
+    for (auto &v : series)
+        v = rng.gaussian();
+    EXPECT_NEAR(stats::autocorrelation(series, 1), 0.0, 0.03);
+    EXPECT_NEAR(stats::autocorrelation(series, 10), 0.0, 0.03);
+}
+
+TEST(SeriesStats, ConstantSeriesZeroAutocorrelation)
+{
+    const std::vector<double> series(100, 5.0);
+    EXPECT_DOUBLE_EQ(stats::autocorrelation(series, 1), 0.0);
+}
+
+TEST(SeriesStats, AcfLengthAndDecay)
+{
+    Rng rng(3);
+    std::vector<double> series(5000);
+    double x = 0.0;
+    for (auto &v : series) {
+        x = 0.8 * x + rng.gaussian();
+        v = x;
+    }
+    const auto correlations = stats::acf(series, 10);
+    ASSERT_EQ(correlations.size(), 10u);
+    EXPECT_GT(correlations[0], correlations[7]);
+}
+
+TEST(KsTest, SameDistributionNotRejected)
+{
+    Rng rng(4);
+    std::vector<double> a(800);
+    std::vector<double> b(800);
+    for (auto &v : a)
+        v = rng.gaussian(10.0, 2.0);
+    for (auto &v : b)
+        v = rng.gaussian(10.0, 2.0);
+    const auto result = stats::ksTwoSample(a, b);
+    EXPECT_GT(result.pValue, 0.05);
+    EXPECT_LT(result.statistic, 0.1);
+}
+
+TEST(KsTest, ShiftedDistributionRejected)
+{
+    Rng rng(5);
+    std::vector<double> a(800);
+    std::vector<double> b(800);
+    for (auto &v : a)
+        v = rng.gaussian(10.0, 2.0);
+    for (auto &v : b)
+        v = rng.gaussian(12.0, 2.0);
+    const auto result = stats::ksTwoSample(a, b);
+    EXPECT_LT(result.pValue, 0.01);
+    EXPECT_GT(result.statistic, 0.2);
+}
+
+TEST(KsTest, IdenticalSamplesStatisticZero)
+{
+    const std::vector<double> a = {1, 2, 3, 4, 5};
+    const auto result = stats::ksTwoSample(a, a);
+    EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+    EXPECT_NEAR(result.pValue, 1.0, 1e-6);
+}
+
+TEST(Spearman, PerfectAndReversedOrder)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y_same = {10, 20, 30, 40, 50};
+    const std::vector<double> y_rev = {50, 40, 30, 20, 10};
+    EXPECT_NEAR(stats::spearman(x, y_same), 1.0, 1e-12);
+    EXPECT_NEAR(stats::spearman(x, y_rev), -1.0, 1e-12);
+}
+
+TEST(Spearman, MonotoneNonlinearStillPerfect)
+{
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 1; i <= 30; ++i) {
+        x.push_back(i);
+        y.push_back(std::exp(0.3 * i)); // monotone, very nonlinear
+    }
+    EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, TiesGetAverageRanks)
+{
+    const std::vector<double> x = {1, 2, 2, 3};
+    const std::vector<double> y = {1, 2, 2, 3};
+    EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentSamplesNearZero)
+{
+    Rng rng(9);
+    std::vector<double> x(2000);
+    std::vector<double> y(2000);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = rng.gaussian();
+        y[i] = rng.gaussian();
+    }
+    EXPECT_NEAR(stats::spearman(x, y), 0.0, 0.06);
+}
+
+// --- fleet -----------------------------------------------------------------
+
+TEST(Fleet, SampleCycleRespectsConfig)
+{
+    const auto &suite = workload::BenchmarkSuite::instance();
+    workload::FleetConfig config;
+    config.serverCount = 40;
+    config.machineSampleFraction = 0.25;
+    config.windowIntervals = 64;
+    config.colocationProbability = 0.0;
+    const workload::Fleet fleet(suite, config);
+
+    Rng rng(6);
+    const auto samples = fleet.sampleCycle(rng);
+    EXPECT_EQ(samples.size(), 10u); // 25% of 40
+    std::set<std::size_t> servers;
+    for (const auto &sample : samples) {
+        EXPECT_LT(sample.serverId, 40u);
+        servers.insert(sample.serverId);
+        EXPECT_EQ(sample.window.intervalCount(), 64u);
+        EXPECT_EQ(sample.window.eventCount(), 229u);
+        EXPECT_TRUE(suite.has(sample.program));
+        // The window carries live data.
+        double ipc_total = 0.0;
+        for (std::size_t t = 0; t < sample.window.intervalCount(); ++t)
+            ipc_total += sample.window.ipc(t);
+        EXPECT_GT(ipc_total, 0.0);
+    }
+    // Machines are sampled without replacement.
+    EXPECT_EQ(servers.size(), samples.size());
+}
+
+TEST(Fleet, ColocationProbabilityProducesPairs)
+{
+    const auto &suite = workload::BenchmarkSuite::instance();
+    workload::FleetConfig config;
+    config.serverCount = 16;
+    config.machineSampleFraction = 1.0;
+    config.windowIntervals = 32;
+    config.colocationProbability = 1.0;
+    const workload::Fleet fleet(suite, config);
+    Rng rng(7);
+    const auto samples = fleet.sampleCycle(rng);
+    for (const auto &sample : samples) {
+        EXPECT_NE(sample.program.find('+'), std::string::npos)
+            << sample.program;
+    }
+}
+
+TEST(Fleet, JobMixCountsAndSorts)
+{
+    std::vector<workload::FleetSample> samples(5);
+    samples[0].program = "a";
+    samples[1].program = "b";
+    samples[2].program = "a";
+    samples[3].program = "a";
+    samples[4].program = "b";
+    const auto mix = workload::Fleet::jobMix(samples);
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_EQ(mix[0].first, "a");
+    EXPECT_EQ(mix[0].second, 3u);
+    EXPECT_EQ(mix[1].second, 2u);
+}
+
+TEST(Fleet, CoverageAcrossCycles)
+{
+    // Enough cycles should touch most of the benchmark population.
+    const auto &suite = workload::BenchmarkSuite::instance();
+    workload::FleetConfig config;
+    config.serverCount = 32;
+    config.machineSampleFraction = 0.5;
+    config.windowIntervals = 16;
+    config.colocationProbability = 0.0;
+    const workload::Fleet fleet(suite, config);
+    Rng rng(8);
+    std::set<std::string> seen;
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        for (const auto &sample : fleet.sampleCycle(rng))
+            seen.insert(sample.program);
+    }
+    EXPECT_GE(seen.size(), 12u) << "job mix too narrow";
+}
+
+} // namespace

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the PMU substrate: the 229-event catalog (including
+ * every Table III abbreviation), counter behaviour, OCOE/MLPX schedules,
+ * and the sampler's accuracy and artifact generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "pmu/counter.h"
+#include "pmu/event.h"
+#include "pmu/sampler.h"
+#include "pmu/schedule.h"
+#include "pmu/trace.h"
+#include "stats/descriptive.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cminer::pmu;
+using cminer::util::FatalError;
+using cminer::util::Rng;
+
+// --- EventCatalog --------------------------------------------------------
+
+TEST(EventCatalog, HasExactly229Events)
+{
+    EXPECT_EQ(EventCatalog::instance().size(), 229u);
+}
+
+TEST(EventCatalog, ThreeFixedCounterEvents)
+{
+    const auto &catalog = EventCatalog::instance();
+    std::size_t fixed = 0;
+    for (EventId id = 0; id < catalog.size(); ++id) {
+        if (catalog.info(id).fixedCounter)
+            ++fixed;
+    }
+    EXPECT_EQ(fixed, 3u);
+    EXPECT_EQ(catalog.programmableEvents().size(), 226u);
+}
+
+TEST(EventCatalog, AllPaperAbbreviationsPresent)
+{
+    const auto &catalog = EventCatalog::instance();
+    // Every abbreviation appearing in the paper's figures/tables.
+    const char *abbrevs[] = {
+        "ISF", "BRE", "BRB", "BMP", "BRC", "BNT", "BAA", "ORA", "ORO",
+        "LRA", "LRC", "MMR", "MCO", "MSL", "MST", "MUL", "MLL", "LMH",
+        "LHN", "ITM", "IMT", "TFA", "IPD", "PI3", "IMC", "IM4", "MIE",
+        "IDU", "ISL", "DSP", "DSH", "URA", "URS", "CAC", "OTS", "CRX",
+        "I4U", "L2H", "L2R", "L2C", "L2A", "L2M", "L2S"};
+    for (const char *abbrev : abbrevs) {
+        EXPECT_TRUE(catalog.findByAbbrev(abbrev).has_value())
+            << "missing abbreviation " << abbrev;
+    }
+}
+
+TEST(EventCatalog, KeyEventNamesResolve)
+{
+    const auto &catalog = EventCatalog::instance();
+    EXPECT_TRUE(catalog.findByName("ICACHE.MISSES").has_value());
+    EXPECT_TRUE(catalog.findByName("IDQ.DSB_UOPS").has_value());
+    EXPECT_TRUE(catalog.findByName("INST_RETIRED.ANY").has_value());
+    EXPECT_TRUE(catalog.findByName("RESOURCE_STALLS.IQ_FULL").has_value());
+    EXPECT_FALSE(catalog.findByName("NO.SUCH.EVENT").has_value());
+}
+
+TEST(EventCatalog, UnknownLookupsAreFatal)
+{
+    const auto &catalog = EventCatalog::instance();
+    EXPECT_THROW(catalog.idOf("NOPE"), FatalError);
+    EXPECT_THROW(catalog.idOfAbbrev("ZZZ"), FatalError);
+}
+
+TEST(EventCatalog, NamesAndAbbreviationsUnique)
+{
+    const auto &catalog = EventCatalog::instance();
+    std::set<std::string> names;
+    std::set<std::string> abbrevs;
+    for (EventId id = 0; id < catalog.size(); ++id) {
+        EXPECT_TRUE(names.insert(catalog.info(id).name).second)
+            << "duplicate name " << catalog.info(id).name;
+        EXPECT_TRUE(abbrevs.insert(catalog.info(id).abbrev).second)
+            << "duplicate abbrev " << catalog.info(id).abbrev;
+    }
+}
+
+TEST(EventCatalog, DistributionFamilySplitMatchesPaper)
+{
+    // Paper Section III-B: ~100 Gaussian, 129 long-tailed events.
+    const auto &catalog = EventCatalog::instance();
+    const std::size_t gaussian = catalog.countFamily(DistFamily::Gaussian);
+    const std::size_t longtail = catalog.countFamily(DistFamily::LongTail);
+    EXPECT_EQ(gaussian + longtail, 229u);
+    EXPECT_GT(longtail, gaussian);
+    EXPECT_NEAR(static_cast<double>(gaussian), 100.0, 15.0);
+}
+
+TEST(EventCatalog, CategoriesPopulated)
+{
+    const auto &catalog = EventCatalog::instance();
+    for (EventCategory cat :
+         {EventCategory::Frontend, EventCategory::Branch,
+          EventCategory::Cache, EventCategory::Tlb, EventCategory::Memory,
+          EventCategory::Remote, EventCategory::Uops, EventCategory::Stall,
+          EventCategory::Other}) {
+        EXPECT_FALSE(catalog.byCategory(cat).empty())
+            << "empty category " << categoryName(cat);
+    }
+}
+
+TEST(EventCatalog, BaseRatesPositive)
+{
+    const auto &catalog = EventCatalog::instance();
+    for (EventId id = 0; id < catalog.size(); ++id) {
+        EXPECT_GT(catalog.info(id).baseRate, 0.0);
+        EXPECT_GE(catalog.info(id).burstiness, 0.0);
+        EXPECT_LE(catalog.info(id).burstiness, 1.0);
+    }
+}
+
+// --- HardwareCounter ------------------------------------------------------
+
+TEST(HardwareCounter, AccumulateAndRead)
+{
+    PmuConfig config;
+    config.readNoise = 0.0;
+    HardwareCounter counter(config);
+    counter.program(0);
+    counter.accumulate(100.0);
+    counter.accumulate(50.0);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(counter.readAndClear(rng), 150.0);
+    // Read clears.
+    EXPECT_DOUBLE_EQ(counter.readAndClear(rng), 0.0);
+}
+
+TEST(HardwareCounter, ReadNoiseIsSmallAndUnbiased)
+{
+    PmuConfig config;
+    config.readNoise = 0.01;
+    HardwareCounter counter(config);
+    counter.program(0);
+    Rng rng(2);
+    double total = 0.0;
+    const int reps = 20000;
+    for (int i = 0; i < reps; ++i) {
+        counter.accumulate(1000.0);
+        total += counter.readAndClear(rng);
+    }
+    EXPECT_NEAR(total / reps, 1000.0, 1.0);
+}
+
+TEST(HardwareCounter, WrapsAtRegisterWidth)
+{
+    PmuConfig config;
+    config.readNoise = 0.0;
+    config.counterWidth = 32;
+    HardwareCounter counter(config);
+    counter.program(0);
+    const double wrap = std::pow(2.0, 32);
+    counter.accumulate(wrap + 123.0);
+    Rng rng(3);
+    EXPECT_NEAR(counter.readAndClear(rng), 123.0, 1e-6);
+}
+
+// --- Schedules -------------------------------------------------------
+
+TEST(MlpxSchedule, GroupPacking)
+{
+    std::vector<EventId> events = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const MlpxSchedule schedule(events, 4);
+    EXPECT_EQ(schedule.groupCount(), 3u);
+    EXPECT_EQ(schedule.groupOf(0), 0u);
+    EXPECT_EQ(schedule.groupOf(3), 0u);
+    EXPECT_EQ(schedule.groupOf(4), 1u);
+    EXPECT_EQ(schedule.groupOf(9), 2u);
+    EXPECT_EQ(schedule.groupMembers(2),
+              (std::vector<std::size_t>{8, 9}));
+}
+
+TEST(MlpxSchedule, RoundRobinVisitsAllGroupsFairly)
+{
+    std::vector<EventId> events(12);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        events[i] = i;
+    const MlpxSchedule schedule(events, 4); // 3 groups
+    std::vector<int> visits(3, 0);
+    for (std::size_t q = 0; q < 300; ++q)
+        ++visits[schedule.activeGroup(q)];
+    EXPECT_EQ(visits[0], 100);
+    EXPECT_EQ(visits[1], 100);
+    EXPECT_EQ(visits[2], 100);
+    EXPECT_NEAR(schedule.dutyCycle(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MlpxSchedule, StridedPolicyDiffersFromRoundRobin)
+{
+    std::vector<EventId> events(20);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        events[i] = i;
+    const MlpxSchedule rr(events, 4, RotationPolicy::RoundRobin);
+    const MlpxSchedule strided(events, 4, RotationPolicy::Strided);
+    bool differs = false;
+    for (std::size_t q = 0; q < 10; ++q) {
+        if (rr.activeGroup(q) != strided.activeGroup(q))
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(OcoePlan, CoversAllEventsInCounterSizedRuns)
+{
+    std::vector<EventId> events(11);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        events[i] = i * 2;
+    const OcoePlan plan(events, 4);
+    EXPECT_EQ(plan.runCount(), 3u);
+    std::set<EventId> covered;
+    for (std::size_t r = 0; r < plan.runCount(); ++r) {
+        EXPECT_LE(plan.run(r).size(), 4u);
+        for (EventId id : plan.run(r))
+            covered.insert(id);
+    }
+    EXPECT_EQ(covered.size(), events.size());
+}
+
+// --- TrueTrace --------------------------------------------------------
+
+TEST(TrueTrace, AccessorsAndBounds)
+{
+    TrueTrace trace(10, 5, 10.0);
+    EXPECT_EQ(trace.intervalCount(), 10u);
+    EXPECT_EQ(trace.eventCount(), 5u);
+    EXPECT_DOUBLE_EQ(trace.durationMs(), 100.0);
+    trace.setCount(2, 3, 42.0);
+    EXPECT_DOUBLE_EQ(trace.count(2, 3), 42.0);
+    trace.setIpc(3, 1.5);
+    EXPECT_DOUBLE_EQ(trace.ipc(3), 1.5);
+    EXPECT_EQ(trace.eventRow(2).size(), 10u);
+}
+
+// --- Sampler -----------------------------------------------------------
+
+/** A flat trace with a known constant rate for every event. */
+TrueTrace
+flatTrace(std::size_t intervals, double rate)
+{
+    const auto &catalog = EventCatalog::instance();
+    TrueTrace trace(intervals, catalog.size(), 10.0);
+    for (EventId id = 0; id < catalog.size(); ++id) {
+        for (std::size_t t = 0; t < intervals; ++t)
+            trace.setCount(id, t, rate);
+    }
+    for (std::size_t t = 0; t < intervals; ++t)
+        trace.setIpc(t, 1.0);
+    return trace;
+}
+
+TEST(Sampler, OcoeIsAccurateUpToReadNoise)
+{
+    const auto &catalog = EventCatalog::instance();
+    Sampler sampler(catalog);
+    Rng rng(4);
+    const TrueTrace trace = flatTrace(200, 1000.0);
+    const auto series =
+        sampler.measureOcoe(trace, {catalog.idOf("ICACHE.MISSES")}, rng);
+    ASSERT_EQ(series.size(), 1u);
+    ASSERT_EQ(series[0].size(), 200u);
+    for (double v : series[0].values())
+        EXPECT_NEAR(v, 1000.0, 1000.0 * 0.05);
+}
+
+TEST(Sampler, MlpxUnbiasedOnAverageForSmoothEvents)
+{
+    const auto &catalog = EventCatalog::instance();
+    Sampler sampler(catalog);
+    Rng rng(5);
+    const TrueTrace trace = flatTrace(2000, 1000.0);
+    // Low-burstiness event: CYC-adjacent uops events have burstiness 0.1.
+    const EventId ev = catalog.idOf("UOPS_RETIRED.ALL");
+    std::vector<EventId> events = {ev};
+    for (EventId id : catalog.programmableEvents()) {
+        if (events.size() >= 8)
+            break;
+        if (id != ev)
+            events.push_back(id);
+    }
+    const MlpxSchedule schedule(events, 4);
+    const auto series = sampler.measureMlpx(trace, schedule, rng);
+    const double avg = cminer::stats::mean(series[0].span());
+    EXPECT_NEAR(avg, 1000.0, 60.0);
+}
+
+TEST(Sampler, MlpxProducesMissingValuesForBurstyEvents)
+{
+    const auto &catalog = EventCatalog::instance();
+    Sampler sampler(catalog);
+    Rng rng(6);
+    TrueTrace trace = flatTrace(1000, 1000.0);
+    // Drive a bursty event well above its run median (which stays at
+    // the base level) so the activity-correlated burst model kicks in.
+    const EventId idu = catalog.idOf("IDQ.DSB_UOPS");
+    for (std::size_t t = 700; t < 1000; ++t)
+        trace.setCount(idu, t, 5000.0);
+    std::vector<EventId> events = {idu};
+    for (EventId id : catalog.programmableEvents()) {
+        if (events.size() >= 10)
+            break;
+        if (id != idu)
+            events.push_back(id);
+    }
+    const MlpxSchedule schedule(events, 4);
+    const auto series = sampler.measureMlpx(trace, schedule, rng);
+    std::size_t zeros = 0;
+    std::size_t inflated = 0;
+    for (std::size_t t = 700; t < 1000; ++t) {
+        if (series[0].at(t) == 0.0)
+            ++zeros;
+        if (series[0].at(t) > 2.0 * 5000.0)
+            ++inflated;
+    }
+    EXPECT_GT(zeros, 10u) << "expected missing values";
+    EXPECT_GT(inflated, 3u) << "expected extrapolation outliers";
+}
+
+TEST(Sampler, MlpxStructuralMissingWhenGroupsExceedQuanta)
+{
+    // Force fewer quanta than groups: some groups never run in an
+    // interval -> hard zeros even for smooth events.
+    const auto &catalog = EventCatalog::instance();
+    PmuConfig config;
+    config.rotationQuanta = 2;
+    Sampler sampler(catalog, config);
+    Rng rng(7);
+    const TrueTrace trace = flatTrace(300, 1000.0);
+    std::vector<EventId> events;
+    for (EventId id : catalog.programmableEvents()) {
+        if (events.size() >= 24)
+            break;
+        events.push_back(id);
+    }
+    const MlpxSchedule schedule(events, 4); // 6 groups
+    // The sampler raises effective quanta to the group count, so this
+    // exercises the adaptive-rotation path rather than hard starvation;
+    // values must still be finite and non-negative.
+    const auto series = sampler.measureMlpx(trace, schedule, rng);
+    for (const auto &s : series) {
+        for (double v : s.values()) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_TRUE(std::isfinite(v));
+        }
+    }
+}
+
+TEST(Sampler, MeasuredIpcTracksTrueIpc)
+{
+    const auto &catalog = EventCatalog::instance();
+    Sampler sampler(catalog);
+    Rng rng(8);
+    TrueTrace trace = flatTrace(500, 10.0);
+    for (std::size_t t = 0; t < 500; ++t)
+        trace.setIpc(t, 1.0 + 0.5 * std::sin(t * 0.05));
+    const auto ipc = sampler.measuredIpc(trace, rng);
+    ASSERT_EQ(ipc.size(), 500u);
+    EXPECT_EQ(ipc.eventName(), "IPC");
+    for (std::size_t t = 0; t < 500; ++t)
+        EXPECT_NEAR(ipc.at(t), trace.ipc(t), trace.ipc(t) * 0.05);
+}
+
+TEST(Sampler, MlpxErrorGrowsWithEventCount)
+{
+    // Fig. 3's driving mechanism: more events multiplexed -> worse data.
+    const auto &catalog = EventCatalog::instance();
+    Sampler sampler(catalog);
+    const TrueTrace trace = flatTrace(600, 1000.0);
+    const EventId probe = catalog.idOf("ICACHE.MISSES");
+
+    auto mean_abs_error = [&](std::size_t event_count, Rng &rng) {
+        std::vector<EventId> events = {probe};
+        for (EventId id : catalog.programmableEvents()) {
+            if (events.size() >= event_count)
+                break;
+            if (id != probe)
+                events.push_back(id);
+        }
+        const MlpxSchedule schedule(events, 4);
+        const auto series = sampler.measureMlpx(trace, schedule, rng);
+        double total = 0.0;
+        for (double v : series[0].values())
+            total += std::abs(v - 1000.0);
+        return total / static_cast<double>(series[0].size());
+    };
+
+    Rng rng(9);
+    double err_small = 0.0;
+    double err_large = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        err_small += mean_abs_error(8, rng);
+        err_large += mean_abs_error(64, rng);
+    }
+    EXPECT_GT(err_large, err_small);
+}
+
+} // namespace

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the stats module: descriptive statistics on known data,
+ * distribution pdf/cdf/quantile identities, L-moment GEV fitting, the
+ * Anderson-Darling test's discrimination, and the Eq. 7 histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/anderson_darling.h"
+#include "stats/descriptive.h"
+#include "stats/distribution.h"
+#include "stats/histogram.h"
+#include "stats/lmoments.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cminer::stats;
+using cminer::util::Rng;
+
+// --- descriptive ---------------------------------------------------------
+
+TEST(Descriptive, MeanAndVariance)
+{
+    const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(x), 5.0);
+    EXPECT_NEAR(variance(x, false), 4.0, 1e-12);
+    EXPECT_NEAR(stddev(x, false), 2.0, 1e-12);
+    EXPECT_NEAR(variance(x, true), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Descriptive, MinMaxMedian)
+{
+    const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(minValue(x), 1.0);
+    EXPECT_DOUBLE_EQ(maxValue(x), 5.0);
+    EXPECT_DOUBLE_EQ(median(x), 3.0);
+    const std::vector<double> even = {1.0, 2.0, 3.0, 10.0};
+    EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates)
+{
+    const std::vector<double> x = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(x, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(x, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(x, 0.25), 2.5);
+}
+
+TEST(Descriptive, SkewnessSign)
+{
+    // Right-tailed sample -> positive skew.
+    const std::vector<double> right = {1, 1, 1, 2, 2, 3, 9, 20};
+    EXPECT_GT(skewness(right), 0.5);
+    const std::vector<double> sym = {-2, -1, 0, 1, 2};
+    EXPECT_NEAR(skewness(sym), 0.0, 1e-9);
+}
+
+TEST(Descriptive, PearsonCorrelation)
+{
+    std::vector<double> x, y_pos, y_neg;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i);
+        y_pos.push_back(2.0 * i + 1.0);
+        y_neg.push_back(-3.0 * i);
+    }
+    EXPECT_NEAR(pearson(x, y_pos), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, SummaryFields)
+{
+    const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+    const Summary s = summarize(x);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Descriptive, FractionWithin)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(fractionWithin(x, 5.0), 0.5);
+    EXPECT_DOUBLE_EQ(fractionWithin(x, 100.0), 1.0);
+    EXPECT_DOUBLE_EQ(fractionWithin(x, 0.0), 0.0);
+}
+
+// --- distributions -------------------------------------------------------
+
+TEST(NormalDist, CdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalDist, QuantileInvertsCdf)
+{
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double z = normalQuantile(q);
+        EXPECT_NEAR(normalCdf(z), q, 1e-6);
+    }
+}
+
+TEST(NormalDist, FitRecoversParameters)
+{
+    Rng rng(1);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i)
+        sample.push_back(rng.gaussian(5.0, 2.0));
+    const auto fitted = NormalDistribution::fit(sample);
+    EXPECT_NEAR(fitted.mean(), 5.0, 0.1);
+    EXPECT_NEAR(fitted.stddev(), 2.0, 0.1);
+}
+
+TEST(NormalDist, PdfIntegratesToOne)
+{
+    const NormalDistribution dist(0.0, 1.0);
+    double integral = 0.0;
+    const double step = 0.01;
+    for (double x = -8.0; x < 8.0; x += step)
+        integral += dist.pdf(x) * step;
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(GumbelDist, QuantileInvertsCdf)
+{
+    const GumbelDistribution dist(2.0, 1.5);
+    for (double q : {0.05, 0.3, 0.5, 0.8, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(q)), q, 1e-9);
+}
+
+TEST(GumbelDist, FitRecoversParameters)
+{
+    Rng rng(2);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i)
+        sample.push_back(rng.gumbel(3.0, 2.0));
+    const auto fitted = GumbelDistribution::fit(sample);
+    EXPECT_NEAR(fitted.location(), 3.0, 0.15);
+    EXPECT_NEAR(fitted.scale(), 2.0, 0.15);
+}
+
+TEST(GevDist, DegeneratesToGumbelAtZeroShape)
+{
+    const GevDistribution gev(1.0, 2.0, 0.0);
+    const GumbelDistribution gumbel(1.0, 2.0);
+    for (double x : {-3.0, 0.0, 1.0, 5.0, 20.0}) {
+        EXPECT_NEAR(gev.cdf(x), gumbel.cdf(x), 1e-9);
+        EXPECT_NEAR(gev.pdf(x), gumbel.pdf(x), 1e-9);
+    }
+}
+
+TEST(GevDist, QuantileInvertsCdf)
+{
+    const GevDistribution dist(0.0, 1.0, 0.25);
+    for (double q : {0.05, 0.3, 0.5, 0.8, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(q)), q, 1e-9);
+}
+
+TEST(GevDist, SupportBoundaryRespected)
+{
+    // Positive shape: bounded below at mu - sigma/xi.
+    const GevDistribution dist(0.0, 1.0, 0.5);
+    const double lower = -2.0; // mu - sigma/xi
+    EXPECT_DOUBLE_EQ(dist.cdf(lower - 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.pdf(lower - 1.0), 0.0);
+}
+
+TEST(GevDist, LMomentFitRecoversShape)
+{
+    Rng rng(3);
+    std::vector<double> sample;
+    for (int i = 0; i < 50000; ++i)
+        sample.push_back(rng.gev(10.0, 3.0, 0.2));
+    const auto fitted = GevDistribution::fit(sample);
+    EXPECT_NEAR(fitted.location(), 10.0, 0.3);
+    EXPECT_NEAR(fitted.scale(), 3.0, 0.3);
+    EXPECT_NEAR(fitted.shape(), 0.2, 0.06);
+}
+
+TEST(LogisticDist, QuantileInvertsCdf)
+{
+    const LogisticDistribution dist(1.0, 0.7);
+    for (double q : {0.05, 0.3, 0.5, 0.8, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(q)), q, 1e-9);
+    EXPECT_NEAR(dist.cdf(1.0), 0.5, 1e-12);
+}
+
+// --- L-moments -----------------------------------------------------------
+
+TEST(LMoments, FirstMomentIsMean)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+    const LMoments lm = sampleLMoments(x);
+    EXPECT_NEAR(lm.l1, 4.5, 1e-12);
+    EXPECT_GT(lm.l2, 0.0);
+}
+
+TEST(LMoments, SymmetricSampleHasZeroLSkew)
+{
+    Rng rng(4);
+    std::vector<double> sample;
+    for (int i = 0; i < 50000; ++i)
+        sample.push_back(rng.gaussian());
+    const LMoments lm = sampleLMoments(sample);
+    EXPECT_NEAR(lm.t3, 0.0, 0.01);
+}
+
+TEST(LMoments, RightSkewedSampleHasPositiveLSkew)
+{
+    Rng rng(5);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i)
+        sample.push_back(rng.gumbel(0.0, 1.0));
+    const LMoments lm = sampleLMoments(sample);
+    // Gumbel has L-skewness ~= 0.1699.
+    EXPECT_NEAR(lm.t3, 0.1699, 0.02);
+}
+
+// --- Anderson-Darling ------------------------------------------------------
+
+TEST(AndersonDarling, AcceptsGaussianSamples)
+{
+    // The test has a 5% false-rejection rate by construction, so check
+    // that a clear majority of independent Gaussian samples pass.
+    int accepted = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed * 1000 + 6);
+        std::vector<double> sample;
+        for (int i = 0; i < 500; ++i)
+            sample.push_back(rng.gaussian(10.0, 3.0));
+        if (andersonDarlingNormal(sample).acceptsNormalityAt(5.0))
+            ++accepted;
+    }
+    EXPECT_GE(accepted, 8);
+}
+
+TEST(AndersonDarling, RejectsHeavyTailSample)
+{
+    Rng rng(7);
+    std::vector<double> sample;
+    for (int i = 0; i < 500; ++i)
+        sample.push_back(rng.gev(0.0, 1.0, 0.4));
+    const auto result = andersonDarlingNormal(sample);
+    EXPECT_FALSE(result.acceptsNormalityAt(5.0));
+}
+
+TEST(AndersonDarling, StatisticLowerForTrueFamily)
+{
+    Rng rng(8);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.gumbel(5.0, 2.0));
+    const auto gumbel_fit = GumbelDistribution::fit(sample);
+    const auto normal_fit = NormalDistribution::fit(sample);
+    EXPECT_LT(andersonDarlingStatistic(sample, gumbel_fit),
+              andersonDarlingStatistic(sample, normal_fit));
+}
+
+TEST(AndersonDarling, TriageGaussian)
+{
+    Rng rng(9);
+    std::vector<double> sample;
+    for (int i = 0; i < 400; ++i)
+        sample.push_back(rng.gaussian(100.0, 5.0));
+    const auto report = fitBestDistribution(sample);
+    EXPECT_TRUE(report.isGaussian);
+    EXPECT_EQ(report.bestFamily, "normal");
+}
+
+TEST(AndersonDarling, TriageLongTailPrefersGevFamily)
+{
+    Rng rng(10);
+    std::vector<double> sample;
+    for (int i = 0; i < 1000; ++i)
+        sample.push_back(rng.gev(10.0, 2.0, 0.35));
+    const auto report = fitBestDistribution(sample);
+    EXPECT_FALSE(report.isGaussian);
+    // GEV or its Gumbel special case should win over logistic.
+    EXPECT_TRUE(report.bestFamily == "gev" ||
+                report.bestFamily == "gumbel")
+        << report.bestFamily;
+}
+
+TEST(AndersonDarling, DegenerateSampleCountsAsNormal)
+{
+    const std::vector<double> constant(50, 3.0);
+    const auto report = fitBestDistribution(constant);
+    EXPECT_TRUE(report.isGaussian);
+}
+
+// --- histogram -------------------------------------------------------------
+
+TEST(Histogram, SqrtBinRule)
+{
+    std::vector<double> values(100);
+    for (int i = 0; i < 100; ++i)
+        values[i] = i;
+    const Histogram h(values);
+    // roundup(sqrt(100)) = 10 bins of width ~9.9 (Eq. 7).
+    EXPECT_EQ(h.binCount(), 10u);
+    EXPECT_NEAR(h.binWidth(), 9.9, 1e-9);
+}
+
+TEST(Histogram, BinIndexClamped)
+{
+    std::vector<double> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const Histogram h(values, 5);
+    EXPECT_EQ(h.binIndex(-100.0), 0u);
+    EXPECT_EQ(h.binIndex(100.0), 4u);
+}
+
+TEST(Histogram, IntervalMedianOfPopulatedBin)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 50; ++i)
+        values.push_back(10.0);
+    for (int i = 0; i < 50; ++i)
+        values.push_back(20.0);
+    const Histogram h(values, 2);
+    EXPECT_DOUBLE_EQ(h.intervalMedian(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.intervalMedian(19.0), 20.0);
+}
+
+TEST(Histogram, EmptyBinFallsBackToNearest)
+{
+    // Values cluster at the extremes; middle bins are empty.
+    std::vector<double> values;
+    for (int i = 0; i < 20; ++i)
+        values.push_back(0.0 + i * 0.01);
+    for (int i = 0; i < 20; ++i)
+        values.push_back(100.0 + i * 0.01);
+    const Histogram h(values, 10);
+    const double mid = h.intervalMedian(50.0);
+    // Must come from one of the populated clusters.
+    EXPECT_TRUE(mid < 1.0 || mid > 99.0);
+}
+
+TEST(Histogram, ConstantSample)
+{
+    const std::vector<double> values(10, 7.0);
+    const Histogram h(values);
+    EXPECT_EQ(h.binCount(), 1u);
+    EXPECT_DOUBLE_EQ(h.intervalMedian(7.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.intervalMedian(1000.0), 7.0);
+}
+
+// --- property-style sweeps ---------------------------------------------
+
+class QuantileProperty : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(QuantileProperty, MonotoneInQ)
+{
+    Rng rng(11);
+    std::vector<double> sample;
+    for (int i = 0; i < 500; ++i)
+        sample.push_back(rng.gaussian());
+    const double q = GetParam();
+    EXPECT_LE(quantile(sample, q), quantile(sample, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileProperty,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+class GevRoundTrip : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(GevRoundTrip, FitRecoversShapeParam)
+{
+    const double shape = GetParam();
+    Rng rng(static_cast<std::uint64_t>(shape * 1000) + 13);
+    std::vector<double> sample;
+    for (int i = 0; i < 40000; ++i)
+        sample.push_back(rng.gev(0.0, 1.0, shape));
+    const auto fitted = GevDistribution::fit(sample);
+    EXPECT_NEAR(fitted.shape(), shape, 0.07)
+        << "shape " << shape << " fitted as " << fitted.shape();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GevRoundTrip,
+                         ::testing::Values(-0.2, -0.1, 0.0, 0.1, 0.2, 0.3));
+
+} // namespace

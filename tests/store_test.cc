@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the embedded store: cell values, schema validation,
+ * table scans, the two-level database organization, binary persistence
+ * round-trips, and CSV export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "store/database.h"
+#include "store/table.h"
+#include "store/value.h"
+#include "ts/time_series.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace cminer::store;
+using cminer::ts::TimeSeries;
+using cminer::util::FatalError;
+
+// --- Value ------------------------------------------------------------
+
+TEST(Value, TypeTags)
+{
+    EXPECT_EQ(valueType(Value(std::int64_t{3})), ColumnType::Integer);
+    EXPECT_EQ(valueType(Value(3.5)), ColumnType::Real);
+    EXPECT_EQ(valueType(Value(std::string("x"))), ColumnType::Text);
+}
+
+TEST(Value, Extractors)
+{
+    EXPECT_EQ(asInteger(Value(std::int64_t{7})), 7);
+    EXPECT_DOUBLE_EQ(asReal(Value(2.5)), 2.5);
+    EXPECT_DOUBLE_EQ(asReal(Value(std::int64_t{4})), 4.0); // widening
+    EXPECT_EQ(asText(Value(std::string("abc"))), "abc");
+}
+
+TEST(Value, ExtractorTypeMismatchThrows)
+{
+    EXPECT_THROW(asInteger(Value(1.5)), FatalError);
+    EXPECT_THROW(asReal(Value(std::string("x"))), FatalError);
+    EXPECT_THROW(asText(Value(std::int64_t{1})), FatalError);
+}
+
+TEST(Value, ToStringRendering)
+{
+    EXPECT_EQ(toString(Value(std::int64_t{42})), "42");
+    EXPECT_EQ(toString(Value(std::string("text"))), "text");
+    EXPECT_EQ(toString(Value(1.5)), "1.5");
+}
+
+// --- Schema / Table -----------------------------------------------------
+
+Schema
+testSchema()
+{
+    return Schema({{"id", ColumnType::Integer},
+                   {"name", ColumnType::Text},
+                   {"value", ColumnType::Real}});
+}
+
+TEST(Schema, DuplicateColumnRejected)
+{
+    EXPECT_THROW(Schema({{"a", ColumnType::Integer},
+                         {"a", ColumnType::Real}}),
+                 FatalError);
+}
+
+TEST(Schema, EmptyColumnNameRejected)
+{
+    EXPECT_THROW(Schema({{"", ColumnType::Integer}}), FatalError);
+}
+
+TEST(Schema, IndexLookup)
+{
+    const Schema schema = testSchema();
+    EXPECT_EQ(schema.indexOf("value"), 2u);
+    EXPECT_TRUE(schema.hasColumn("name"));
+    EXPECT_FALSE(schema.hasColumn("missing"));
+    EXPECT_THROW(schema.indexOf("missing"), FatalError);
+}
+
+TEST(Table, InsertAndScan)
+{
+    Table table("t", testSchema());
+    table.insert({std::int64_t{1}, std::string("a"), 1.5});
+    table.insert({std::int64_t{2}, std::string("b"), 2.5});
+    EXPECT_EQ(table.rowCount(), 2u);
+    EXPECT_EQ(asText(table.row(1)[1]), "b");
+
+    const auto matched = table.select([](const Row &row) {
+        return asReal(row[2]) > 2.0;
+    });
+    ASSERT_EQ(matched.size(), 1u);
+    EXPECT_EQ(asInteger(matched[0][0]), 2);
+}
+
+TEST(Table, ArityMismatchRejected)
+{
+    Table table("t", testSchema());
+    EXPECT_THROW(table.insert({std::int64_t{1}}), FatalError);
+}
+
+TEST(Table, TypeMismatchRejected)
+{
+    Table table("t", testSchema());
+    EXPECT_THROW(
+        table.insert({std::string("bad"), std::string("a"), 1.0}),
+        FatalError);
+}
+
+TEST(Table, IntegerWidensIntoRealColumn)
+{
+    Table table("t", testSchema());
+    table.insert({std::int64_t{1}, std::string("a"), std::int64_t{3}});
+    EXPECT_DOUBLE_EQ(asReal(table.row(0)[2]), 3.0);
+    // Stored normalized as a real.
+    EXPECT_EQ(valueType(table.row(0)[2]), ColumnType::Real);
+}
+
+TEST(Table, ColumnProjection)
+{
+    Table table("t", testSchema());
+    table.insert({std::int64_t{1}, std::string("a"), 1.0});
+    table.insert({std::int64_t{2}, std::string("b"), 4.0});
+    const auto values = table.numericColumn("value");
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[1], 4.0);
+}
+
+TEST(Table, ClearKeepsSchema)
+{
+    Table table("t", testSchema());
+    table.insert({std::int64_t{1}, std::string("a"), 1.0});
+    table.clear();
+    EXPECT_EQ(table.rowCount(), 0u);
+    EXPECT_EQ(table.schema().size(), 3u);
+}
+
+// --- Database ----------------------------------------------------------
+
+std::vector<TimeSeries>
+makeSeries()
+{
+    return {TimeSeries("EV_A", {1.0, 2.0, 3.0}, 10.0),
+            TimeSeries("EV_B", {4.0, 5.0, 6.0}, 10.0)};
+}
+
+TEST(Database, AddRunAndQuery)
+{
+    Database db("haswell-e");
+    const RunId id =
+        db.addRun("wordcount", "hibench", "mlpx", 1234.0, makeSeries());
+    EXPECT_EQ(db.runCount(), 1u);
+
+    const RunMetadata &meta = db.runInfo(id);
+    EXPECT_EQ(meta.program, "wordcount");
+    EXPECT_EQ(meta.mode, "mlpx");
+    EXPECT_DOUBLE_EQ(meta.execTimeMs, 1234.0);
+    ASSERT_EQ(meta.events.size(), 2u);
+    EXPECT_EQ(meta.events[0], "EV_A");
+
+    const TimeSeries series = db.series(id, "EV_B");
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series.at(2), 6.0);
+    EXPECT_DOUBLE_EQ(series.intervalMs(), 10.0);
+}
+
+TEST(Database, TwoLevelOrganization)
+{
+    Database db;
+    const RunId id =
+        db.addRun("sort", "hibench", "ocoe", 10.0, makeSeries());
+    // Level 1: catalog row for the run, naming the level-2 table.
+    EXPECT_EQ(db.catalog().rowCount(), 1u);
+    const auto &catalog_row = db.catalog().row(0);
+    EXPECT_EQ(asText(catalog_row[6]), "run_" + std::to_string(id));
+    // Level 2: the per-run series table with one column per event.
+    const Table &level2 = db.seriesTable(id);
+    EXPECT_EQ(level2.rowCount(), 3u); // intervals
+    EXPECT_TRUE(level2.schema().hasColumn("EV_A"));
+    EXPECT_TRUE(level2.schema().hasColumn("interval"));
+}
+
+TEST(Database, FindRunsByProgramAndMode)
+{
+    Database db;
+    db.addRun("a", "s", "ocoe", 1.0, makeSeries());
+    db.addRun("a", "s", "mlpx", 1.0, makeSeries());
+    db.addRun("b", "s", "mlpx", 1.0, makeSeries());
+    EXPECT_EQ(db.findRuns("a").size(), 2u);
+    EXPECT_EQ(db.findRuns("a", "mlpx").size(), 1u);
+    EXPECT_EQ(db.findRuns("c").size(), 0u);
+    const auto programs = db.programs();
+    ASSERT_EQ(programs.size(), 2u);
+    EXPECT_EQ(programs[0], "a");
+}
+
+TEST(Database, MismatchedSeriesLengthsRejected)
+{
+    Database db;
+    std::vector<TimeSeries> bad = {TimeSeries("A", {1.0, 2.0}),
+                                   TimeSeries("B", {1.0})};
+    EXPECT_THROW(db.addRun("p", "s", "ocoe", 1.0, bad), FatalError);
+}
+
+TEST(Database, UnknownRunAndEventRejected)
+{
+    Database db;
+    const RunId id = db.addRun("p", "s", "ocoe", 1.0, makeSeries());
+    EXPECT_THROW(db.runInfo(id + 100), FatalError);
+    EXPECT_THROW(db.series(id, "NO_SUCH_EVENT"), FatalError);
+}
+
+TEST(Database, SaveLoadRoundTrip)
+{
+    const std::string path = "/tmp/cminer_db_test.cmdb";
+    {
+        Database db("haswell-e");
+        db.addRun("wordcount", "hibench", "mlpx", 42.0, makeSeries());
+        db.addRun("sort", "hibench", "ocoe", 24.0, makeSeries());
+        db.save(path);
+    }
+    const Database loaded = Database::load(path);
+    EXPECT_EQ(loaded.microarch(), "haswell-e");
+    EXPECT_EQ(loaded.runCount(), 2u);
+    const auto runs = loaded.findRuns("wordcount");
+    ASSERT_EQ(runs.size(), 1u);
+    const TimeSeries series = loaded.series(runs[0], "EV_A");
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(loaded.runInfo(runs[0]).execTimeMs, 42.0);
+    std::filesystem::remove(path);
+}
+
+TEST(Database, LoadRejectsGarbage)
+{
+    const std::string path = "/tmp/cminer_db_garbage.cmdb";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a database", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(Database::load(path), FatalError);
+    std::filesystem::remove(path);
+}
+
+TEST(Database, LoadMissingFileThrows)
+{
+    EXPECT_THROW(Database::load("/nonexistent/db.cmdb"), FatalError);
+}
+
+TEST(Database, ExportCsvWritesCatalogAndRuns)
+{
+    const std::string dir = "/tmp/cminer_db_export";
+    std::filesystem::remove_all(dir);
+    Database db;
+    const RunId id = db.addRun("p", "s", "mlpx", 1.0, makeSeries());
+    db.exportCsv(dir);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/catalog.csv"));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/run_" + std::to_string(id) + ".csv"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Database, EmptyRunRejected)
+{
+    Database db;
+    EXPECT_THROW(db.addRun("p", "s", "ocoe", 1.0, {}), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit and property tests for the time-series module: the TimeSeries
+ * container, the DTW distance (identity, symmetry, warping behaviour,
+ * band constraint, path validity), and resampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ts/dtw.h"
+#include "ts/resample.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cminer::ts;
+using cminer::util::Rng;
+
+// --- TimeSeries ------------------------------------------------------
+
+TEST(TimeSeries, BasicAccessors)
+{
+    TimeSeries series("ICACHE.MISSES", {1.0, 2.0, 3.0}, 10.0);
+    EXPECT_EQ(series.eventName(), "ICACHE.MISSES");
+    EXPECT_EQ(series.size(), 3u);
+    EXPECT_FALSE(series.empty());
+    EXPECT_DOUBLE_EQ(series.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(series.intervalMs(), 10.0);
+    EXPECT_DOUBLE_EQ(series.durationMs(), 30.0);
+    EXPECT_DOUBLE_EQ(series.total(), 6.0);
+}
+
+TEST(TimeSeries, SetAndAppend)
+{
+    TimeSeries series("X", {1.0});
+    series.set(0, 5.0);
+    series.append(7.0);
+    EXPECT_DOUBLE_EQ(series.at(0), 5.0);
+    EXPECT_DOUBLE_EQ(series.at(1), 7.0);
+    EXPECT_EQ(series.size(), 2u);
+}
+
+TEST(TimeSeries, Slice)
+{
+    TimeSeries series("X", {0, 1, 2, 3, 4, 5});
+    const TimeSeries mid = series.slice(2, 3);
+    ASSERT_EQ(mid.size(), 3u);
+    EXPECT_DOUBLE_EQ(mid.at(0), 2.0);
+    EXPECT_DOUBLE_EQ(mid.at(2), 4.0);
+    // Slice past the end truncates.
+    const TimeSeries tail = series.slice(4, 100);
+    EXPECT_EQ(tail.size(), 2u);
+}
+
+// --- DTW --------------------------------------------------------------
+
+TEST(Dtw, IdenticalSeriesHaveZeroDistance)
+{
+    const std::vector<double> x = {1, 3, 2, 5, 4};
+    EXPECT_DOUBLE_EQ(dtwDistance(x, x), 0.0);
+}
+
+TEST(Dtw, SymmetricWithoutBand)
+{
+    const std::vector<double> a = {1, 2, 3, 4, 9};
+    const std::vector<double> b = {1, 5, 3};
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), dtwDistance(b, a));
+}
+
+TEST(Dtw, NonNegative)
+{
+    Rng rng(1);
+    for (int rep = 0; rep < 20; ++rep) {
+        std::vector<double> a, b;
+        const int n = static_cast<int>(rng.uniformInt(1, 30));
+        const int m = static_cast<int>(rng.uniformInt(1, 30));
+        for (int i = 0; i < n; ++i)
+            a.push_back(rng.gaussian());
+        for (int i = 0; i < m; ++i)
+            b.push_back(rng.gaussian());
+        EXPECT_GE(dtwDistance(a, b), 0.0);
+    }
+}
+
+TEST(Dtw, KnownSmallCase)
+{
+    // Classic alignment: the time-shifted bump costs nothing.
+    const std::vector<double> a = {0, 0, 1, 2, 1, 0, 0};
+    const std::vector<double> b = {0, 1, 2, 1, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), 0.0);
+}
+
+TEST(Dtw, ConstantShiftCostsPerPoint)
+{
+    const std::vector<double> a = {1, 1, 1, 1};
+    const std::vector<double> b = {2, 2, 2, 2};
+    // Every matched pair costs 1; the optimal path has 4 diagonal steps.
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), 4.0);
+}
+
+TEST(Dtw, HandlesDifferentLengths)
+{
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> b = {1, 1, 2, 2, 3, 3};
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), 0.0);
+}
+
+TEST(Dtw, SingleElementSeries)
+{
+    const std::vector<double> a = {5.0};
+    const std::vector<double> b = {1.0, 2.0, 3.0};
+    // One element matches against all of b.
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), 4.0 + 3.0 + 2.0);
+}
+
+TEST(Dtw, TimeSeriesOverloadMatchesSpanOverload)
+{
+    const TimeSeries a("A", {1, 2, 3, 4});
+    const TimeSeries b("B", {1, 3, 3, 5});
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b),
+                     dtwDistance(a.span(), b.span()));
+}
+
+TEST(Dtw, NormalizationDividesByPathLength)
+{
+    const std::vector<double> a = {1, 1, 1, 1};
+    const std::vector<double> b = {2, 2, 2, 2};
+    DtwOptions norm;
+    norm.normalizeByPathLength = true;
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b, norm), 4.0 / 8.0);
+}
+
+TEST(Dtw, BandedDistanceUpperBoundsExact)
+{
+    Rng rng(2);
+    std::vector<double> a, b;
+    for (int i = 0; i < 120; ++i) {
+        a.push_back(std::sin(i * 0.2) + rng.gaussian(0.0, 0.05));
+        b.push_back(std::sin(i * 0.2 + 0.4) + rng.gaussian(0.0, 0.05));
+    }
+    DtwOptions banded;
+    banded.bandFraction = 0.1;
+    const double exact = dtwDistance(a, b);
+    const double within_band = dtwDistance(a, b, banded);
+    EXPECT_GE(within_band, exact - 1e-9);
+    // The band is generous enough here to stay close to exact.
+    EXPECT_LT(within_band, exact * 1.5 + 1.0);
+}
+
+TEST(Dtw, BandCoversLengthMismatch)
+{
+    // A narrow band must still admit a path when lengths differ a lot.
+    std::vector<double> a(10, 1.0);
+    std::vector<double> b(50, 1.0);
+    DtwOptions banded;
+    banded.bandFraction = 0.05;
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b, banded), 0.0);
+}
+
+TEST(DtwAlign, PathIsValidWarpingPath)
+{
+    Rng rng(3);
+    std::vector<double> a, b;
+    for (int i = 0; i < 40; ++i)
+        a.push_back(rng.gaussian());
+    for (int i = 0; i < 30; ++i)
+        b.push_back(rng.gaussian());
+    const DtwResult result = dtwAlign(a, b);
+
+    ASSERT_FALSE(result.path.empty());
+    // Boundary conditions.
+    EXPECT_EQ(result.path.front(), std::make_pair(std::size_t{0},
+                                                  std::size_t{0}));
+    EXPECT_EQ(result.path.back(),
+              std::make_pair(a.size() - 1, b.size() - 1));
+    // Monotonicity and continuity.
+    for (std::size_t k = 1; k < result.path.size(); ++k) {
+        const auto [pi, pj] = result.path[k - 1];
+        const auto [ci, cj] = result.path[k];
+        EXPECT_GE(ci, pi);
+        EXPECT_GE(cj, pj);
+        EXPECT_LE(ci - pi, 1u);
+        EXPECT_LE(cj - pj, 1u);
+        EXPECT_TRUE(ci != pi || cj != pj);
+    }
+}
+
+TEST(DtwAlign, DistanceMatchesPathCost)
+{
+    const std::vector<double> a = {0, 2, 4, 2, 0};
+    const std::vector<double> b = {0, 1, 4, 1, 0};
+    const DtwResult result = dtwAlign(a, b);
+    double path_cost = 0.0;
+    for (const auto &[i, j] : result.path)
+        path_cost += std::abs(a[i] - b[j]);
+    EXPECT_DOUBLE_EQ(result.distance, path_cost);
+    EXPECT_DOUBLE_EQ(result.distance, dtwDistance(a, b));
+}
+
+/**
+ * Property sweep: DTW is invariant to duplicating points (stretching a
+ * series in time costs nothing extra).
+ */
+class DtwStretchProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DtwStretchProperty, StretchInvariance)
+{
+    Rng rng(100 + GetParam());
+    std::vector<double> a;
+    for (int i = 0; i < 20; ++i)
+        a.push_back(rng.gaussian());
+    // Duplicate every element k times.
+    std::vector<double> stretched;
+    for (double v : a) {
+        for (int k = 0; k < GetParam(); ++k)
+            stretched.push_back(v);
+    }
+    EXPECT_DOUBLE_EQ(dtwDistance(a, stretched), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DtwStretchProperty,
+                         ::testing::Values(1, 2, 3, 5));
+
+// --- resample ---------------------------------------------------------
+
+TEST(Resample, IdentityWhenSameLength)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    EXPECT_EQ(resampleLinear(x, 4), x);
+}
+
+TEST(Resample, EndpointsPreserved)
+{
+    const std::vector<double> x = {10, 0, 0, 0, 20};
+    const auto up = resampleLinear(x, 17);
+    EXPECT_DOUBLE_EQ(up.front(), 10.0);
+    EXPECT_DOUBLE_EQ(up.back(), 20.0);
+    EXPECT_EQ(up.size(), 17u);
+}
+
+TEST(Resample, LinearInterpolationExactOnLine)
+{
+    std::vector<double> line;
+    for (int i = 0; i <= 10; ++i)
+        line.push_back(i);
+    const auto resampled = resampleLinear(line, 21);
+    for (std::size_t i = 0; i < resampled.size(); ++i)
+        EXPECT_NEAR(resampled[i], i * 0.5, 1e-12);
+}
+
+TEST(Resample, SingleValueBroadcasts)
+{
+    const std::vector<double> x = {7.0};
+    const auto out = resampleLinear(x, 5);
+    for (double v : out)
+        EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Resample, TimeSeriesKeepsDuration)
+{
+    const TimeSeries series("X", {1, 2, 3, 4}, 10.0);
+    const TimeSeries resampled = resampleLinear(series, 8);
+    EXPECT_EQ(resampled.size(), 8u);
+    EXPECT_NEAR(resampled.durationMs(), series.durationMs(), 1e-9);
+    EXPECT_EQ(resampled.eventName(), "X");
+}
+
+TEST(Resample, DownsampleMeanGroups)
+{
+    const std::vector<double> x = {1, 3, 5, 7, 9};
+    const auto down = downsampleMean(x, 2);
+    ASSERT_EQ(down.size(), 3u);
+    EXPECT_DOUBLE_EQ(down[0], 2.0);
+    EXPECT_DOUBLE_EQ(down[1], 6.0);
+    EXPECT_DOUBLE_EQ(down[2], 9.0); // last partial group
+}
+
+TEST(Resample, DownsampleFactorOneIsIdentity)
+{
+    const std::vector<double> x = {1, 2, 3};
+    EXPECT_EQ(downsampleMean(x, 1), x);
+}
+
+} // namespace
