@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "util/thread_pool.h"
+
 namespace cminer::bench {
 
 std::vector<pmu::EventId>
@@ -95,6 +97,18 @@ resultCsvPath(const std::string &name)
 {
     std::filesystem::create_directories("bench_results");
     return "bench_results/" + name + ".csv";
+}
+
+std::size_t
+activeThreads()
+{
+    return util::Parallelism::threadCount();
+}
+
+std::string
+runContextCsvComment()
+{
+    return util::format("# threads=%zu\n", activeThreads());
 }
 
 } // namespace cminer::bench

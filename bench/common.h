@@ -77,6 +77,19 @@ ErrorPair measureBenchmarkError(
 /** Open ./bench_results/<name>.csv for writing (creates the dir). */
 std::string resultCsvPath(const std::string &name);
 
+/**
+ * Effective pipeline thread count (the Parallelism resolution: --threads
+ * / CMINER_THREADS / hardware). Benches report it next to their timings
+ * so results from different machines or thread settings stay comparable.
+ */
+std::size_t activeThreads();
+
+/**
+ * One-line CSV comment recording the run context (currently the thread
+ * count), e.g. "# threads=4". Benches prepend it to their result files.
+ */
+std::string runContextCsvComment();
+
 } // namespace cminer::bench
 
 #endif // CMINER_BENCH_COMMON_H

@@ -7,17 +7,37 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
 #include "stats/anderson_darling.h"
 #include "ts/dtw.h"
 #include "ts/lb_keogh.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "workload/suites.h"
 
 using namespace cminer;
 
 namespace {
+
+/** Training set for the GBRT-fit benchmarks. */
+ml::Dataset
+gbrtBenchData(std::size_t features, int rows)
+{
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < features; ++f)
+        names.push_back("f" + std::to_string(f));
+    ml::Dataset data(names);
+    util::Rng gen(5);
+    for (int r = 0; r < rows; ++r) {
+        std::vector<double> row(features);
+        for (auto &v : row)
+            v = gen.gaussian();
+        data.addRow(row, row[0] * 2.0 + row[1 % features]);
+    }
+    return data;
+}
 
 std::vector<double>
 randomSeries(std::size_t n, std::uint64_t seed)
@@ -73,17 +93,7 @@ void
 BM_GbrtFit(benchmark::State &state)
 {
     const auto features = static_cast<std::size_t>(state.range(0));
-    std::vector<std::string> names;
-    for (std::size_t f = 0; f < features; ++f)
-        names.push_back("f" + std::to_string(f));
-    ml::Dataset data(names);
-    util::Rng gen(5);
-    for (int r = 0; r < 800; ++r) {
-        std::vector<double> row(features);
-        for (auto &v : row)
-            v = gen.gaussian();
-        data.addRow(row, row[0] * 2.0 + row[1 % features]);
-    }
+    const auto data = gbrtBenchData(features, 800);
     for (auto _ : state) {
         util::Rng rng(7);
         ml::GbrtParams params;
@@ -92,8 +102,55 @@ BM_GbrtFit(benchmark::State &state)
         model.fit(data, rng);
         benchmark::DoNotOptimize(model.treeCount());
     }
+    state.counters["threads"] =
+        static_cast<double>(bench::activeThreads());
 }
 BENCHMARK(BM_GbrtFit)->Arg(16)->Arg(64)->Arg(226);
+
+/**
+ * GBRT fit at an explicit thread count (the determinism contract makes
+ * the outputs identical; only wall clock changes). Compare e.g.
+ * `BM_GbrtFitThreads/1` vs `/4` for the parallel-speedup check.
+ */
+void
+BM_GbrtFitThreads(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(226, 1600);
+    util::Parallelism::setThreadCount(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        util::Rng rng(7);
+        ml::GbrtParams params;
+        params.treeCount = 50;
+        ml::Gbrt model(params);
+        model.fit(data, rng);
+        benchmark::DoNotOptimize(model.treeCount());
+    }
+    state.counters["threads"] =
+        static_cast<double>(bench::activeThreads());
+    util::Parallelism::setThreadCount(0); // restore automatic sizing
+}
+BENCHMARK(BM_GbrtFitThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** Full-dataset prediction across the ensemble (parallel across rows). */
+void
+BM_GbrtPredictAll(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(64, 4096);
+    util::Rng rng(7);
+    ml::GbrtParams params;
+    params.treeCount = 50;
+    ml::Gbrt model(params);
+    model.fit(data, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predictAll(data));
+    state.counters["threads"] =
+        static_cast<double>(bench::activeThreads());
+}
+BENCHMARK(BM_GbrtPredictAll)->UseRealTime();
 
 void
 BM_CleanerSeries(benchmark::State &state)

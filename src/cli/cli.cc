@@ -18,6 +18,7 @@
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "workload/suites.h"
 
 namespace cminer::cli {
@@ -320,7 +321,13 @@ usage()
            "          [--skip-cleaning] [--json FILE] [--db FILE]\n"
            "  clean <perf.csv> [--out FILE]   clean a perf interval log\n"
            "  explore <db.cmdb>               summarize a database\n"
-           "  error <benchmark> [--seed S]    quick MLPX-error check\n";
+           "  error <benchmark> [--seed S]    quick MLPX-error check\n"
+           "\n"
+           "global options:\n"
+           "  --threads N   worker threads for the mining pipeline\n"
+           "                (default: CMINER_THREADS env var, else all\n"
+           "                hardware threads; 1 = fully serial; results\n"
+           "                are bit-identical for any value)\n";
 }
 
 int
@@ -334,6 +341,13 @@ run(const std::vector<std::string> &args, std::string &output)
     const std::string &command = args.front();
     try {
         const Flags flags = parseFlags(args, 1);
+        if (flags.has("threads")) {
+            const std::int64_t threads = flags.getInt("threads", 0);
+            if (threads < 1)
+                util::fatal("--threads expects a count >= 1");
+            util::Parallelism::setThreadCount(
+                static_cast<std::size_t>(threads));
+        }
         if (command == "list-benchmarks")
             return cmdListBenchmarks(output);
         if (command == "list-events")

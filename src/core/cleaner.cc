@@ -8,6 +8,7 @@
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::core {
 
@@ -141,10 +142,14 @@ DataCleaner::clean(TimeSeries &series) const
 std::vector<SeriesCleanReport>
 DataCleaner::cleanAll(std::vector<TimeSeries> &series) const
 {
-    std::vector<SeriesCleanReport> reports;
-    reports.reserve(series.size());
-    for (auto &s : series)
-        reports.push_back(clean(s));
+    // Series are cleaned independently (clean touches only its own
+    // series and report slot), so the batch fans out across the pool.
+    std::vector<SeriesCleanReport> reports(series.size());
+    cminer::util::parallelFor(
+        0, series.size(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s)
+                reports[s] = clean(series[s]);
+        });
     return reports;
 }
 

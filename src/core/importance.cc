@@ -5,6 +5,7 @@
 #include "ml/cv.h"
 #include "ml/metrics.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::core {
 
@@ -19,6 +20,7 @@ ImportanceRanker::ImportanceRanker(ImportanceOptions options)
     CM_ASSERT(options_.dropPerIteration >= 1);
     CM_ASSERT(options_.trainFraction > 0.0 &&
               options_.trainFraction < 1.0);
+    CM_ASSERT(options_.cvFolds >= 1);
 }
 
 Dataset
@@ -58,13 +60,64 @@ ImportanceRanker::buildDataset(const std::vector<CollectedRun> &runs,
 std::pair<std::vector<FeatureImportance>, double>
 ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
 {
-    auto split = ml::trainTestSplit(data, options_.trainFraction, rng);
-    Gbrt model(options_.gbrt);
-    model.fit(split.train, rng);
-    const auto predicted = model.predictAll(split.test);
-    const double error =
-        ml::mape(split.test.targets(), predicted);
-    return {model.featureImportances(), error};
+    if (options_.cvFolds <= 1) {
+        auto split =
+            ml::trainTestSplit(data, options_.trainFraction, rng);
+        Gbrt model(options_.gbrt);
+        model.fit(split.train, rng);
+        const auto predicted = model.predictAll(split.test);
+        const double error =
+            ml::mape(split.test.targets(), predicted);
+        return {model.featureImportances(), error};
+    }
+
+    // k-fold protocol. All parent-rng draws happen serially up front
+    // (the fold shuffle, then one child seed per fold); the folds then
+    // train concurrently on independent Rng streams and their results
+    // are reduced in fold order — bit-identical for any thread count.
+    const std::size_t folds = options_.cvFolds;
+    auto splits = ml::kFold(data, folds, rng);
+    std::vector<std::uint64_t> seeds(folds);
+    for (auto &seed : seeds)
+        seed = rng.next();
+
+    std::vector<double> errors(folds, 0.0);
+    std::vector<std::vector<FeatureImportance>> rankings(folds);
+    cminer::util::parallelFor(
+        0, folds, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t f = lo; f < hi; ++f) {
+                Rng fold_rng(seeds[f]);
+                Gbrt model(options_.gbrt);
+                model.fit(splits[f].train, fold_rng);
+                const auto predicted = model.predictAll(splits[f].test);
+                errors[f] =
+                    ml::mape(splits[f].test.targets(), predicted);
+                rankings[f] = model.featureImportances();
+            }
+        });
+
+    // Average per-feature importance percents and errors in fold order.
+    const auto &names = data.featureNames();
+    std::vector<double> sums(names.size(), 0.0);
+    for (std::size_t f = 0; f < folds; ++f) {
+        CM_ASSERT(rankings[f].size() == names.size());
+        for (const auto &entry : rankings[f])
+            sums[data.featureIndex(entry.feature)] += entry.importance;
+    }
+    std::vector<FeatureImportance> averaged;
+    averaged.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        averaged.push_back(
+            {names[i], sums[i] / static_cast<double>(folds)});
+    std::sort(averaged.begin(), averaged.end(),
+              [](const FeatureImportance &a, const FeatureImportance &b) {
+                  return a.importance > b.importance;
+              });
+
+    double error_sum = 0.0;
+    for (double e : errors)
+        error_sum += e;
+    return {std::move(averaged), error_sum / static_cast<double>(folds)};
 }
 
 ImportanceResult

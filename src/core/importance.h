@@ -35,6 +35,15 @@ struct ImportanceOptions
     /** Train fraction; the paper evaluates on m/4 unseen examples. */
     double trainFraction = 0.8;
     /**
+     * Cross-validation folds per EIR iteration. 1 (the paper's
+     * protocol) trains a single model on one shuffled train/test split;
+     * >= 2 trains that many k-fold models — concurrently on the thread
+     * pool, each fold with its own Rng stream seeded deterministically
+     * from the parent seed — and averages errors and importances in
+     * fold order, so the result is bit-identical for any thread count.
+     */
+    std::size_t cvFolds = 1;
+    /**
      * Early stop: end the loop after this many consecutive iterations
      * without improving on the best error ("repeat several times until
      * the MAPM is found"). 0 disables early stopping and the loop runs

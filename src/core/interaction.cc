@@ -5,12 +5,67 @@
 #include "ml/linear_regression.h"
 #include "ml/metrics.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::core {
 
 using cminer::ml::Dataset;
 using cminer::ml::Gbrt;
 using cminer::ml::LinearRegression;
+
+namespace {
+
+/**
+ * Interaction intensity of one event pair (Eq. 12).
+ *
+ * Model predictions with all other events held at their means while the
+ * pair walks through its observed values. The linear model is fit over
+ * the pair's *univariate* model responses (each event moved alone), so
+ * additive — even nonlinear — per-event effects are fully explainable
+ * and the residual isolates genuine two-way interaction.
+ *
+ * Pure function of read-only inputs (the probe vector is a local copy),
+ * safe and deterministic to evaluate for many pairs concurrently.
+ */
+double
+pairResidualVariance(const Gbrt &model, const Dataset &data,
+                     const std::vector<double> &means,
+                     const std::vector<std::size_t> &rows,
+                     const std::pair<std::string, std::string> &pair)
+{
+    const auto &[name_a, name_b] = pair;
+    const std::size_t idx_a = data.featureIndex(name_a);
+    const std::size_t idx_b = data.featureIndex(name_b);
+
+    Dataset pair_data({name_a, name_b});
+    std::vector<double> oracle;
+    oracle.reserve(rows.size());
+    std::vector<double> probe = means;
+    for (std::size_t r : rows) {
+        const double value_a = data.row(r)[idx_a];
+        const double value_b = data.row(r)[idx_b];
+        probe[idx_a] = value_a;
+        probe[idx_b] = value_b;
+        const double joint = model.predict(probe);
+        probe[idx_b] = means[idx_b];
+        const double alone_a = model.predict(probe);
+        probe[idx_a] = means[idx_a];
+        probe[idx_b] = value_b;
+        const double alone_b = model.predict(probe);
+        probe[idx_b] = means[idx_b];
+        pair_data.addRow({alone_a, alone_b}, joint);
+        oracle.push_back(joint);
+    }
+
+    // Linear model of the pair's combined effect; its residual variance
+    // is the interaction intensity (Eq. 12).
+    LinearRegression linear;
+    linear.fit(pair_data);
+    const auto linear_pred = linear.predictAll(pair_data);
+    return ml::residualVariance(oracle, linear_pred);
+}
+
+} // namespace
 
 InteractionRanker::InteractionRanker(InteractionOptions options)
     : options_(options)
@@ -44,47 +99,25 @@ InteractionRanker::rankPairs(
     for (std::size_t r = 0; r < data.rowCount(); r += stride)
         rows.push_back(r);
 
+    // Each pair's probe/fit/residual is independent (the model and the
+    // dataset are only read); variances land in per-pair slots and are
+    // reduced serially in pair order below, so the normalization (Eq.
+    // 13) is bit-identical for any thread count.
+    std::vector<double> variances(pairs.size(), 0.0);
+    cminer::util::parallelFor(
+        0, pairs.size(), 1,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t p = lo; p < hi; ++p)
+                variances[p] = pairResidualVariance(model, data, means,
+                                                    rows, pairs[p]);
+        });
+
     InteractionResult result;
     double total_variance = 0.0;
-    for (const auto &[name_a, name_b] : pairs) {
-        const std::size_t idx_a = data.featureIndex(name_a);
-        const std::size_t idx_b = data.featureIndex(name_b);
-
-        // Model predictions with all other events held at their means
-        // while the pair walks through its observed values. The linear
-        // model is fit over the pair's *univariate* model responses
-        // (each event moved alone), so additive — even nonlinear —
-        // per-event effects are fully explainable and the residual
-        // isolates genuine two-way interaction.
-        Dataset pair_data({name_a, name_b});
-        std::vector<double> oracle;
-        oracle.reserve(rows.size());
-        std::vector<double> probe = means;
-        for (std::size_t r : rows) {
-            const double value_a = data.row(r)[idx_a];
-            const double value_b = data.row(r)[idx_b];
-            probe[idx_a] = value_a;
-            probe[idx_b] = value_b;
-            const double joint = model.predict(probe);
-            probe[idx_b] = means[idx_b];
-            const double alone_a = model.predict(probe);
-            probe[idx_a] = means[idx_a];
-            probe[idx_b] = value_b;
-            const double alone_b = model.predict(probe);
-            probe[idx_b] = means[idx_b];
-            pair_data.addRow({alone_a, alone_b}, joint);
-            oracle.push_back(joint);
-        }
-
-        // Linear model of the pair's combined effect; its residual
-        // variance is the interaction intensity (Eq. 12).
-        LinearRegression linear;
-        linear.fit(pair_data);
-        const auto linear_pred = linear.predictAll(pair_data);
-        const double v = ml::residualVariance(oracle, linear_pred);
-
-        result.pairs.push_back({name_a, name_b, v, 0.0});
-        total_variance += v;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        result.pairs.push_back(
+            {pairs[p].first, pairs[p].second, variances[p], 0.0});
+        total_variance += variances[p];
     }
 
     // Eq. 13: normalize across pairs.

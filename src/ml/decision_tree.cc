@@ -5,8 +5,69 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::ml {
+
+namespace {
+
+/** Winning (improvement, bin) of one candidate feature's split scan. */
+struct CandidateBest
+{
+    double improvement = 0.0;
+    std::size_t bin = 0;
+    bool valid = false;
+};
+
+/**
+ * Best split of one feature over the node's rows via per-bin histograms.
+ *
+ * Depends only on this feature's bins plus the node aggregates, so the
+ * result is bitwise identical whether candidates are scanned serially or
+ * concurrently.
+ */
+CandidateBest
+scanCandidate(const FeatureBinner &binner, std::size_t feature,
+              std::span<const double> targets,
+              const std::vector<std::size_t> &rows, double sum,
+              double parent_score, const TreeParams &params)
+{
+    CandidateBest best;
+    best.improvement = params.minImprovement;
+    const std::size_t bins = binner.binCount(feature);
+    if (bins < 2)
+        return best;
+    std::vector<double> bin_sum(bins, 0.0);
+    std::vector<std::size_t> bin_count(bins, 0);
+    for (std::size_t r : rows) {
+        const std::uint8_t b = binner.bin(feature, r);
+        bin_sum[b] += targets[r];
+        ++bin_count[b];
+    }
+    double left_sum = 0.0;
+    std::size_t left_count = 0;
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+        left_sum += bin_sum[b];
+        left_count += bin_count[b];
+        const std::size_t right_count = rows.size() - left_count;
+        if (left_count < params.minSamplesLeaf ||
+            right_count < params.minSamplesLeaf)
+            continue;
+        const double right_sum = sum - left_sum;
+        const double improvement =
+            left_sum * left_sum / static_cast<double>(left_count) +
+            right_sum * right_sum / static_cast<double>(right_count) -
+            parent_score;
+        if (improvement > best.improvement) {
+            best.improvement = improvement;
+            best.bin = b;
+            best.valid = true;
+        }
+    }
+    return best;
+}
+
+} // namespace
 
 FeatureBinner::FeatureBinner(const Dataset &data, std::size_t max_bins)
     : rowCount_(data.rowCount())
@@ -131,48 +192,44 @@ RegressionTree::grow(const Dataset &data, const FeatureBinner &binner,
     std::vector<std::size_t> candidates =
         rng.sampleIndices(features, take);
 
-    // Best split over candidate features via per-bin histograms.
+    // Best split over candidate features via per-bin histograms. Each
+    // candidate scan is independent; the winner is reduced serially in
+    // candidate order (strict >, first wins ties) so the selection is
+    // bit-identical to the serial loop for any thread count. Small nodes
+    // stay serial: the scan is cheaper than the fork.
+    const double parent_score = sum * sum / count;
+    std::vector<CandidateBest> bests(candidates.size());
+    const bool parallel_scan =
+        candidates.size() >= 4 && rows.size() * candidates.size() >= 8192;
+    if (parallel_scan) {
+        cminer::util::parallelFor(
+            0, candidates.size(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    bests[i] = scanCandidate(binner, candidates[i],
+                                             targets, rows, sum,
+                                             parent_score, params_);
+            });
+    } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            bests[i] = scanCandidate(binner, candidates[i], targets,
+                                     rows, sum, parent_score, params_);
+    }
+
     double best_improvement = params_.minImprovement;
     std::size_t best_feature = 0;
     std::size_t best_bin = 0;
-    const double parent_score = sum * sum / count;
-
-    std::vector<double> bin_sum;
-    std::vector<std::size_t> bin_count;
-    for (std::size_t f : candidates) {
-        const std::size_t bins = binner.binCount(f);
-        if (bins < 2)
-            continue;
-        bin_sum.assign(bins, 0.0);
-        bin_count.assign(bins, 0);
-        for (std::size_t r : rows) {
-            const std::uint8_t b = binner.bin(f, r);
-            bin_sum[b] += targets[r];
-            ++bin_count[b];
-        }
-        double left_sum = 0.0;
-        std::size_t left_count = 0;
-        for (std::size_t b = 0; b + 1 < bins; ++b) {
-            left_sum += bin_sum[b];
-            left_count += bin_count[b];
-            const std::size_t right_count = rows.size() - left_count;
-            if (left_count < params_.minSamplesLeaf ||
-                right_count < params_.minSamplesLeaf)
-                continue;
-            const double right_sum = sum - left_sum;
-            const double improvement =
-                left_sum * left_sum / static_cast<double>(left_count) +
-                right_sum * right_sum / static_cast<double>(right_count) -
-                parent_score;
-            if (improvement > best_improvement) {
-                best_improvement = improvement;
-                best_feature = f;
-                best_bin = b;
-            }
+    bool found = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (bests[i].valid && bests[i].improvement > best_improvement) {
+            best_improvement = bests[i].improvement;
+            best_feature = candidates[i];
+            best_bin = bests[i].bin;
+            found = true;
         }
     }
 
-    if (best_improvement <= params_.minImprovement)
+    if (!found)
         return node_index; // no acceptable split: stay a leaf
 
     // Partition rows by the winning split.

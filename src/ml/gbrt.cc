@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::ml {
 
@@ -50,9 +51,15 @@ Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
             break;
         }
 
-        for (std::size_t r = 0; r < data.rowCount(); ++r)
-            predictions[r] +=
-                params_.learningRate * tree.predict(data.row(r));
+        // Each row's update reads only the new tree and writes its own
+        // slot, so chunked execution is bit-identical to the serial loop.
+        cminer::util::parallelFor(
+            0, data.rowCount(), 512,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t r = lo; r < hi; ++r)
+                    predictions[r] += params_.learningRate *
+                                      tree.predict(data.row(r));
+            });
         trees_.push_back(std::move(tree));
     }
     fitted_ = true;
@@ -71,10 +78,22 @@ Gbrt::predict(const std::vector<double> &features) const
 std::vector<double>
 Gbrt::predictAll(const Dataset &data) const
 {
-    std::vector<double> out;
-    out.reserve(data.rowCount());
-    for (std::size_t r = 0; r < data.rowCount(); ++r)
-        out.push_back(predict(data.row(r)));
+    CM_ASSERT(fitted_);
+    std::vector<double> out(data.rowCount(), 0.0);
+    // Row-major accumulation in the same tree order as predict() (so the
+    // two agree bitwise), with the fitted check hoisted out of the loop
+    // and each row's feature vector bound once by reference.
+    cminer::util::parallelFor(
+        0, data.rowCount(), 256,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+                const std::vector<double> &row = data.row(r);
+                double y = baseline_;
+                for (const auto &tree : trees_)
+                    y += params_.learningRate * tree.predict(row);
+                out[r] = y;
+            }
+        });
     return out;
 }
 

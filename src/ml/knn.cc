@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace cminer::ml {
 
@@ -57,10 +58,14 @@ KnnRegressor::predict(const std::vector<double> &features) const
 std::vector<double>
 KnnRegressor::predictAll(const Dataset &data) const
 {
-    std::vector<double> out;
-    out.reserve(data.rowCount());
-    for (std::size_t r = 0; r < data.rowCount(); ++r)
-        out.push_back(predict(data.row(r)));
+    std::vector<double> out(data.rowCount(), 0.0);
+    // Each query is an independent read-only scan of the training set.
+    cminer::util::parallelFor(
+        0, data.rowCount(), 16,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r)
+                out[r] = predict(data.row(r));
+        });
     return out;
 }
 
@@ -84,41 +89,50 @@ knnImputeSeries(std::vector<double> &values,
     if (observed.empty())
         return 0;
 
-    std::size_t imputed = 0;
-    for (std::size_t idx : missing) {
-        CM_ASSERT(idx < values.size());
-        // Locate the insertion point among observed indices and expand
-        // outward to collect the k nearest by index distance.
-        auto it = std::lower_bound(observed.begin(), observed.end(), idx);
-        std::size_t right = static_cast<std::size_t>(
-            it - observed.begin());
-        std::size_t left = right; // left neighbor is observed[left-1]
-        double total = 0.0;
-        std::size_t taken = 0;
-        while (taken < k && (left > 0 || right < observed.size())) {
-            const bool has_left = left > 0;
-            const bool has_right = right < observed.size();
-            bool take_left;
-            if (has_left && has_right) {
-                const std::size_t dl = idx - observed[left - 1];
-                const std::size_t dr = observed[right] - idx;
-                take_left = dl <= dr;
-            } else {
-                take_left = has_left;
+    // Every imputation reads only *observed* positions (never another
+    // missing slot, imputed or not) and writes its own missing slot, so
+    // the missing indices — which are distinct — can be processed in any
+    // order, chunked across threads, with bit-identical results.
+    cminer::util::parallelFor(
+        0, missing.size(), 64,
+        [&](std::size_t chunk_lo, std::size_t chunk_hi) {
+            for (std::size_t m = chunk_lo; m < chunk_hi; ++m) {
+                const std::size_t idx = missing[m];
+                CM_ASSERT(idx < values.size());
+                // Locate the insertion point among observed indices and
+                // expand outward to collect the k nearest by index
+                // distance.
+                auto it = std::lower_bound(observed.begin(),
+                                           observed.end(), idx);
+                std::size_t right = static_cast<std::size_t>(
+                    it - observed.begin());
+                std::size_t left = right; // left nbr is observed[left-1]
+                double total = 0.0;
+                std::size_t taken = 0;
+                while (taken < k && (left > 0 || right < observed.size())) {
+                    const bool has_left = left > 0;
+                    const bool has_right = right < observed.size();
+                    bool take_left;
+                    if (has_left && has_right) {
+                        const std::size_t dl = idx - observed[left - 1];
+                        const std::size_t dr = observed[right] - idx;
+                        take_left = dl <= dr;
+                    } else {
+                        take_left = has_left;
+                    }
+                    if (take_left) {
+                        total += values[observed[left - 1]];
+                        --left;
+                    } else {
+                        total += values[observed[right]];
+                        ++right;
+                    }
+                    ++taken;
+                }
+                values[idx] = total / static_cast<double>(taken);
             }
-            if (take_left) {
-                total += values[observed[left - 1]];
-                --left;
-            } else {
-                total += values[observed[right]];
-                ++right;
-            }
-            ++taken;
-        }
-        values[idx] = total / static_cast<double>(taken);
-        ++imputed;
-    }
-    return imputed;
+        });
+    return missing.size();
 }
 
 } // namespace cminer::ml

@@ -44,7 +44,8 @@ class KnnRegressor
  *
  * @param values the series; entries at `missing` indices are ignored as
  *        inputs and overwritten with imputed values
- * @param missing indices to impute (sorted or not)
+ * @param missing distinct indices to impute (sorted or not; must not
+ *        repeat — imputations run concurrently, one writer per slot)
  * @param k neighborhood size
  * @return number of entries actually imputed (0 when every index was
  *         missing, in which case nothing can be inferred)

@@ -1,0 +1,232 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+namespace {
+
+/** Set while the current thread is executing inside a pool worker. */
+thread_local bool inside_worker = false;
+
+/** Explicit override from Parallelism::setThreadCount; 0 = automatic. */
+std::atomic<std::size_t> thread_override{0};
+
+std::size_t
+envThreadCount()
+{
+    const char *env = std::getenv("CMINER_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    double parsed = 0.0;
+    if (!parseDouble(env, parsed) || parsed < 1.0)
+        return 0; // unparsable or nonsense: fall through to hardware
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+std::size_t
+Parallelism::threadCount()
+{
+    const std::size_t override = thread_override.load();
+    if (override > 0)
+        return override;
+    const std::size_t env = envThreadCount();
+    if (env > 0)
+        return env;
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+void
+Parallelism::setThreadCount(std::size_t count)
+{
+    thread_override.store(count);
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inside_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) // stopping_ and drained
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    CM_ASSERT(task != nullptr);
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    if (workers_.empty()) {
+        (*packaged)();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CM_ASSERT(!stopping_);
+        queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    CM_ASSERT(grain >= 1);
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    const std::size_t chunks = (count + grain - 1) / grain;
+
+    // Serial path: identical chunk boundaries, plain loop, no pool.
+    // Also taken for nested calls (a worker running fn calls
+    // parallelFor again): serializing is always safe and deadlock-free.
+    if (chunks == 1 || workers_.empty() || insideWorker()) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t lo = begin + c * grain;
+            fn(lo, std::min(lo + grain, end));
+        }
+        return;
+    }
+
+    // Shared loop state. Chunk boundaries depend only on (begin, end,
+    // grain); the cursor only decides which thread runs which chunk.
+    struct Loop
+    {
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<std::size_t> finished{0};
+        std::atomic<bool> abort{false};
+        std::exception_ptr error;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto loop = std::make_shared<Loop>();
+
+    auto runner = [loop, begin, end, grain, chunks, &fn] {
+        std::size_t c;
+        while ((c = loop->cursor.fetch_add(1)) < chunks) {
+            if (!loop->abort.load()) {
+                try {
+                    const std::size_t lo = begin + c * grain;
+                    fn(lo, std::min(lo + grain, end));
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(loop->mutex);
+                    if (!loop->error)
+                        loop->error = std::current_exception();
+                    loop->abort.store(true);
+                }
+            }
+            if (loop->finished.fetch_add(1) + 1 == chunks) {
+                std::lock_guard<std::mutex> lock(loop->mutex);
+                loop->done.notify_all();
+            }
+        }
+    };
+
+    // Helpers claim chunks from the shared cursor; the caller is one of
+    // them, so the pool never waits on an idle caller.
+    const std::size_t helpers = std::min(workerCount(), chunks - 1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CM_ASSERT(!stopping_);
+        for (std::size_t h = 0; h < helpers; ++h)
+            queue_.emplace_back(runner);
+    }
+    if (helpers == 1)
+        wake_.notify_one();
+    else
+        wake_.notify_all();
+
+    runner();
+
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->done.wait(lock, [&loop, chunks] {
+        return loop->finished.load() == chunks;
+    });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return inside_worker;
+}
+
+namespace {
+
+std::mutex global_pool_mutex;
+std::unique_ptr<ThreadPool> global_pool;
+std::size_t global_pool_workers = 0;
+
+} // namespace
+
+ThreadPool &
+globalPool()
+{
+    const std::size_t wanted = Parallelism::threadCount() - 1;
+    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    if (!global_pool || global_pool_workers != wanted) {
+        global_pool.reset(); // join the old workers before respawning
+        global_pool = std::make_unique<ThreadPool>(wanted);
+        global_pool_workers = wanted;
+    }
+    return *global_pool;
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    // Nested or single-threaded: skip the pool lookup entirely so the
+    // serial path stays allocation- and lock-free.
+    if (ThreadPool::insideWorker() || Parallelism::threadCount() <= 1) {
+        CM_ASSERT(grain >= 1);
+        for (std::size_t lo = begin; lo < end; lo += grain)
+            fn(lo, std::min(lo + grain, end));
+        return;
+    }
+    globalPool().parallelFor(begin, end, grain, fn);
+}
+
+} // namespace cminer::util

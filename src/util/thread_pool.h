@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic fixed-size thread pool for the mining pipeline.
+ *
+ * Design goals, in order:
+ *  1. **Bit-identical results for any thread count.** parallelFor cuts a
+ *     range into chunks whose boundaries depend only on (begin, end,
+ *     grain) — never on the thread count or claim order. Callers write
+ *     per-element or per-chunk slots and reduce serially in chunk order,
+ *     so the floating-point evaluation order is fixed.
+ *  2. **An exact serial path.** With an effective thread count of 1 (or
+ *     when called from inside a worker — nested parallelism) parallelFor
+ *     degenerates to a plain loop in the calling thread: no pool, no
+ *     queue, no synchronization.
+ *  3. **No work stealing.** Chunks are claimed from a single atomic
+ *     cursor; claim order affects scheduling only, never results.
+ *
+ * The global pool is sized by Parallelism: an explicit setThreadCount
+ * override (the CLI's --threads) wins, else the CMINER_THREADS
+ * environment variable, else std::thread::hardware_concurrency().
+ */
+
+#ifndef CMINER_UTIL_THREAD_POOL_H
+#define CMINER_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cminer::util {
+
+/**
+ * Process-wide parallelism configuration.
+ *
+ * Thread-count resolution order: explicit override > CMINER_THREADS
+ * environment variable > hardware_concurrency. A count of 1 selects the
+ * exact serial path everywhere.
+ */
+class Parallelism
+{
+  public:
+    /** Effective thread count (>= 1). */
+    static std::size_t threadCount();
+
+    /**
+     * Override the thread count (0 restores automatic resolution).
+     * The global pool is resized lazily on its next use.
+     */
+    static void setThreadCount(std::size_t count);
+};
+
+/**
+ * Fixed-size thread pool with a FIFO task queue and a deterministic
+ * parallelFor helper.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers number of worker threads to spawn (0 allowed: every
+     *        task then runs inline in submit/parallelFor callers)
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task. The returned future carries any exception the
+     * task throws.
+     *
+     * Waiting on the future from inside a worker thread can deadlock
+     * (all workers may be blocked on queued work); prefer parallelFor,
+     * which runs inline when nested.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run fn over [begin, end) in chunks of `grain` elements.
+     *
+     * Chunk k covers [begin + k*grain, min(begin + (k+1)*grain, end));
+     * the decomposition depends only on the arguments, never on the
+     * thread count. fn(chunk_begin, chunk_end) may run on any thread,
+     * concurrently with other chunks; the calling thread participates.
+     * Blocks until every chunk has finished. The first exception thrown
+     * by fn is rethrown in the caller after remaining chunks are
+     * cancelled (claimed but skipped).
+     *
+     * Runs serially inline when the range fits one chunk, the pool has
+     * no workers, or the caller is itself a pool worker (nested
+     * parallelism never deadlocks, it just serializes).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &fn);
+
+    /** True when the calling thread is a worker of any ThreadPool. */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/**
+ * The process-wide pool, sized to Parallelism::threadCount() - 1 workers
+ * (the caller of parallelFor is the remaining thread). Rebuilt lazily
+ * when the configured thread count changes.
+ */
+ThreadPool &globalPool();
+
+/**
+ * Deterministic parallel loop over [begin, end) on the global pool.
+ * See ThreadPool::parallelFor for the contract.
+ */
+void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)> &fn);
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_THREAD_POOL_H

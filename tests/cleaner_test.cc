@@ -247,6 +247,67 @@ TEST(Cleaner, EmptyAndTinySeriesSafe)
     EXPECT_EQ(tiny_report.outliersReplaced, 0u);
 }
 
+TEST(Cleaner, AllValuesMissingIsANoop)
+{
+    // Every entry corrupt (negative): there is no observed neighbor to
+    // impute from, so the series must pass through untouched rather
+    // than crash or divide by zero.
+    std::vector<double> values(50, -1.0);
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.missingFilled, 0u);
+    EXPECT_EQ(report.outliersReplaced, 0u);
+    for (std::size_t i = 0; i < series.size(); ++i)
+        EXPECT_DOUBLE_EQ(series.at(i), -1.0);
+}
+
+TEST(Cleaner, SingleSampleSeriesSafe)
+{
+    TimeSeries observed("X", {5.0});
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(observed);
+    EXPECT_EQ(report.outliersReplaced, 0u);
+    EXPECT_EQ(report.missingFilled, 0u);
+    EXPECT_DOUBLE_EQ(observed.at(0), 5.0);
+
+    // A single zero: min is 0 and max stays below the true-zero bound,
+    // so the paper's rule keeps it as a genuine zero.
+    TimeSeries zero("X", {0.0});
+    const auto zero_report = cleaner.clean(zero);
+    EXPECT_EQ(zero_report.missingFilled, 0u);
+    EXPECT_EQ(zero_report.trueZerosKept, 1u);
+    EXPECT_DOUBLE_EQ(zero.at(0), 0.0);
+}
+
+TEST(Cleaner, MaxCrossingTrueZeroThresholdMidStreamFillsZeros)
+{
+    // The series looks like a true-zero event for its first half (all
+    // values below 0.01), then the max crosses the 0.01 bound. The
+    // paper's zero rule compares against the series maximum, so once it
+    // crosses, *all* zeros — including the early ones — are missing
+    // values and must be imputed (paper §III-B2).
+    std::vector<double> values;
+    for (int i = 0; i < 50; ++i)
+        values.push_back(i % 5 == 0 ? 0.0 : 0.004);
+    for (int i = 50; i < 100; ++i)
+        values.push_back(i % 5 == 0 ? 0.0 : 0.4);
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.trueZerosKept, 0u);
+    EXPECT_EQ(report.missingFilled, 20u);
+    for (std::size_t i = 0; i < series.size(); ++i)
+        EXPECT_GT(series.at(i), 0.0) << "index " << i;
+
+    // Control: without the crossing, the same zeros are kept.
+    std::vector<double> low(values.begin(), values.begin() + 50);
+    TimeSeries control("X", low);
+    const auto control_report = cleaner.clean(control);
+    EXPECT_EQ(control_report.missingFilled, 0u);
+    EXPECT_EQ(control_report.trueZerosKept, 10u);
+}
+
 TEST(Cleaner, CleanAllProcessesEverySeries)
 {
     std::vector<TimeSeries> batch;

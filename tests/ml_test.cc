@@ -411,6 +411,30 @@ TEST(Gbrt, ConstantTargetEarlyStops)
     EXPECT_DOUBLE_EQ(gbrt.predict({50.0}), 5.0);
 }
 
+TEST(Gbrt, PredictAllMatchesPerRowPredictBitwise)
+{
+    // Regression pin: predictAll walks the ensemble row-major with the
+    // row bound once by reference; its output must stay bit-identical
+    // to calling predict() on every row.
+    Dataset data({"x", "y", "z"});
+    Rng gen(41);
+    for (int i = 0; i < 200; ++i) {
+        const double x = gen.gaussian();
+        const double y = gen.gaussian();
+        const double z = gen.uniform(0.0, 4.0);
+        data.addRow({x, y, z}, 2.0 * x - y + 0.5 * x * z);
+    }
+    Gbrt model;
+    Rng rng(42);
+    model.fit(data, rng);
+    ASSERT_TRUE(model.fitted());
+
+    const auto all = model.predictAll(data);
+    ASSERT_EQ(all.size(), data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        EXPECT_EQ(all[r], model.predict(data.row(r))) << "row " << r;
+}
+
 TEST(Gbrt, DeterministicGivenSeed)
 {
     Dataset data({"x", "y"});

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Property-style tests for the deterministic thread pool: parallelFor
+ * chunk decomposition (empty range, range smaller than grain, grain 1),
+ * nested submission, exception propagation from worker tasks, the
+ * Parallelism resolution knobs, and a stress test hammering the queue
+ * with 10k tasks from 8 submitter threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using cminer::util::Parallelism;
+using cminer::util::ThreadPool;
+
+/** Restores automatic thread-count resolution when a test ends. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(std::size_t count)
+    {
+        Parallelism::setThreadCount(count);
+    }
+    ~ThreadCountGuard() { Parallelism::setThreadCount(0); }
+};
+
+// --- parallelFor decomposition -------------------------------------------
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody)
+{
+    ThreadPool pool(3);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, 4, [&](std::size_t, std::size_t) { ++calls; });
+    pool.parallelFor(7, 3, 4, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk)
+{
+    ThreadPool pool(3);
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallelFor(2, 6, 100, [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(mutex);
+        chunks.emplace_back(lo, hi);
+    });
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].first, 2u);
+    EXPECT_EQ(chunks[0].second, 6u);
+}
+
+TEST(ParallelFor, GrainOneCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(257, 0); // one writer per slot: no races
+    pool.parallelFor(0, hits.size(), 1,
+                     [&](std::size_t lo, std::size_t hi) {
+                         EXPECT_EQ(hi, lo + 1);
+                         ++hits[lo];
+                     });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, ChunkBoundariesDependOnlyOnArguments)
+{
+    // Same (begin, end, grain) must produce the same chunk set whatever
+    // the worker count — the determinism contract's foundation.
+    const std::size_t begin = 3, end = 103, grain = 7;
+    auto collect = [&](ThreadPool &pool) {
+        std::mutex mutex;
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        pool.parallelFor(begin, end, grain,
+                         [&](std::size_t lo, std::size_t hi) {
+                             std::lock_guard<std::mutex> lock(mutex);
+                             chunks.emplace_back(lo, hi);
+                         });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    ThreadPool serial(0);
+    ThreadPool two(2);
+    ThreadPool eight(8);
+    const auto expected = collect(serial);
+    ASSERT_EQ(expected.size(), 15u); // ceil(100 / 7)
+    EXPECT_EQ(expected.front().first, begin);
+    EXPECT_EQ(expected.back().second, end);
+    EXPECT_EQ(collect(two), expected);
+    EXPECT_EQ(collect(eight), expected);
+}
+
+TEST(ParallelFor, PerChunkReductionMatchesSerialSum)
+{
+    std::vector<double> values(1000);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = 0.1 * static_cast<double>(i) + 1.0 / (1.0 + i);
+    double serial_sum = 0.0;
+    for (double v : values)
+        serial_sum += v;
+
+    ThreadPool pool(5);
+    const std::size_t grain = 64;
+    const std::size_t chunks = (values.size() + grain - 1) / grain;
+    std::vector<double> partial(chunks, 0.0);
+    pool.parallelFor(0, values.size(), grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                         double s = 0.0;
+                         for (std::size_t i = lo; i < hi; ++i)
+                             s += values[i];
+                         partial[lo / grain] = s;
+                     });
+    double chunked_sum = 0.0;
+    for (double s : partial)
+        chunked_sum += s;
+    // Not bitwise (the serial loop has one long accumulation chain) but
+    // the chunked reduction itself must be reproducible and close.
+    EXPECT_NEAR(chunked_sum, serial_sum, 1e-9 * serial_sum);
+}
+
+// --- nesting --------------------------------------------------------------
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::vector<int> matrix(32 * 32, 0);
+    pool.parallelFor(0, 32, 1, [&](std::size_t row, std::size_t) {
+        // Worker threads re-entering parallelFor must serialize inline.
+        pool.parallelFor(0, 32, 4, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t col = lo; col < hi; ++col)
+                matrix[row * 32 + col] = static_cast<int>(row + col);
+        });
+    });
+    for (std::size_t row = 0; row < 32; ++row) {
+        for (std::size_t col = 0; col < 32; ++col)
+            ASSERT_EQ(matrix[row * 32 + col],
+                      static_cast<int>(row + col));
+    }
+}
+
+TEST(ParallelFor, GlobalHelperNestedInsideWorkerRunsInline)
+{
+    ThreadCountGuard guard(4);
+    std::atomic<int> inner_calls{0};
+    cminer::util::parallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+        cminer::util::parallelFor(
+            0, 8, 1, [&](std::size_t, std::size_t) { ++inner_calls; });
+    });
+    EXPECT_EQ(inner_calls.load(), 64);
+}
+
+// --- exceptions -----------------------------------------------------------
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller)
+{
+    ThreadPool pool(3);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](std::size_t lo, std::size_t) {
+                             ++executed;
+                             if (lo == 17)
+                                 throw std::runtime_error("chunk 17");
+                         }),
+        std::runtime_error);
+    EXPECT_GE(executed.load(), 1);
+
+    // The pool survives and keeps working after a failed loop.
+    std::atomic<int> after{0};
+    pool.parallelFor(0, 10, 1,
+                     [&](std::size_t, std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelFor, SerialPathPropagatesExceptionsToo)
+{
+    ThreadPool pool(0);
+    EXPECT_THROW(pool.parallelFor(0, 4, 1,
+                                  [](std::size_t, std::size_t) {
+                                      throw std::logic_error("serial");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(Submit, ExceptionArrivesThroughTheFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        [] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(Submit, TasksRunAndComplete)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 64; ++t)
+        futures.push_back(pool.submit([&done] { ++done; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(done.load(), 64);
+}
+
+// --- stress ---------------------------------------------------------------
+
+TEST(ThreadPoolStress, TenThousandTasksFromEightThreads)
+{
+    ThreadPool pool(4);
+    constexpr int submitters = 8;
+    constexpr int per_submitter = 1250; // 10k total
+    std::atomic<long> total{0};
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (int s = 0; s < submitters; ++s) {
+        threads.emplace_back([&pool, &total] {
+            std::vector<std::future<void>> futures;
+            futures.reserve(per_submitter);
+            for (int t = 0; t < per_submitter; ++t)
+                futures.push_back(
+                    pool.submit([&total] { total.fetch_add(1); }));
+            for (auto &f : futures)
+                f.get();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(total.load(), submitters * per_submitter);
+}
+
+// --- Parallelism knobs ----------------------------------------------------
+
+TEST(Parallelism, OverrideWinsAndRestores)
+{
+    {
+        ThreadCountGuard guard(7);
+        EXPECT_EQ(Parallelism::threadCount(), 7u);
+    }
+    EXPECT_GE(Parallelism::threadCount(), 1u);
+}
+
+TEST(Parallelism, SerialOverrideSkipsThePool)
+{
+    ThreadCountGuard guard(1);
+    // With one thread the global helper must run entirely inline.
+    std::vector<std::thread::id> ids;
+    cminer::util::parallelFor(0, 16, 1,
+                              [&](std::size_t, std::size_t) {
+                                  ids.push_back(
+                                      std::this_thread::get_id());
+                              });
+    ASSERT_EQ(ids.size(), 16u);
+    for (const auto &id : ids)
+        EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(Parallelism, GlobalPoolResizesWithTheOverride)
+{
+    ThreadCountGuard guard(3);
+    EXPECT_EQ(cminer::util::globalPool().workerCount(), 2u);
+    Parallelism::setThreadCount(5);
+    EXPECT_EQ(cminer::util::globalPool().workerCount(), 4u);
+}
+
+} // namespace
