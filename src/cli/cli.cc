@@ -15,6 +15,7 @@
 #include "store/database.h"
 #include "store/query.h"
 #include "util/error.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -55,13 +56,27 @@ struct Flags
                         it->second + "'");
         return static_cast<std::int64_t>(value);
     }
+
+    double
+    getDouble(const std::string &name, double fallback) const
+    {
+        auto it = named.find(name);
+        if (it == named.end())
+            return fallback;
+        double value = 0.0;
+        if (!util::parseDouble(it->second, value))
+            util::fatal("--" + name + " expects a number, got '" +
+                        it->second + "'");
+        return value;
+    }
 };
 
 /** Flags that take no value. */
 bool
 isBooleanFlag(const std::string &name)
 {
-    return name == "skip-cleaning" || name == "help";
+    return name == "skip-cleaning" || name == "lenient" ||
+           name == "help";
 }
 
 Flags
@@ -72,7 +87,12 @@ parseFlags(const std::vector<std::string> &args, std::size_t first)
         const std::string &arg = args[i];
         if (util::startsWith(arg, "--")) {
             const std::string name = arg.substr(2);
-            if (isBooleanFlag(name)) {
+            // --name=value binds tighter than the separate-token form
+            // and works for any flag, boolean or not.
+            const auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                flags.named[name.substr(0, eq)] = name.substr(eq + 1);
+            } else if (isBooleanFlag(name)) {
                 flags.named[name] = "true";
             } else {
                 if (i + 1 >= args.size())
@@ -153,6 +173,21 @@ cmdProfile(const Flags &flags, std::string &output)
     options.importance.minEvents =
         static_cast<std::size_t>(flags.getInt("min-events", 96));
     options.skipCleaning = flags.has("skip-cleaning");
+    options.maxBadRuns =
+        static_cast<std::size_t>(flags.getInt("max-bad-runs", 0));
+    options.maxBadFraction = flags.getDouble("max-bad-fraction", 0.5);
+    if (options.maxBadFraction < 0.0 || options.maxBadFraction > 1.0)
+        util::fatal("--max-bad-fraction expects a value in [0, 1]");
+
+    // The injector outlives the miner; ProfileOptions holds a raw
+    // pointer into this scope.
+    std::optional<util::FaultInjector> injector;
+    if (flags.has("inject-faults")) {
+        auto spec = util::parseFaultSpec(flags.get("inject-faults", ""));
+        spec.status().throwIfError();
+        injector.emplace(spec.value());
+        options.injector = &*injector;
+    }
 
     store::Database db("haswell-e");
     core::CounterMiner miner(db, pmu::EventCatalog::instance(), options);
@@ -163,6 +198,11 @@ cmdProfile(const Flags &flags, std::string &output)
         "profiled %s: MAPM with %zu events, error %.2f%%\n",
         report.benchmark.c_str(), report.importance.mapmEventCount,
         report.importance.mapmErrorPercent);
+
+    const auto &ingest = report.ingest;
+    if (!ingest.quarantined.empty() || ingest.transientRetries > 0 ||
+        ingest.injected.total() > 0)
+        output += ingest.toString() + "\n";
 
     util::TablePrinter events({"rank", "event", "importance %"});
     for (std::size_t i = 0; i < report.topEvents.size(); ++i) {
@@ -219,7 +259,17 @@ cmdClean(const Flags &flags, std::string &output)
     std::stringstream buffer;
     buffer << in.rdbuf();
 
-    auto series = core::parsePerfIntervals(buffer.str());
+    core::PerfParseOptions parse_options;
+    parse_options.lenient = flags.has("lenient");
+    core::IngestReport ingest;
+    auto parsed =
+        core::parsePerfIntervals(buffer.str(), parse_options, ingest);
+    if (!parsed.ok())
+        parsed.status().withContext("clean " + path).throwIfError();
+    auto series = std::move(parsed).value();
+    if (ingest.damaged() > 0 || ingest.paddedSamples > 0)
+        output += ingest.toString() + "\n";
+
     const core::DataCleaner cleaner;
     std::size_t outliers = 0;
     std::size_t missing = 0;
@@ -319,7 +369,10 @@ usage()
            "  list-events [--category C]      the 229-event catalog\n"
            "  profile <benchmark> [--runs N] [--seed S] [--min-events N]\n"
            "          [--skip-cleaning] [--json FILE] [--db FILE]\n"
-           "  clean <perf.csv> [--out FILE]   clean a perf interval log\n"
+           "          [--inject-faults SPEC] [--max-bad-runs N]\n"
+           "          [--max-bad-fraction F]\n"
+           "  clean <perf.csv> [--out FILE] [--lenient]\n"
+           "                                  clean a perf interval log\n"
            "  explore <db.cmdb>               summarize a database\n"
            "  error <benchmark> [--seed S]    quick MLPX-error check\n"
            "\n"
@@ -327,7 +380,20 @@ usage()
            "  --threads N   worker threads for the mining pipeline\n"
            "                (default: CMINER_THREADS env var, else all\n"
            "                hardware threads; 1 = fully serial; results\n"
-           "                are bit-identical for any value)\n";
+           "                are bit-identical for any value)\n"
+           "\n"
+           "fault tolerance:\n"
+           "  --inject-faults SPEC  deterministic damage for hardening\n"
+           "                runs, e.g. corrupt=0.02,drop=0.02,nan=0.01,\n"
+           "                transient=0.05,seed=7 (rates in [0,1];\n"
+           "                keys: corrupt drop dup nan transient seed)\n"
+           "  --max-bad-runs N      quarantine up to N failed runs\n"
+           "                before aborting (default 0: first failure\n"
+           "                is fatal)\n"
+           "  --max-bad-fraction F  abort when more than this fraction\n"
+           "                of runs was quarantined (default 0.5)\n"
+           "  --lenient     (clean) skip-and-count damaged lines\n"
+           "                instead of rejecting the file\n";
 }
 
 int

@@ -23,14 +23,36 @@ DataCleaner::DataCleaner(CleanerOptions options)
     CM_ASSERT(options_.knnK >= 1);
 }
 
+namespace {
+
+/** The finite subset of a series — the only samples statistics trust. */
+std::vector<double>
+finiteValues(const std::vector<double> &values)
+{
+    std::vector<double> finite;
+    finite.reserve(values.size());
+    for (double v : values) {
+        if (std::isfinite(v))
+            finite.push_back(v);
+    }
+    return finite;
+}
+
+} // namespace
+
 double
 DataCleaner::chooseThresholdN(const std::vector<double> &values) const
 {
-    const double mu = stats::mean(values);
-    const double sigma = stats::stddev(values);
+    // NaN/Inf samples are missing data, not evidence: they must not
+    // poison the mean/std the Eq.-6 threshold is built from.
+    const std::vector<double> finite = finiteValues(values);
+    if (finite.empty())
+        return options_.thresholdCandidates.back();
+    const double mu = stats::mean(finite);
+    const double sigma = stats::stddev(finite);
     for (double n : options_.thresholdCandidates) {
         const double threshold = mu + n * sigma;
-        if (stats::fractionWithin(values, threshold) >=
+        if (stats::fractionWithin(finite, threshold) >=
             options_.coverageTarget)
             return n;
     }
@@ -41,11 +63,12 @@ std::size_t
 DataCleaner::replaceOutliers(std::vector<double> &values,
                              SeriesCleanReport &report) const
 {
-    if (values.size() < 8)
+    const std::vector<double> finite = finiteValues(values);
+    if (finite.size() < 8)
         return 0;
-    const double n = chooseThresholdN(values);
-    const double mu = stats::mean(values);
-    const double sigma = stats::stddev(values);
+    const double n = chooseThresholdN(finite);
+    const double mu = stats::mean(finite);
+    const double sigma = stats::stddev(finite);
     const double threshold = mu + n * sigma;
     report.thresholdN = n;
     report.threshold = threshold;
@@ -55,8 +78,8 @@ DataCleaner::replaceOutliers(std::vector<double> &values,
     // Replacement levels come from the non-outlying values only; the
     // histogram uses the paper's sqrt bin rule (Eq. 7).
     std::vector<double> inliers;
-    inliers.reserve(values.size());
-    for (double v : values) {
+    inliers.reserve(finite.size());
+    for (double v : finite) {
         if (v <= threshold)
             inliers.push_back(v);
     }
@@ -66,7 +89,8 @@ DataCleaner::replaceOutliers(std::vector<double> &values,
 
     std::size_t replaced = 0;
     for (double &v : values) {
-        if (v > threshold) {
+        // Non-finite samples are left for the missing-value stage.
+        if (std::isfinite(v) && v > threshold) {
             v = histogram.intervalMedian(v);
             ++replaced;
         }
@@ -78,16 +102,27 @@ void
 DataCleaner::fillMissing(std::vector<double> &values,
                          SeriesCleanReport &report) const
 {
-    // Candidate missing values: zeros (MLPX "<not counted>" samples) and
-    // anything negative (impossible for counts; treated as corrupt).
+    // Candidate missing values: zeros (MLPX "<not counted>" samples),
+    // anything negative (impossible for counts; treated as corrupt),
+    // and NaN/Inf samples (tool damage). The true-zero rule ranges over
+    // the finite samples only, so one Inf cannot veto it.
     std::vector<std::size_t> missing;
     std::size_t zero_count = 0;
+    std::size_t non_finite = 0;
     double max_value = 0.0;
-    double min_value = values.empty() ? 0.0 : values.front();
+    double min_value = 0.0;
+    bool saw_finite = false;
     for (double v : values) {
+        if (!std::isfinite(v))
+            continue;
+        if (!saw_finite) {
+            min_value = max_value = v;
+            saw_finite = true;
+        }
         max_value = std::max(max_value, v);
         min_value = std::min(min_value, v);
     }
+    max_value = std::max(max_value, 0.0);
 
     // The paper's true-zero rule: when the series minimum is zero and
     // the maximum never exceeds 0.01, the zeros are genuine.
@@ -95,7 +130,10 @@ DataCleaner::fillMissing(std::vector<double> &values,
         min_value <= 0.0 && max_value < options_.trueZeroMax;
 
     for (std::size_t i = 0; i < values.size(); ++i) {
-        if (values[i] < 0.0) {
+        if (!std::isfinite(values[i])) {
+            ++non_finite;
+            missing.push_back(i);
+        } else if (values[i] < 0.0) {
             missing.push_back(i);
         } else if (values[i] == 0.0) {
             ++zero_count;
@@ -103,10 +141,10 @@ DataCleaner::fillMissing(std::vector<double> &values,
                 missing.push_back(i);
         }
     }
-    if (zeros_are_real) {
+    // Genuine zeros are kept, but damaged samples are still repaired.
+    if (zeros_are_real)
         report.trueZerosKept = zero_count;
-        return;
-    }
+    report.nonFiniteRepaired = non_finite;
     report.missingFilled =
         ml::knnImputeSeries(values, missing, options_.knnK);
 }
@@ -121,9 +159,12 @@ DataCleaner::clean(TimeSeries &series) const
 
     auto &values = series.mutableValues();
 
-    // Record the distribution family before touching the data.
-    report.distribution =
-        stats::fitBestDistribution(values).bestFamily;
+    // Record the distribution family before touching the data. The fit
+    // sorts its input, so NaN samples must be screened out first.
+    const std::vector<double> finite = finiteValues(values);
+    if (!finite.empty())
+        report.distribution =
+            stats::fitBestDistribution(finite).bestFamily;
 
     if (options_.missingFirst) {
         if (options_.fillMissing)

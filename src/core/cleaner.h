@@ -13,6 +13,12 @@
  * zero is kept only when the series could genuinely be zero there (min
  * == 0 and max < 0.01); every other zero is treated as missing and
  * imputed by temporal KNN regression with k = 5.
+ *
+ * Damaged input: NaN/Inf samples (tool noise, fault injection) and
+ * negative counts are treated as missing values and routed through the
+ * same KNN imputation — and they are excluded from every mean/std/
+ * histogram computation so one poisoned sample cannot corrupt the
+ * outlier thresholds for the rest of the series.
  */
 
 #ifndef CMINER_CORE_CLEANER_H
@@ -50,6 +56,8 @@ struct SeriesCleanReport
     std::string event;
     std::size_t outliersReplaced = 0;
     std::size_t missingFilled = 0;
+    /** NaN/Inf inputs routed through the missing-value imputation. */
+    std::size_t nonFiniteRepaired = 0;
     std::size_t trueZerosKept = 0;
     double thresholdN = 0.0;   ///< the n actually used in Eq. 6
     double threshold = 0.0;    ///< mean + n*std

@@ -11,6 +11,8 @@ using cminer::pmu::RotationPolicy;
 using cminer::pmu::TrueTrace;
 using cminer::ts::TimeSeries;
 using cminer::util::Rng;
+using cminer::util::Status;
+using cminer::util::StatusOr;
 using cminer::workload::SparkConfig;
 using cminer::workload::SyntheticBenchmark;
 
@@ -21,16 +23,60 @@ DataCollector::DataCollector(cminer::store::Database &db,
 {
 }
 
+Status
+DataCollector::withTransientRetry(const std::function<Status()> &attempt)
+{
+    const auto result = cminer::util::retryWithBackoff(
+        retryOptions_, retryClock_, retryRng_, attempt);
+    transientRetries_ += result.attempts - 1;
+    return result.status;
+}
+
+StatusOr<CollectedRun>
+DataCollector::tryRecord(const std::string &program,
+                         const std::string &suite, const std::string &mode,
+                         const TrueTrace &trace,
+                         std::vector<TimeSeries> series, Rng &rng)
+{
+    // Injected damage lands on the event series only — the fixed
+    // counters behind the IPC series are never multiplexed and model
+    // noise there is already part of the sampler.
+    if (injector_ != nullptr)
+        injector_->corruptSeries(series);
+    series.push_back(sampler_.measuredIpc(trace, rng));
+
+    CollectedRun run;
+    // The store insertion is retried as a unit: a transient store
+    // failure leaves nothing recorded, so re-inserting is safe.
+    const Status status = withTransientRetry([&]() -> Status {
+        if (injector_ != nullptr) {
+            const Status fault = injector_->transientFault("store");
+            if (!fault.ok())
+                return fault;
+        }
+        auto added = db_.tryAddRun(program, suite, mode,
+                                   trace.durationMs(), series);
+        if (!added.ok())
+            return added.status();
+        run.id = added.value();
+        return Status::okStatus();
+    });
+    if (!status.ok())
+        return status.withContext("collector: recording run for " +
+                                  program);
+    run.series = std::move(series);
+    return run;
+}
+
 CollectedRun
 DataCollector::record(const std::string &program, const std::string &suite,
                       const std::string &mode, const TrueTrace &trace,
                       std::vector<TimeSeries> series, Rng &rng)
 {
-    series.push_back(sampler_.measuredIpc(trace, rng));
-    CollectedRun run;
-    run.id = db_.addRun(program, suite, mode, trace.durationMs(), series);
-    run.series = std::move(series);
-    return run;
+    auto result =
+        tryRecord(program, suite, mode, trace, std::move(series), rng);
+    result.status().throwIfError();
+    return std::move(result).value();
 }
 
 CollectedRun
@@ -62,19 +108,65 @@ DataCollector::collectOcoePlan(const SyntheticBenchmark &benchmark,
     return runs;
 }
 
+StatusOr<CollectedRun>
+DataCollector::tryCollectMlpx(const SyntheticBenchmark &benchmark,
+                              const std::vector<EventId> &events, Rng &rng,
+                              const SparkConfig &config,
+                              RotationPolicy policy)
+{
+    // A transient sampler-launch failure happens *before* the trace is
+    // drawn, so a successful retry consumes the caller's Rng stream
+    // exactly as an undisturbed run would.
+    const Status launch = withTransientRetry([&]() -> Status {
+        return injector_ != nullptr
+            ? injector_->transientFault("sampler")
+            : Status::okStatus();
+    });
+    if (!launch.ok())
+        return launch.withContext("collector: launching MLPX run for " +
+                                  benchmark.name());
+
+    const TrueTrace trace = benchmark.generateTrace(rng, config);
+    const MlpxSchedule schedule(events,
+                                sampler_.config().programmableCounters,
+                                policy);
+    auto series = sampler_.measureMlpx(trace, schedule, rng);
+    return tryRecord(benchmark.name(), benchmark.suite(), "mlpx", trace,
+                     std::move(series), rng);
+}
+
 CollectedRun
 DataCollector::collectMlpx(const SyntheticBenchmark &benchmark,
                            const std::vector<EventId> &events, Rng &rng,
                            const SparkConfig &config,
                            RotationPolicy policy)
 {
-    const TrueTrace trace = benchmark.generateTrace(rng, config);
+    auto result = tryCollectMlpx(benchmark, events, rng, config, policy);
+    result.status().throwIfError();
+    return std::move(result).value();
+}
+
+StatusOr<CollectedRun>
+DataCollector::tryCollectMlpxFromTrace(const TrueTrace &trace,
+                                       const std::string &program,
+                                       const std::string &suite,
+                                       const std::vector<EventId> &events,
+                                       Rng &rng)
+{
+    const Status launch = withTransientRetry([&]() -> Status {
+        return injector_ != nullptr
+            ? injector_->transientFault("sampler")
+            : Status::okStatus();
+    });
+    if (!launch.ok())
+        return launch.withContext("collector: launching MLPX run for " +
+                                  program);
+
     const MlpxSchedule schedule(events,
-                                sampler_.config().programmableCounters,
-                                policy);
+                                sampler_.config().programmableCounters);
     auto series = sampler_.measureMlpx(trace, schedule, rng);
-    return record(benchmark.name(), benchmark.suite(), "mlpx", trace,
-                  std::move(series), rng);
+    return tryRecord(program, suite, "mlpx", trace, std::move(series),
+                     rng);
 }
 
 CollectedRun
@@ -84,10 +176,10 @@ DataCollector::collectMlpxFromTrace(const TrueTrace &trace,
                                     const std::vector<EventId> &events,
                                     Rng &rng)
 {
-    const MlpxSchedule schedule(events,
-                                sampler_.config().programmableCounters);
-    auto series = sampler_.measureMlpx(trace, schedule, rng);
-    return record(program, suite, "mlpx", trace, std::move(series), rng);
+    auto result =
+        tryCollectMlpxFromTrace(trace, program, suite, events, rng);
+    result.status().throwIfError();
+    return std::move(result).value();
 }
 
 CollectedRun

@@ -4,11 +4,19 @@
  * their events through the PMU in OCOE or MLPX mode, and records the
  * resulting time series — plus the fixed-counter IPC — in the two-level
  * database.
+ *
+ * The collector is the pipeline's fault boundary. An attached
+ * FaultInjector can make the sampler launch or the store insertion fail
+ * transiently (retried with deterministic exponential backoff) and can
+ * damage the sampled series (quarantined or repaired downstream); the
+ * try* entry points surface those failures as recoverable Status values
+ * instead of killing the job.
  */
 
 #ifndef CMINER_CORE_COLLECTOR_H
 #define CMINER_CORE_COLLECTOR_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,7 +26,10 @@
 #include "pmu/trace.h"
 #include "store/database.h"
 #include "ts/time_series.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "workload/benchmark.h"
 
 namespace cminer::core {
@@ -54,6 +65,31 @@ class DataCollector
 
     /** The sampler in use (for its PMU config). */
     const cminer::pmu::Sampler &sampler() const { return sampler_; }
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Injected
+     * transient faults are retried per the retry options; injected data
+     * damage flows into the sampled series.
+     */
+    void setFaultInjector(cminer::util::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** The attached fault injector, or nullptr. */
+    cminer::util::FaultInjector *faultInjector() const { return injector_; }
+
+    /** Backoff policy for transient collection/store failures. */
+    void setRetryOptions(cminer::util::RetryOptions options)
+    {
+        retryOptions_ = options;
+    }
+
+    /** Transient retries performed so far (across all runs). */
+    std::size_t transientRetries() const { return transientRetries_; }
+
+    /** Total backoff delay requested so far (simulated, not slept). */
+    double retryDelayMs() const { return retryClock_.totalMs(); }
 
     /**
      * One OCOE run measuring up to a counter's worth of events.
@@ -92,6 +128,20 @@ class DataCollector
                     cminer::pmu::RotationPolicy::RoundRobin);
 
     /**
+     * Recoverable MLPX collection: sampler-launch and store transients
+     * are retried with backoff; damage that still prevents recording
+     * (exhausted retries, unstorable series) comes back as a Status so
+     * the caller can quarantine the run and continue.
+     */
+    cminer::util::StatusOr<CollectedRun>
+    tryCollectMlpx(const cminer::workload::SyntheticBenchmark &benchmark,
+                   const std::vector<cminer::pmu::EventId> &events,
+                   cminer::util::Rng &rng,
+                   const cminer::workload::SparkConfig &config = {},
+                   cminer::pmu::RotationPolicy policy =
+                       cminer::pmu::RotationPolicy::RoundRobin);
+
+    /**
      * MLPX-measure an externally produced trace (e.g. a co-located
      * composition) and record it under the given program/suite names.
      */
@@ -102,6 +152,15 @@ class DataCollector
                          const std::vector<cminer::pmu::EventId> &events,
                          cminer::util::Rng &rng);
 
+    /** Recoverable flavour of collectMlpxFromTrace. */
+    cminer::util::StatusOr<CollectedRun>
+    tryCollectMlpxFromTrace(const cminer::pmu::TrueTrace &trace,
+                            const std::string &program,
+                            const std::string &suite,
+                            const std::vector<cminer::pmu::EventId>
+                                &events,
+                            cminer::util::Rng &rng);
+
     /** OCOE-measure an externally produced trace. */
     CollectedRun
     collectOcoeFromTrace(const cminer::pmu::TrueTrace &trace,
@@ -111,15 +170,31 @@ class DataCollector
                          cminer::util::Rng &rng);
 
   private:
+    cminer::util::StatusOr<CollectedRun>
+    tryRecord(const std::string &program, const std::string &suite,
+              const std::string &mode, const cminer::pmu::TrueTrace &trace,
+              std::vector<cminer::ts::TimeSeries> series,
+              cminer::util::Rng &rng);
+
     CollectedRun record(const std::string &program,
                         const std::string &suite, const std::string &mode,
                         const cminer::pmu::TrueTrace &trace,
                         std::vector<cminer::ts::TimeSeries> series,
                         cminer::util::Rng &rng);
 
+    /** Retry `attempt` against injected transients, tracking counts. */
+    cminer::util::Status
+    withTransientRetry(const std::function<cminer::util::Status()>
+                           &attempt);
+
     cminer::store::Database &db_;
     const cminer::pmu::EventCatalog &catalog_;
     cminer::pmu::Sampler sampler_;
+    cminer::util::FaultInjector *injector_ = nullptr;
+    cminer::util::RetryOptions retryOptions_;
+    cminer::util::RecordingClock retryClock_;
+    cminer::util::Rng retryRng_{0xC011EC7ULL};
+    std::size_t transientRetries_ = 0;
 };
 
 } // namespace cminer::core

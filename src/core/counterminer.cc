@@ -7,6 +7,21 @@
 namespace cminer::core {
 
 using cminer::util::Rng;
+using cminer::util::Status;
+
+std::string
+PipelineIngestSummary::toString() const
+{
+    std::string out = util::format(
+        "ingest: %zu/%zu runs good, %zu quarantined, %zu transient "
+        "retries (%.1f ms backoff), injected faults: %s",
+        goodRuns, attemptedRuns, quarantined.size(), transientRetries,
+        retryDelayMs, injected.toString().c_str());
+    for (const auto &q : quarantined)
+        out += util::format("\n  quarantined run %zu: %s", q.attempt,
+                            q.reason.c_str());
+    return out;
+}
 
 CounterMiner::CounterMiner(cminer::store::Database &db,
                            const cminer::pmu::EventCatalog &catalog,
@@ -19,6 +34,54 @@ CounterMiner::CounterMiner(cminer::store::Database &db,
     if (options_.events.empty())
         options_.events = catalog_.programmableEvents();
     CM_ASSERT(options_.mlpxRuns >= 1);
+    CM_ASSERT(options_.maxBadFraction >= 0.0 &&
+              options_.maxBadFraction <= 1.0);
+    collector_.setFaultInjector(options_.injector);
+    collector_.setRetryOptions(options_.retry);
+}
+
+void
+CounterMiner::quarantine(PipelineIngestSummary &ingest,
+                         std::size_t attempt, const Status &status)
+{
+    ingest.quarantined.push_back({attempt, status.toString()});
+    util::warn(util::format("counterminer: quarantined run %zu: %s",
+                            attempt, status.toString().c_str()));
+    if (ingest.quarantined.size() > options_.maxBadRuns) {
+        util::fatal(util::format(
+            "counterminer: %zu bad runs exceed --max-bad-runs %zu; "
+            "last failure: %s",
+            ingest.quarantined.size(), options_.maxBadRuns,
+            status.toString().c_str()));
+    }
+}
+
+void
+CounterMiner::finishCollection(PipelineIngestSummary &ingest,
+                               std::size_t good_runs)
+{
+    ingest.goodRuns = good_runs;
+    if (good_runs == 0) {
+        util::fatal("counterminer: every collection attempt failed; " +
+                    ingest.toString());
+    }
+    const double bad_fraction =
+        static_cast<double>(ingest.quarantined.size()) /
+        static_cast<double>(ingest.attemptedRuns);
+    if (!ingest.quarantined.empty() &&
+        bad_fraction > options_.maxBadFraction) {
+        util::fatal(util::format(
+            "counterminer: %.0f%% of runs were quarantined, above the "
+            "%.0f%% bad-fraction bound; the input is too damaged to "
+            "mine",
+            bad_fraction * 100.0, options_.maxBadFraction * 100.0));
+    }
+    ingest.transientRetries = collector_.transientRetries();
+    ingest.retryDelayMs = collector_.retryDelayMs();
+    if (options_.injector != nullptr)
+        ingest.injected = options_.injector->counts();
+    if (!ingest.quarantined.empty() || ingest.transientRetries > 0)
+        util::inform("counterminer: " + ingest.toString());
 }
 
 ProfileReport
@@ -71,12 +134,24 @@ CounterMiner::profile(const cminer::workload::SyntheticBenchmark &benchmark,
                       Rng &rng,
                       const cminer::workload::SparkConfig &config)
 {
+    PipelineIngestSummary ingest;
     std::vector<CollectedRun> runs;
     runs.reserve(options_.mlpxRuns);
-    for (std::size_t r = 0; r < options_.mlpxRuns; ++r)
-        runs.push_back(collector_.collectMlpx(benchmark, options_.events,
-                                              rng, config));
-    return runPipeline(std::move(runs), benchmark.name(), rng);
+    for (std::size_t r = 0; r < options_.mlpxRuns; ++r) {
+        ++ingest.attemptedRuns;
+        auto result = collector_.tryCollectMlpx(benchmark,
+                                                options_.events, rng,
+                                                config);
+        if (result.ok())
+            runs.push_back(std::move(result).value());
+        else
+            quarantine(ingest, r, result.status());
+    }
+    finishCollection(ingest, runs.size());
+    ProfileReport report =
+        runPipeline(std::move(runs), benchmark.name(), rng);
+    report.ingest = std::move(ingest);
+    return report;
 }
 
 ProfileReport
@@ -85,12 +160,22 @@ CounterMiner::profileTraces(
     const std::string &program, const std::string &suite, Rng &rng)
 {
     CM_ASSERT(!traces.empty());
+    PipelineIngestSummary ingest;
     std::vector<CollectedRun> runs;
     runs.reserve(traces.size());
-    for (const auto &trace : traces)
-        runs.push_back(collector_.collectMlpxFromTrace(
-            trace, program, suite, options_.events, rng));
-    return runPipeline(std::move(runs), program, rng);
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        ++ingest.attemptedRuns;
+        auto result = collector_.tryCollectMlpxFromTrace(
+            traces[t], program, suite, options_.events, rng);
+        if (result.ok())
+            runs.push_back(std::move(result).value());
+        else
+            quarantine(ingest, t, result.status());
+    }
+    finishCollection(ingest, runs.size());
+    ProfileReport report = runPipeline(std::move(runs), program, rng);
+    report.ingest = std::move(ingest);
+    return report;
 }
 
 } // namespace cminer::core

@@ -18,6 +18,8 @@
 #include "ml/dataset.h"
 #include "pmu/event.h"
 #include "store/database.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "workload/benchmark.h"
 
@@ -36,6 +38,52 @@ struct ProfileOptions
     InteractionOptions interaction;
     /** Skip the cleaning stage (ablation). */
     bool skipCleaning = false;
+
+    /**
+     * Quarantine budget: how many bad runs may be recorded-and-skipped
+     * before the job aborts. 0 preserves the legacy posture (the first
+     * unrecoverable run failure is fatal).
+     */
+    std::size_t maxBadRuns = 0;
+    /**
+     * Graceful-degradation bound: abort when more than this fraction
+     * of attempted runs was quarantined (only checked once maxBadRuns
+     * allows quarantining at all).
+     */
+    double maxBadFraction = 0.5;
+    /** Backoff policy for transient collection/store failures. */
+    cminer::util::RetryOptions retry;
+    /** Fault injector wired into the collector (not owned; may be null). */
+    cminer::util::FaultInjector *injector = nullptr;
+};
+
+/** One run the pipeline recorded, skipped, and kept going without. */
+struct QuarantinedRun
+{
+    /** 0-based collection attempt the run failed on. */
+    std::size_t attempt = 0;
+    /** The Status string explaining the quarantine. */
+    std::string reason;
+};
+
+/** What ingestion survived: the pipeline-level fault accounting. */
+struct PipelineIngestSummary
+{
+    /** Collection attempts made. */
+    std::size_t attemptedRuns = 0;
+    /** Runs that made it into the dataset. */
+    std::size_t goodRuns = 0;
+    /** Runs recorded, skipped, and summarized instead of fatal. */
+    std::vector<QuarantinedRun> quarantined;
+    /** Transient failures absorbed by retry-with-backoff. */
+    std::size_t transientRetries = 0;
+    /** Total (simulated) backoff delay across those retries. */
+    double retryDelayMs = 0.0;
+    /** Faults dealt by the attached injector, when one is wired. */
+    cminer::util::FaultCounts injected;
+
+    /** Multi-line human-readable summary; deterministic per seed+spec. */
+    std::string toString() const;
 };
 
 /** Everything the pipeline produced for one benchmark. */
@@ -48,6 +96,8 @@ struct ProfileReport
     InteractionResult interactions;
     /** Events of the top-10 importance list (paper figure format). */
     std::vector<cminer::ml::FeatureImportance> topEvents;
+    /** Fault-tolerance accounting for the collection stage. */
+    PipelineIngestSummary ingest;
 };
 
 /**
@@ -93,6 +143,14 @@ class CounterMiner
     ProfileReport runPipeline(std::vector<CollectedRun> runs,
                               const std::string &program,
                               cminer::util::Rng &rng);
+
+    /** Record a failed run; fatal once the quarantine budget runs out. */
+    void quarantine(PipelineIngestSummary &ingest, std::size_t attempt,
+                    const cminer::util::Status &status);
+
+    /** Close out collection: degradation bounds + summary bookkeeping. */
+    void finishCollection(PipelineIngestSummary &ingest,
+                          std::size_t good_runs);
 
     cminer::store::Database &db_;
     const cminer::pmu::EventCatalog &catalog_;

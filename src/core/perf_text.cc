@@ -1,5 +1,6 @@
 #include "core/perf_text.h"
 
+#include <cmath>
 #include <map>
 
 #include "util/error.h"
@@ -8,6 +9,40 @@
 namespace cminer::core {
 
 using cminer::ts::TimeSeries;
+using cminer::util::Status;
+using cminer::util::StatusOr;
+
+std::size_t
+IngestReport::damaged() const
+{
+    return malformedLines + badTimestamps + nonMonotonic +
+           duplicateSamples + nonFiniteCounts + truncatedLines;
+}
+
+void
+IngestReport::merge(const IngestReport &other)
+{
+    totalLines += other.totalLines;
+    parsedSamples += other.parsedSamples;
+    malformedLines += other.malformedLines;
+    badTimestamps += other.badTimestamps;
+    nonMonotonic += other.nonMonotonic;
+    duplicateSamples += other.duplicateSamples;
+    nonFiniteCounts += other.nonFiniteCounts;
+    truncatedLines += other.truncatedLines;
+    paddedSamples += other.paddedSamples;
+}
+
+std::string
+IngestReport::toString() const
+{
+    return util::format(
+        "lines=%zu parsed=%zu malformed=%zu bad_ts=%zu non_monotonic=%zu "
+        "duplicates=%zu non_finite=%zu truncated=%zu padded=%zu",
+        totalLines, parsedSamples, malformedLines, badTimestamps,
+        nonMonotonic, duplicateSamples, nonFiniteCounts, truncatedLines,
+        paddedSamples);
+}
 
 std::string
 renderPerfIntervals(const std::vector<TimeSeries> &series)
@@ -39,69 +74,217 @@ renderPerfIntervals(const std::vector<TimeSeries> &series)
     return out;
 }
 
-std::vector<TimeSeries>
-parsePerfIntervals(const std::string &text)
+namespace {
+
+/** One event's cells, grown lazily as new intervals appear. */
+struct EventCells
 {
-    // Event order of first appearance; values appended per interval.
+    std::vector<double> values;
+    std::vector<char> seen;
+
+    void
+    growTo(std::size_t intervals)
+    {
+        if (values.size() < intervals) {
+            values.resize(intervals, 0.0);
+            seen.resize(intervals, 0);
+        }
+    }
+};
+
+Status
+lineError(std::size_t line_no, const std::string &what)
+{
+    return Status::parseError(
+        util::format("perf_text: line %zu: ", line_no) + what);
+}
+
+} // namespace
+
+StatusOr<std::vector<TimeSeries>>
+parsePerfIntervals(const std::string &text,
+                   const PerfParseOptions &options, IngestReport &report)
+{
     std::vector<std::string> order;
-    std::map<std::string, std::vector<double>> values;
-    double first_time = -1.0;
-    double second_time = -1.0;
+    std::map<std::string, std::size_t> event_index;
+    std::vector<EventCells> cells;
+    std::vector<double> timestamps; // distinct, in interval order
+    std::map<double, std::size_t> timestamp_index;
 
     std::size_t start = 0;
+    std::size_t line_no = 0;
     while (start < text.size()) {
         std::size_t end = text.find('\n', start);
-        if (end == std::string::npos)
+        const bool had_newline = end != std::string::npos;
+        if (!had_newline)
             end = text.size();
         const std::string line =
             util::trim(text.substr(start, end - start));
         start = end + 1;
+        ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
 
+        // A final line without its newline is a torn write: the count
+        // may be cut mid-digit and still parse, so the whole line is
+        // untrustworthy whether or not it decodes.
+        if (!had_newline) {
+            if (!options.lenient)
+                return lineError(line_no,
+                                 "final line is truncated (missing "
+                                 "newline); re-export the log or drop "
+                                 "the partial line");
+            ++report.truncatedLines;
+            continue;
+        }
+
+        ++report.totalLines;
         const auto fields = util::split(line, ',');
-        if (fields.size() < 3)
-            util::fatal("perf_text: malformed line: " + line);
+        if (fields.size() < 3) {
+            if (!options.lenient)
+                return lineError(line_no, "malformed line: " + line);
+            ++report.malformedLines;
+            continue;
+        }
+
         double time_s = 0.0;
-        if (!util::parseDouble(fields[0], time_s))
-            util::fatal("perf_text: bad timestamp: " + fields[0]);
+        if (!util::parseDouble(fields[0], time_s) ||
+            !std::isfinite(time_s)) {
+            if (!options.lenient)
+                return lineError(line_no,
+                                 "bad timestamp: " + fields[0]);
+            ++report.badTimestamps;
+            continue;
+        }
 
         const std::string &count_field = fields[1];
         double count = 0.0;
+        bool count_is_finite = true;
         if (!util::startsWith(util::trim(count_field), "<")) {
-            if (!util::parseDouble(count_field, count))
-                util::fatal("perf_text: bad count: " + count_field);
+            if (!util::parseDouble(count_field, count)) {
+                if (!options.lenient)
+                    return lineError(line_no,
+                                     "bad count: " + count_field);
+                ++report.malformedLines;
+                continue;
+            }
+            if (!std::isfinite(count)) {
+                if (!options.lenient)
+                    return lineError(
+                        line_no,
+                        "non-finite count '" + count_field +
+                            "' (tool noise?); clean the log or parse "
+                            "leniently");
+                count_is_finite = false;
+                count = 0.0; // recorded as a missing value
+            }
         }
+
         const std::string event = util::trim(fields[2]);
-        if (event.empty())
-            util::fatal("perf_text: empty event name");
+        if (event.empty()) {
+            if (!options.lenient)
+                return lineError(line_no, "empty event name");
+            ++report.malformedLines;
+            continue;
+        }
 
-        if (!values.count(event))
+        // Resolve the interval this sample belongs to by timestamp, so
+        // lenient alignment survives dropped or duplicated lines.
+        std::size_t ts_idx;
+        const auto ts_it = timestamp_index.find(time_s);
+        if (ts_it != timestamp_index.end()) {
+            ts_idx = ts_it->second;
+            if (!options.lenient && ts_idx + 1 != timestamps.size())
+                return lineError(
+                    line_no,
+                    util::format("timestamp %.6f revisits an earlier "
+                                 "interval (non-monotonic log)",
+                                 time_s));
+        } else {
+            if (!timestamps.empty() && time_s < timestamps.back()) {
+                if (!options.lenient)
+                    return lineError(
+                        line_no,
+                        util::format("non-monotonic timestamp %.6f "
+                                     "after %.6f",
+                                     time_s, timestamps.back()));
+                ++report.nonMonotonic;
+                continue;
+            }
+            ts_idx = timestamps.size();
+            timestamps.push_back(time_s);
+            timestamp_index.emplace(time_s, ts_idx);
+        }
+
+        std::size_t ev_idx;
+        const auto ev_it = event_index.find(event);
+        if (ev_it != event_index.end()) {
+            ev_idx = ev_it->second;
+        } else {
+            ev_idx = order.size();
             order.push_back(event);
-        values[event].push_back(count);
+            event_index.emplace(event, ev_idx);
+            cells.emplace_back();
+        }
 
-        if (first_time < 0.0)
-            first_time = time_s;
-        else if (second_time < 0.0 && time_s != first_time)
-            second_time = time_s;
+        auto &event_cells = cells[ev_idx];
+        event_cells.growTo(ts_idx + 1);
+        if (event_cells.seen[ts_idx]) {
+            if (!options.lenient)
+                return lineError(
+                    line_no,
+                    "duplicate sample for event '" + event + "' at " +
+                        util::format("%.6f", time_s));
+            ++report.duplicateSamples; // keep the first sample
+            continue;
+        }
+        event_cells.values[ts_idx] = count;
+        event_cells.seen[ts_idx] = 1;
+        ++report.parsedSamples;
+        if (!count_is_finite)
+            ++report.nonFiniteCounts;
     }
-    if (order.empty())
-        util::fatal("perf_text: no samples found");
 
+    if (order.empty())
+        return Status::dataError("perf_text: no samples found");
+
+    const double first_time = timestamps.front();
+    const double second_time =
+        timestamps.size() > 1 ? timestamps[1] : -1.0;
     const double interval_ms = second_time > first_time
         ? (second_time - first_time) * 1000.0
         : first_time * 1000.0;
 
     std::vector<TimeSeries> series;
     series.reserve(order.size());
-    const std::size_t length = values[order.front()].size();
-    for (const auto &event : order) {
-        if (values[event].size() != length)
-            util::fatal("perf_text: ragged sample counts for " + event);
-        series.emplace_back(event, std::move(values[event]),
+    for (std::size_t e = 0; e < order.size(); ++e) {
+        auto &event_cells = cells[e];
+        event_cells.growTo(timestamps.size());
+        for (std::size_t t = 0; t < timestamps.size(); ++t) {
+            if (event_cells.seen[t])
+                continue;
+            if (!options.lenient)
+                return Status::parseError(
+                    "perf_text: ragged sample counts for " + order[e]);
+            // Pad the hole with the missing-value encoding the cleaner
+            // repairs downstream.
+            event_cells.values[t] = 0.0;
+            ++report.paddedSamples;
+        }
+        series.emplace_back(order[e], std::move(event_cells.values),
                             interval_ms > 0.0 ? interval_ms : 10.0);
     }
     return series;
+}
+
+std::vector<TimeSeries>
+parsePerfIntervals(const std::string &text)
+{
+    IngestReport report;
+    auto result = parsePerfIntervals(text, PerfParseOptions{}, report);
+    if (!result.ok())
+        util::fatal(result.status().message());
+    return std::move(result).value();
 }
 
 } // namespace cminer::core

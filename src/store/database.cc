@@ -1,5 +1,6 @@
 #include "store/database.h"
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -97,13 +98,31 @@ Database::addRun(const std::string &program, const std::string &suite,
                  const std::string &mode, double exec_time_ms,
                  const std::vector<TimeSeries> &series)
 {
+    auto result = tryAddRun(program, suite, mode, exec_time_ms, series);
+    result.status().throwIfError();
+    return result.value();
+}
+
+util::StatusOr<RunId>
+Database::tryAddRun(const std::string &program, const std::string &suite,
+                    const std::string &mode, double exec_time_ms,
+                    const std::vector<TimeSeries> &series)
+{
     if (series.empty())
-        util::fatal("store: addRun requires at least one series");
+        return util::Status::dataError(
+            "store: addRun requires at least one series");
     const std::size_t length = series.front().size();
     for (const auto &s : series) {
         if (s.size() != length)
-            util::fatal("store: series length mismatch within a run");
+            return util::Status::dataError(util::format(
+                "store: series length mismatch within a run ('%s' has "
+                "%zu samples, expected %zu)",
+                s.eventName().c_str(), s.size(), length));
     }
+    if (!std::isfinite(exec_time_ms) || exec_time_ms < 0.0)
+        return util::Status::dataError(
+            "store: run execution time is not a finite non-negative "
+            "duration");
 
     const RunId id = nextId_++;
     RunMetadata meta;

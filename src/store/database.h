@@ -24,6 +24,7 @@
 
 #include "store/table.h"
 #include "ts/time_series.h"
+#include "util/status.h"
 
 namespace cminer::store {
 
@@ -69,6 +70,18 @@ class Database
     RunId addRun(const std::string &program, const std::string &suite,
                  const std::string &mode, double exec_time_ms,
                  const std::vector<cminer::ts::TimeSeries> &series);
+
+    /**
+     * Recoverable flavour of addRun for the fault-tolerant ingest path:
+     * an empty series list, mismatched series lengths, or a non-finite
+     * execution time come back as a DataError Status instead of a
+     * thrown FatalError, so a damaged run can be quarantined while the
+     * job continues. Nothing is recorded on error.
+     */
+    cminer::util::StatusOr<RunId>
+    tryAddRun(const std::string &program, const std::string &suite,
+              const std::string &mode, double exec_time_ms,
+              const std::vector<cminer::ts::TimeSeries> &series);
 
     /** Number of recorded runs. */
     std::size_t runCount() const { return runs_.size(); }

@@ -114,31 +114,57 @@ parseCsvLine(const std::string &line)
     return fields;
 }
 
-CsvDocument
-readCsv(const std::string &path)
+StatusOr<CsvDocument>
+parseCsv(const std::string &text, const CsvParseOptions &options,
+         CsvParseReport *report)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open CSV file for reading: " + path);
     CsvDocument doc;
+    CsvParseReport local;
+    std::istringstream in(text);
     std::string line;
+    std::size_t line_no = 0;
     bool first = true;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty())
             continue;
         auto fields = parseCsvLine(line);
         if (first) {
             doc.header = std::move(fields);
             first = false;
-        } else {
-            if (fields.size() != doc.header.size())
-                fatal("CSV row width mismatch in " + path);
-            doc.rows.push_back(std::move(fields));
+            continue;
         }
+        ++local.totalRows;
+        if (fields.size() != doc.header.size()) {
+            if (!options.lenient) {
+                return Status::parseError(format(
+                    "csv: line %zu: row has %zu fields, header has %zu",
+                    line_no, fields.size(), doc.header.size()));
+            }
+            ++local.skippedRows;
+            continue;
+        }
+        doc.rows.push_back(std::move(fields));
     }
+    if (report != nullptr)
+        *report = local;
     if (first)
-        fatal("CSV file has no header row: " + path);
+        return Status::dataError("csv: no header row");
     return doc;
+}
+
+CsvDocument
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open CSV file for reading: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto result = parseCsv(text.str());
+    if (!result.ok())
+        result.status().withContext("reading " + path).throwIfError();
+    return std::move(result).value();
 }
 
 } // namespace cminer::util

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace cminer::util {
 
 /** A parsed CSV document: a header row plus data rows of strings. */
@@ -55,8 +57,40 @@ class CsvWriter
     bool closed_ = false;
 };
 
+/** Parsing policy for CSV text. */
+struct CsvParseOptions
+{
+    /**
+     * Lenient mode skips rows whose field count disagrees with the
+     * header (counting them in the report) instead of rejecting the
+     * document. Strict mode (the default) rejects with the offending
+     * line number and both widths.
+     */
+    bool lenient = false;
+};
+
+/** What a lenient CSV parse had to tolerate. */
+struct CsvParseReport
+{
+    std::size_t totalRows = 0;    ///< data rows seen (header excluded)
+    std::size_t skippedRows = 0;  ///< rows dropped for a width mismatch
+};
+
 /**
- * Parse a CSV file with a header row.
+ * Parse CSV text with a header row.
+ *
+ * @param text document contents
+ * @param options parsing policy
+ * @param report optional damage accounting (filled in either mode)
+ * @return the document, or a ParseError naming the first bad line in
+ *         strict mode / a DataError when no header row exists
+ */
+StatusOr<CsvDocument> parseCsv(const std::string &text,
+                               const CsvParseOptions &options = {},
+                               CsvParseReport *report = nullptr);
+
+/**
+ * Parse a CSV file with a header row (strict).
  *
  * @param path file to read
  * @return parsed document

@@ -1,0 +1,238 @@
+#include "util/fault_injection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+bool
+FaultSpec::any() const
+{
+    return corruptRate > 0.0 || dropRate > 0.0 || duplicateRate > 0.0 ||
+           nanRate > 0.0 || transientRate > 0.0;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    return format("corrupt=%g,drop=%g,dup=%g,nan=%g,transient=%g,seed=%llu",
+                  corruptRate, dropRate, duplicateRate, nanRate,
+                  transientRate,
+                  static_cast<unsigned long long>(seed));
+}
+
+StatusOr<FaultSpec>
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    if (trim(text).empty())
+        return Status::parseError("fault spec is empty");
+    for (const auto &part : split(text, ',')) {
+        const auto kv = split(part, '=');
+        if (kv.size() != 2)
+            return Status::parseError("fault spec entry '" + part +
+                                      "' is not key=value");
+        const std::string key = trim(kv[0]);
+        double value = 0.0;
+        if (!parseDouble(kv[1], value))
+            return Status::parseError("fault spec value '" + kv[1] +
+                                      "' for key '" + key +
+                                      "' is not a number");
+        if (key == "seed") {
+            if (value < 0.0)
+                return Status::parseError("fault spec seed must be >= 0");
+            spec.seed = static_cast<std::uint64_t>(value);
+            continue;
+        }
+        if (value < 0.0 || value > 1.0)
+            return Status::parseError("fault rate '" + key +
+                                      "' must be in [0, 1], got " + kv[1]);
+        if (key == "corrupt")
+            spec.corruptRate = value;
+        else if (key == "drop")
+            spec.dropRate = value;
+        else if (key == "dup")
+            spec.duplicateRate = value;
+        else if (key == "nan")
+            spec.nanRate = value;
+        else if (key == "transient")
+            spec.transientRate = value;
+        else
+            return Status::parseError(
+                "unknown fault spec key '" + key +
+                "' (known: corrupt drop dup nan transient seed)");
+    }
+    const double sum = spec.corruptRate + spec.dropRate +
+                       spec.duplicateRate + spec.nanRate;
+    if (sum > 1.0)
+        return Status::parseError(
+            "per-sample fault rates sum to more than 1");
+    return spec;
+}
+
+std::size_t
+FaultCounts::total() const
+{
+    return corrupted + dropped + duplicated + nans + transients;
+}
+
+std::string
+FaultCounts::toString() const
+{
+    return format("corrupted=%zu dropped=%zu duplicated=%zu nans=%zu "
+                  "transients=%zu",
+                  corrupted, dropped, duplicated, nans, transients);
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(spec), rng_(spec.seed)
+{
+}
+
+FaultInjector::Damage
+FaultInjector::drawDamage()
+{
+    // One draw per sample, resolved against cumulative rate bands so the
+    // classes are mutually exclusive and the stream stays deterministic.
+    const double u = rng_.uniform();
+    double edge = spec_.corruptRate;
+    if (u < edge)
+        return Damage::Corrupt;
+    edge += spec_.dropRate;
+    if (u < edge)
+        return Damage::Drop;
+    edge += spec_.duplicateRate;
+    if (u < edge)
+        return Damage::Duplicate;
+    edge += spec_.nanRate;
+    if (u < edge)
+        return Damage::Nan;
+    return Damage::None;
+}
+
+std::string
+FaultInjector::corruptPerfText(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        const bool had_newline = end != std::string::npos;
+        if (!had_newline)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#') {
+            out += line;
+            if (had_newline)
+                out += '\n';
+            continue;
+        }
+
+        switch (drawDamage()) {
+          case Damage::Corrupt: {
+            // Tear the line inside its first two fields, the way a
+            // crashed writer leaves a half-flushed record: what remains
+            // can never parse as a full time,count,event sample.
+            std::size_t second_comma = line.find(',');
+            if (second_comma != std::string::npos)
+                second_comma = line.find(',', second_comma + 1);
+            const std::size_t upper = second_comma != std::string::npos
+                ? second_comma : std::min<std::size_t>(1, line.size());
+            const std::size_t keep = upper == 0 ? 0
+                : 1 + static_cast<std::size_t>(rng_.uniformInt(
+                      0, static_cast<std::int64_t>(upper) - 1));
+            out += line.substr(0, keep);
+            if (had_newline)
+                out += '\n';
+            ++counts_.corrupted;
+            break;
+          }
+          case Damage::Drop:
+            ++counts_.dropped;
+            break;
+          case Damage::Duplicate:
+            out += line;
+            out += '\n';
+            out += line;
+            if (had_newline)
+                out += '\n';
+            ++counts_.duplicated;
+            break;
+          case Damage::Nan: {
+            const auto fields = split(line, ',');
+            if (fields.size() >= 3) {
+                std::vector<std::string> mutated = fields;
+                mutated[1] = "nan";
+                out += join(mutated, ",");
+            } else {
+                out += "nan";
+            }
+            if (had_newline)
+                out += '\n';
+            ++counts_.nans;
+            break;
+          }
+          case Damage::None:
+            out += line;
+            if (had_newline)
+                out += '\n';
+            break;
+        }
+    }
+    return out;
+}
+
+void
+FaultInjector::corruptSeries(std::vector<cminer::ts::TimeSeries> &series)
+{
+    for (auto &s : series) {
+        auto &values = s.mutableValues();
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            switch (drawDamage()) {
+              case Damage::Corrupt:
+                // An implausible duty-cycle blowup: far above any real
+                // extrapolation, squarely in Eq.-6 outlier territory.
+                values[i] = (std::fabs(values[i]) + 1.0) *
+                            (1.0e4 + 1.0e4 * rng_.uniform());
+                ++counts_.corrupted;
+                break;
+              case Damage::Drop:
+                values[i] = 0.0; // the MLPX missing-value encoding
+                ++counts_.dropped;
+                break;
+              case Damage::Duplicate:
+                if (i > 0)
+                    values[i] = values[i - 1];
+                ++counts_.duplicated;
+                break;
+              case Damage::Nan:
+                values[i] = std::numeric_limits<double>::quiet_NaN();
+                ++counts_.nans;
+                break;
+              case Damage::None:
+                break;
+            }
+        }
+    }
+}
+
+Status
+FaultInjector::transientFault(const char *site)
+{
+    CM_ASSERT(site != nullptr);
+    if (spec_.transientRate > 0.0 && rng_.uniform() < spec_.transientRate) {
+        ++counts_.transients;
+        return Status::transient(std::string("injected transient fault at ") +
+                                 site);
+    }
+    return Status::okStatus();
+}
+
+} // namespace cminer::util

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the ingestion pipeline.
+ *
+ * The paper's premise is that raw counter data arrives damaged; this
+ * module manufactures that damage on demand so the fault-tolerance layer
+ * can be exercised end to end. Two boundaries are wired:
+ *  - the perf-text boundary: corruptPerfText() garbles, drops,
+ *    duplicates, or NaNs individual interval lines;
+ *  - the collector boundary: corruptSeries() applies the same damage
+ *    classes to sampled in-memory series, and transientFault() makes
+ *    named sites (sampler launch, store insertion) fail recoverably.
+ *
+ * Determinism contract: an injector owns one Rng seeded from the spec;
+ * all draws happen in call order on the (serial) collection path, so the
+ * same spec + seed against the same input produces bitwise-identical
+ * damage and counts. Each sample/line costs exactly one uniform draw.
+ */
+
+#ifndef CMINER_UTIL_FAULT_INJECTION_H
+#define CMINER_UTIL_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ts/time_series.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cminer::util {
+
+/** Injection rates per damage class, all in [0, 1]. */
+struct FaultSpec
+{
+    /** Garbled text line / outlier-scaled sample. */
+    double corruptRate = 0.0;
+    /** Dropped line / zeroed (missing) sample. */
+    double dropRate = 0.0;
+    /** Duplicated timestamp line / repeated previous sample. */
+    double duplicateRate = 0.0;
+    /** NaN count field / NaN sample. */
+    double nanRate = 0.0;
+    /** Transient failure per transientFault() call. */
+    double transientRate = 0.0;
+    /** Injector RNG seed. */
+    std::uint64_t seed = 1;
+
+    /** True when any rate is positive. */
+    bool any() const;
+    /** Canonical spec string (parses back to an equal spec). */
+    std::string toString() const;
+};
+
+/**
+ * Parse a `--inject-faults` spec: comma-separated `key=value` pairs with
+ * keys corrupt, drop, dup, nan, transient (rates in [0,1]) and seed.
+ * Example: "corrupt=0.02,drop=0.02,nan=0.01,transient=0.1,seed=7".
+ */
+StatusOr<FaultSpec> parseFaultSpec(const std::string &text);
+
+/** How many faults of each class an injector has dealt. */
+struct FaultCounts
+{
+    std::size_t corrupted = 0;
+    std::size_t dropped = 0;
+    std::size_t duplicated = 0;
+    std::size_t nans = 0;
+    std::size_t transients = 0;
+
+    /** All classes summed. */
+    std::size_t total() const;
+    /** One-line human-readable summary. */
+    std::string toString() const;
+
+    bool operator==(const FaultCounts &) const = default;
+};
+
+/**
+ * Deals damage at the configured rates and counts every fault dealt.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec);
+
+    /** Rates in effect. */
+    const FaultSpec &spec() const { return spec_; }
+    /** Faults dealt so far. */
+    const FaultCounts &counts() const { return counts_; }
+    /** True when the spec can deal any damage at all. */
+    bool enabled() const { return spec_.any(); }
+    /** Zero the fault counters (the RNG stream is not reset). */
+    void resetCounts() { counts_ = FaultCounts(); }
+
+    /**
+     * Damage perf-interval text line by line. Comment lines pass
+     * through untouched; each data line draws once and is then either
+     * kept, garbled (field torn mid-number), dropped, emitted twice
+     * (duplicate timestamp), or has its count replaced with "nan".
+     */
+    std::string corruptPerfText(const std::string &text);
+
+    /**
+     * Damage sampled series in place, one draw per sample: corrupt
+     * scales the value into an implausible outlier, drop zeroes it
+     * (MLPX missing-value encoding), duplicate repeats the previous
+     * sample, nan poisons it with a quiet NaN.
+     */
+    void corruptSeries(std::vector<cminer::ts::TimeSeries> &series);
+
+    /**
+     * Draw a transient failure for the named site ("sampler",
+     * "store"). The site is recorded in the returned status message.
+     */
+    Status transientFault(const char *site);
+
+  private:
+    /** Damage classes a single uniform draw resolves to. */
+    enum class Damage { None, Corrupt, Drop, Duplicate, Nan };
+
+    Damage drawDamage();
+
+    FaultSpec spec_;
+    Rng rng_;
+    FaultCounts counts_;
+};
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_FAULT_INJECTION_H

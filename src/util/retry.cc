@@ -1,0 +1,56 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.h"
+
+namespace cminer::util {
+
+void
+SleepingClock::sleepMs(double ms)
+{
+    if (ms <= 0.0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+double
+backoffDelayMs(const RetryOptions &options, std::size_t retry, Rng &rng)
+{
+    double delay = options.baseDelayMs;
+    for (std::size_t r = 0; r < retry; ++r)
+        delay *= options.multiplier;
+    delay = std::min(delay, options.maxDelayMs);
+    if (options.jitterFraction > 0.0) {
+        const double u = rng.uniform();
+        delay *= 1.0 - options.jitterFraction / 2.0 +
+                 options.jitterFraction * u;
+    }
+    return delay;
+}
+
+RetryResult
+retryWithBackoff(const RetryOptions &options, RetryClock &clock, Rng &rng,
+                 const std::function<Status()> &attempt)
+{
+    CM_ASSERT(options.maxAttempts >= 1);
+    CM_ASSERT(attempt != nullptr);
+    RetryResult result;
+    for (std::size_t a = 0; a < options.maxAttempts; ++a) {
+        ++result.attempts;
+        result.status = attempt();
+        if (!result.status.isTransient())
+            return result;
+        if (a + 1 == options.maxAttempts)
+            break; // out of attempts: report the transient failure
+        const double delay = backoffDelayMs(options, a, rng);
+        clock.sleepMs(delay);
+        result.totalDelayMs += delay;
+    }
+    return result;
+}
+
+} // namespace cminer::util

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Retry-with-exponential-backoff for transient failures.
+ *
+ * Only Status codes of Transient are retried — a ParseError will not get
+ * better by trying again. The clock is injectable so tests (and the
+ * simulator, which has no real wall-clock dependencies) run instantly,
+ * and jitter is drawn from an explicit Rng so the delay sequence is a
+ * pure function of the seed.
+ */
+
+#ifndef CMINER_UTIL_RETRY_H
+#define CMINER_UTIL_RETRY_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cminer::util {
+
+/** Backoff policy knobs. */
+struct RetryOptions
+{
+    /** Total attempts including the first (>= 1). */
+    std::size_t maxAttempts = 3;
+    /** Delay before the first retry. */
+    double baseDelayMs = 10.0;
+    /** Delay growth factor per retry. */
+    double multiplier = 2.0;
+    /** Delay ceiling. */
+    double maxDelayMs = 1000.0;
+    /**
+     * Uniform jitter as a fraction of the delay: the slept delay is
+     * `d * (1 - jitter/2 + jitter*u)` with u drawn from the Rng. 0
+     * disables jitter (and leaves the Rng untouched).
+     */
+    double jitterFraction = 0.0;
+};
+
+/**
+ * The clock backoff sleeps on. Injectable so retries are testable and,
+ * in the simulator, free.
+ */
+class RetryClock
+{
+  public:
+    virtual ~RetryClock() = default;
+    /** Sleep (or pretend to) for the given milliseconds. */
+    virtual void sleepMs(double ms) = 0;
+};
+
+/**
+ * A clock that records requested delays without sleeping — the default
+ * for the simulated pipeline, and what tests inspect.
+ */
+class RecordingClock : public RetryClock
+{
+  public:
+    void
+    sleepMs(double ms) override
+    {
+        delays_.push_back(ms);
+        totalMs_ += ms;
+    }
+
+    /** Every delay requested, in order. */
+    const std::vector<double> &delays() const { return delays_; }
+    /** Sum of all requested delays. */
+    double totalMs() const { return totalMs_; }
+    /** Forget recorded delays. */
+    void
+    reset()
+    {
+        delays_.clear();
+        totalMs_ = 0.0;
+    }
+
+  private:
+    std::vector<double> delays_;
+    double totalMs_ = 0.0;
+};
+
+/** A clock that actually blocks the calling thread. */
+class SleepingClock : public RetryClock
+{
+  public:
+    void sleepMs(double ms) override;
+};
+
+/** What a retried operation ended with. */
+struct RetryResult
+{
+    /** Final status: Ok, the first non-transient error, or the last
+     * transient error when attempts ran out. */
+    Status status;
+    /** Attempts actually made (>= 1). */
+    std::size_t attempts = 0;
+    /** Total backoff delay requested from the clock. */
+    double totalDelayMs = 0.0;
+};
+
+/**
+ * The backoff delay before retry number `retry` (0-based), jittered.
+ * Exposed for tests; draws from `rng` only when jitter is enabled.
+ */
+double backoffDelayMs(const RetryOptions &options, std::size_t retry,
+                      Rng &rng);
+
+/**
+ * Run `attempt` until it returns a non-transient status or attempts run
+ * out, sleeping on `clock` with exponential backoff between attempts.
+ *
+ * @param options backoff policy
+ * @param clock sleep implementation
+ * @param rng jitter source (untouched when jitterFraction == 0)
+ * @param attempt the operation; returns Ok, Transient, or a hard error
+ */
+RetryResult retryWithBackoff(const RetryOptions &options, RetryClock &clock,
+                             Rng &rng,
+                             const std::function<Status()> &attempt);
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_RETRY_H

@@ -1,0 +1,70 @@
+#include "util/status.h"
+
+namespace cminer::util {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::ParseError:
+        return "ParseError";
+      case StatusCode::DataError:
+        return "DataError";
+      case StatusCode::CapacityError:
+        return "CapacityError";
+      case StatusCode::Transient:
+        return "Transient";
+    }
+    return "Unknown";
+}
+
+Status
+Status::parseError(std::string message)
+{
+    return Status(StatusCode::ParseError, std::move(message));
+}
+
+Status
+Status::dataError(std::string message)
+{
+    return Status(StatusCode::DataError, std::move(message));
+}
+
+Status
+Status::capacityError(std::string message)
+{
+    return Status(StatusCode::CapacityError, std::move(message));
+}
+
+Status
+Status::transient(std::string message)
+{
+    return Status(StatusCode::Transient, std::move(message));
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(code_, context + ": " + message_);
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+void
+Status::throwIfError() const
+{
+    if (!ok())
+        fatal(toString());
+}
+
+} // namespace cminer::util

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Recoverable error propagation for the ingestion and collection paths.
+ *
+ * The error-handling taxonomy (DESIGN.md §9) has three tiers:
+ *  - CM_PANIC / CM_ASSERT: the library itself is broken. Aborts.
+ *  - util::fatal / FatalError: the *caller* supplied input the library
+ *    cannot work with. Throws; recoverable only by the caller.
+ *  - Status / StatusOr<T>: the *data* is damaged or a dependency failed
+ *    transiently — expected at production scale, where partial input
+ *    damage is the norm. The pipeline is expected to recover in-process
+ *    (skip, quarantine, retry) and report, never die.
+ *
+ * Status carries an error code plus a human-readable message; context is
+ * chained outward with withContext() so a deep parse error surfaces as
+ * "ingest run 3: perf_text line 17: bad count '1.2.3'".
+ */
+
+#ifndef CMINER_UTIL_STATUS_H
+#define CMINER_UTIL_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace cminer::util {
+
+/** What went wrong, at the granularity recovery policies care about. */
+enum class StatusCode
+{
+    Ok = 0,
+    /** Input text/bytes could not be decoded (malformed line, bad field). */
+    ParseError,
+    /** Decoded fine but the values are unusable (NaN run, length mismatch). */
+    DataError,
+    /** A bound was exceeded (too many bad runs, too much damage). */
+    CapacityError,
+    /** A dependency failed in a way a retry may fix. */
+    Transient,
+};
+
+/** Stable name of a status code ("ParseError", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * The result of a recoverable operation: Ok, or a code plus message.
+ */
+class Status
+{
+  public:
+    /** Default-constructed Status is Ok. */
+    Status() = default;
+
+    /** @return an Ok status (same as default construction) */
+    static Status okStatus() { return Status(); }
+    /** ParseError with the given message. */
+    static Status parseError(std::string message);
+    /** DataError with the given message. */
+    static Status dataError(std::string message);
+    /** CapacityError with the given message. */
+    static Status capacityError(std::string message);
+    /** Transient failure with the given message. */
+    static Status transient(std::string message);
+
+    /** True when no error is carried. */
+    bool ok() const { return code_ == StatusCode::Ok; }
+    /** The error code (Ok when ok()). */
+    StatusCode code() const { return code_; }
+    /** True when a retry may fix the failure. */
+    bool isTransient() const { return code_ == StatusCode::Transient; }
+    /** The error message (empty when ok()). */
+    const std::string &message() const { return message_; }
+
+    /**
+     * Chain context onto the message, outermost first:
+     * `s.withContext("run 3")` turns "bad count" into "run 3: bad count".
+     * The code is preserved. Ok statuses pass through unchanged.
+     */
+    Status withContext(const std::string &context) const;
+
+    /** "OK" or "<CodeName>: <message>". */
+    std::string toString() const;
+
+    /** Throw FatalError(toString()) when not ok; no-op otherwise. */
+    void throwIfError() const;
+
+  private:
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A value or the Status explaining its absence.
+ *
+ * Accessing value() on an error StatusOr is a programmer error and
+ * panics; check ok() (or handle status()) first.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from a non-ok Status (an Ok status here is a bug). */
+    StatusOr(Status status) // NOLINT: implicit by design, like absl
+        : status_(std::move(status))
+    {
+        if (status_.ok())
+            CM_PANIC("StatusOr constructed from an Ok status "
+                     "without a value");
+    }
+
+    /** Construct from a value (status becomes Ok). */
+    StatusOr(T value) // NOLINT: implicit by design
+        : value_(std::move(value))
+    {}
+
+    /** True when a value is present. */
+    bool ok() const { return status_.ok(); }
+
+    /** The status (Ok when a value is present). */
+    const Status &status() const { return status_; }
+
+    /** The value; panics when !ok(). */
+    const T &
+    value() const &
+    {
+        requireValue();
+        return *value_;
+    }
+
+    /** The value; panics when !ok(). */
+    T &
+    value() &
+    {
+        requireValue();
+        return *value_;
+    }
+
+    /** Move the value out; panics when !ok(). */
+    T &&
+    value() &&
+    {
+        requireValue();
+        return std::move(*value_);
+    }
+
+    /** The value, or `fallback` when an error is carried. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    void
+    requireValue() const
+    {
+        if (!value_.has_value())
+            CM_PANIC("StatusOr::value() called on an error status");
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_STATUS_H

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 
@@ -135,25 +136,33 @@ ThreadPool::parallelFor(
     {
         std::atomic<std::size_t> cursor{0};
         std::atomic<std::size_t> finished{0};
-        std::atomic<bool> abort{false};
+        /** Lowest chunk index that threw; SIZE_MAX while none has. */
+        std::atomic<std::size_t> errorChunk{SIZE_MAX};
         std::exception_ptr error;
         std::mutex mutex;
         std::condition_variable done;
     };
     auto loop = std::make_shared<Loop>();
 
+    // Exception propagation is deterministic: the rethrown exception is
+    // always the one from the *lowest-index* throwing chunk, for any
+    // thread count or claim order. A chunk is skipped only when a
+    // lower-index chunk has already failed — so every chunk below the
+    // final errorChunk provably ran clean, and a chunk above it can
+    // never replace the recorded exception.
     auto runner = [loop, begin, end, grain, chunks, &fn] {
         std::size_t c;
         while ((c = loop->cursor.fetch_add(1)) < chunks) {
-            if (!loop->abort.load()) {
+            if (c < loop->errorChunk.load()) {
                 try {
                     const std::size_t lo = begin + c * grain;
                     fn(lo, std::min(lo + grain, end));
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(loop->mutex);
-                    if (!loop->error)
+                    if (c < loop->errorChunk.load()) {
                         loop->error = std::current_exception();
-                    loop->abort.store(true);
+                        loop->errorChunk.store(c);
+                    }
                 }
             }
             if (loop->finished.fetch_add(1) + 1 == chunks) {

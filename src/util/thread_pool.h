@@ -93,9 +93,11 @@ class ThreadPool
      * the decomposition depends only on the arguments, never on the
      * thread count. fn(chunk_begin, chunk_end) may run on any thread,
      * concurrently with other chunks; the calling thread participates.
-     * Blocks until every chunk has finished. The first exception thrown
-     * by fn is rethrown in the caller after remaining chunks are
-     * cancelled (claimed but skipped).
+     * Blocks until every chunk has finished. When fn throws, the
+     * exception of the *lowest-index* throwing chunk is rethrown in the
+     * caller — deterministically, for any thread count or scheduling —
+     * and chunks above the failing index are cancelled (claimed but
+     * skipped). Chunks below it always run.
      *
      * Runs serially inline when the range fits one chunk, the pool has
      * no workers, or the caller is itself a pool worker (nested

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/cleaner.h"
 #include "core/collector.h"
@@ -147,6 +148,59 @@ TEST(Cleaner, NegativeValuesTreatedAsCorrupt)
     const auto report = cleaner.clean(series);
     EXPECT_GE(report.missingFilled, 1u);
     EXPECT_GT(series.at(42), 0.0);
+}
+
+TEST(Cleaner, NonFiniteValuesRoutedThroughImputation)
+{
+    auto values = baseSeries(300, 1000.0, 50.0, 5);
+    values[50] = std::numeric_limits<double>::quiet_NaN();
+    values[150] = std::numeric_limits<double>::infinity();
+    values[250] = -std::numeric_limits<double>::infinity();
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.nonFiniteRepaired, 3u);
+    EXPECT_GE(report.missingFilled, 3u);
+    for (double v : series.values())
+        EXPECT_TRUE(std::isfinite(v));
+    // Repairs land at a plausible level, not at zero or infinity.
+    EXPECT_GT(series.at(50), 500.0);
+    EXPECT_LT(series.at(50), 1500.0);
+}
+
+TEST(Cleaner, NaNDoesNotPoisonOutlierThreshold)
+{
+    auto values = baseSeries(500, 1000.0, 50.0, 6);
+    values[100] = 5000.0; // genuine outlier
+    values[200] = std::numeric_limits<double>::quiet_NaN();
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    // The outlier is still detected: the NaN stayed out of the
+    // mean/std behind the Eq.-6 threshold.
+    EXPECT_TRUE(std::isfinite(report.threshold));
+    EXPECT_EQ(report.outliersReplaced, 1u);
+    EXPECT_LT(series.at(100), 1400.0);
+    EXPECT_EQ(report.nonFiniteRepaired, 1u);
+    EXPECT_TRUE(std::isfinite(series.at(200)));
+}
+
+TEST(Cleaner, NonFiniteRepairedEvenWhenZerosAreReal)
+{
+    // A genuinely tiny series (true zeros) with one NaN: the zeros are
+    // kept, the NaN is still imputed.
+    std::vector<double> values(64, 0.0);
+    for (std::size_t i = 0; i < values.size(); i += 4)
+        values[i] = 0.005;
+    values[10] = std::numeric_limits<double>::quiet_NaN();
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.nonFiniteRepaired, 1u);
+    EXPECT_GT(report.trueZerosKept, 0u);
+    EXPECT_TRUE(std::isfinite(series.at(10)));
+    EXPECT_DOUBLE_EQ(series.at(4), 0.005); // true zeros untouched
+    EXPECT_DOUBLE_EQ(series.at(1), 0.0);
 }
 
 TEST(Cleaner, KnnNeighborhoodSizeMatters)

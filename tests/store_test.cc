@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 
 #include "store/database.h"
 #include "store/table.h"
@@ -167,6 +168,40 @@ TEST(Database, AddRunAndQuery)
     ASSERT_EQ(series.size(), 3u);
     EXPECT_DOUBLE_EQ(series.at(2), 6.0);
     EXPECT_DOUBLE_EQ(series.intervalMs(), 10.0);
+}
+
+TEST(Database, TryAddRunRejectsUnusableRunsRecoverably)
+{
+    Database db;
+    // Empty series set.
+    EXPECT_FALSE(db.tryAddRun("p", "s", "mlpx", 1.0, {}).ok());
+
+    // Per-series length mismatch names the offending event.
+    auto ragged = makeSeries();
+    ragged[1] = TimeSeries("EV_B", {4.0, 5.0}, 10.0);
+    const auto mismatch = db.tryAddRun("p", "s", "mlpx", 1.0, ragged);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_EQ(mismatch.status().code(),
+              cminer::util::StatusCode::DataError);
+    EXPECT_NE(mismatch.status().message().find("EV_B"),
+              std::string::npos);
+
+    // Nonsense execution times.
+    EXPECT_FALSE(db.tryAddRun("p", "s", "mlpx", -1.0, makeSeries()).ok());
+    EXPECT_FALSE(
+        db.tryAddRun("p", "s", "mlpx",
+                     std::numeric_limits<double>::quiet_NaN(),
+                     makeSeries())
+            .ok());
+
+    // Nothing was recorded by the failures; a good run still lands.
+    EXPECT_EQ(db.runCount(), 0u);
+    const auto good = db.tryAddRun("p", "s", "mlpx", 1.0, makeSeries());
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(db.runCount(), 1u);
+    // The throwing wrapper delegates to the same checks.
+    EXPECT_THROW(db.addRun("p", "s", "mlpx", -1.0, makeSeries()),
+                 FatalError);
 }
 
 TEST(Database, TwoLevelOrganization)

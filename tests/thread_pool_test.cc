@@ -181,6 +181,51 @@ TEST(ParallelFor, WorkerExceptionPropagatesToCaller)
     EXPECT_EQ(after.load(), 10);
 }
 
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically)
+{
+    // Several chunks throw; the caller must always see the exception
+    // from the lowest-index one, whatever the thread count or
+    // scheduling order.
+    for (std::size_t workers : {0, 1, 3, 7}) {
+        ThreadPool pool(workers);
+        for (int rep = 0; rep < 20; ++rep) {
+            try {
+                pool.parallelFor(
+                    0, 64, 1, [](std::size_t lo, std::size_t) {
+                        if (lo == 9 || lo == 23 || lo == 41)
+                            throw std::runtime_error(
+                                "chunk " + std::to_string(lo));
+                    });
+                FAIL() << "expected an exception";
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "chunk 9");
+            }
+        }
+    }
+}
+
+TEST(ParallelFor, ChunksBelowTheFailingIndexAlwaysRun)
+{
+    ThreadPool pool(4);
+    for (int rep = 0; rep < 10; ++rep) {
+        std::vector<char> ran(64, 0); // one writer per slot
+        try {
+            pool.parallelFor(0, 64, 1,
+                             [&](std::size_t lo, std::size_t) {
+                                 ran[lo] = 1;
+                                 if (lo == 40)
+                                     throw std::invalid_argument(
+                                         "chunk 40");
+                             });
+            FAIL() << "expected an exception";
+        } catch (const std::invalid_argument &) {
+        }
+        // Cancellation only skips chunks *above* the failing index.
+        for (std::size_t i = 0; i < 40; ++i)
+            EXPECT_TRUE(ran[i]) << "chunk " << i << " was skipped";
+    }
+}
+
 TEST(ParallelFor, SerialPathPropagatesExceptionsToo)
 {
     ThreadPool pool(0);

@@ -334,6 +334,45 @@ TEST(Csv, RowWidthMismatchThrows)
     std::filesystem::remove(path);
 }
 
+TEST(Csv, StrictParseNamesTheOffendingLine)
+{
+    const auto result = parseCsv("a,b\n1,2\n1,2,3\n4,5\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::ParseError);
+    EXPECT_NE(result.status().message().find("line 3"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("3 fields"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("header has 2"),
+              std::string::npos);
+}
+
+TEST(Csv, LenientParseSkipsAndCountsBadRows)
+{
+    CsvParseOptions options;
+    options.lenient = true;
+    CsvParseReport report;
+    const auto result =
+        parseCsv("a,b\n1,2\n1,2,3\nlonely\n4,5\n", options, &report);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    const auto &doc = result.value();
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[0][0], "1");
+    EXPECT_EQ(doc.rows[1][1], "5");
+    EXPECT_EQ(report.totalRows, 4u);
+    EXPECT_EQ(report.skippedRows, 2u);
+}
+
+TEST(Csv, NoHeaderIsDataError)
+{
+    const auto empty = parseCsv("");
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), StatusCode::DataError);
+    const auto blanks = parseCsv("\n\n");
+    ASSERT_FALSE(blanks.ok());
+    EXPECT_EQ(blanks.status().code(), StatusCode::DataError);
+}
+
 // --- table printer -------------------------------------------------------
 
 TEST(TablePrinter, RendersAlignedTable)
