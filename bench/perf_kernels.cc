@@ -13,8 +13,10 @@
 #include "stats/anderson_darling.h"
 #include "ts/dtw.h"
 #include "ts/lb_keogh.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "workload/suites.h"
 
 using namespace cminer;
@@ -189,5 +191,57 @@ BM_TraceGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceGeneration);
+
+// --- observability overhead ----------------------------------------------
+// The disabled variants are the zero-overhead contract: with no tracer
+// or registry installed, a Span or counter update must reduce to one
+// relaxed atomic load and a branch. Compare each *Disabled bench with
+// its *Enabled twin (and BM_GbrtFitThreads with flags absent for the
+// macro check).
+
+void
+BM_SpanDisabled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        util::Span span("bench.span");
+        benchmark::DoNotOptimize(span.active());
+    }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void
+BM_SpanEnabled(benchmark::State &state)
+{
+    util::SteadyClock clock;
+    util::Tracer tracer(clock);
+    util::setGlobalTracer(&tracer);
+    for (auto _ : state) {
+        util::Span span("bench.span");
+        benchmark::DoNotOptimize(span.active());
+    }
+    util::setGlobalTracer(nullptr);
+}
+// Every iteration appends a span record; cap the count so the tracer's
+// backing store stays small.
+BENCHMARK(BM_SpanEnabled)->Iterations(16384);
+
+void
+BM_CounterDisabled(benchmark::State &state)
+{
+    for (auto _ : state)
+        util::count("bench.counter");
+}
+BENCHMARK(BM_CounterDisabled);
+
+void
+BM_CounterEnabled(benchmark::State &state)
+{
+    util::MetricsRegistry registry;
+    util::setGlobalMetrics(&registry);
+    for (auto _ : state)
+        util::count("bench.counter");
+    util::setGlobalMetrics(nullptr);
+}
+BENCHMARK(BM_CounterEnabled);
 
 } // namespace

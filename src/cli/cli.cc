@@ -16,10 +16,12 @@
 #include "store/query.h"
 #include "util/error.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "workload/suites.h"
 
 namespace cminer::cli {
@@ -105,6 +107,74 @@ parseFlags(const std::vector<std::string> &args, std::size_t first)
     }
     return flags;
 }
+
+/** Where profile runs drop metrics when no explicit path is given to
+ * `--metrics-out`, and where `cminer stats` looks by default. */
+constexpr const char *default_metrics_file = "cminer-metrics.json";
+
+/**
+ * Installs the tracer/metrics registry for the duration of one CLI
+ * command when `--trace-out` / `--metrics-out` ask for them, and writes
+ * the JSON exports when the command succeeds. With both flags absent
+ * nothing is installed and every span/counter in the pipeline stays a
+ * null-pointer check (the zero-overhead contract).
+ */
+class ObservabilityScope
+{
+  public:
+    explicit ObservabilityScope(const Flags &flags)
+        : tracePath_(flags.get("trace-out", "")),
+          metricsPath_(flags.get("metrics-out", ""))
+    {
+        if (!tracePath_.empty()) {
+            tracer_.emplace(clock_);
+            util::setGlobalTracer(&*tracer_);
+        }
+        if (!metricsPath_.empty()) {
+            metrics_.emplace();
+            util::setGlobalMetrics(&*metrics_);
+        }
+    }
+
+    ~ObservabilityScope()
+    {
+        util::setGlobalTracer(nullptr);
+        util::setGlobalMetrics(nullptr);
+    }
+
+    ObservabilityScope(const ObservabilityScope &) = delete;
+    ObservabilityScope &operator=(const ObservabilityScope &) = delete;
+
+    /** Export the collected spans/metrics (call on command success). */
+    void
+    writeReports(std::string &output)
+    {
+        if (tracer_) {
+            writeFile(tracePath_, tracer_->toJson());
+            output += "wrote trace to " + tracePath_ + "\n";
+        }
+        if (metrics_) {
+            writeFile(metricsPath_, metrics_->toJson());
+            output += "wrote metrics to " + metricsPath_ + "\n";
+        }
+    }
+
+  private:
+    static void
+    writeFile(const std::string &path, const std::string &text)
+    {
+        std::ofstream out(path);
+        if (!out)
+            util::fatal("cannot write " + path);
+        out << text << "\n";
+    }
+
+    util::SteadyClock clock_;
+    std::optional<util::Tracer> tracer_;
+    std::optional<util::MetricsRegistry> metrics_;
+    std::string tracePath_;
+    std::string metricsPath_;
+};
 
 const workload::SyntheticBenchmark &
 resolveBenchmark(const std::string &name)
@@ -357,6 +427,58 @@ cmdError(const Flags &flags, std::string &output)
     return 0;
 }
 
+int
+cmdStats(const Flags &flags, std::string &output)
+{
+    const std::string path = flags.positional.empty()
+        ? default_metrics_file
+        : flags.positional.front();
+    std::ifstream in(path);
+    if (!in) {
+        util::fatal("cannot read " + path +
+                    "; run a command with --metrics-out first "
+                    "(e.g. profile sort --metrics-out " + path + ")");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = util::parseMetricsJson(buffer.str());
+    if (!parsed.ok())
+        parsed.status().withContext("stats " + path).throwIfError();
+    const util::MetricsSnapshot snapshot = std::move(parsed).value();
+
+    output += "metrics from " + path + "\n";
+    if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+        snapshot.histograms.empty()) {
+        output += "no metrics recorded\n";
+        return 0;
+    }
+    if (!snapshot.counters.empty()) {
+        util::TablePrinter table({"counter", "value"});
+        for (const auto &[name, value] : snapshot.counters)
+            table.addRow({name, std::to_string(value)});
+        output += table.render();
+    }
+    if (!snapshot.gauges.empty()) {
+        util::TablePrinter table({"gauge", "value"});
+        for (const auto &[name, value] : snapshot.gauges)
+            table.addRow({name, util::formatDouble(value, 3)});
+        output += table.render();
+    }
+    if (!snapshot.histograms.empty()) {
+        util::TablePrinter table({"histogram", "count", "total ms",
+                                  "mean ms", "min ms", "max ms"});
+        for (const auto &[name, h] : snapshot.histograms) {
+            table.addRow({name, std::to_string(h.count),
+                          util::formatDouble(h.totalMs, 3),
+                          util::formatDouble(h.meanMs(), 3),
+                          util::formatDouble(h.minMs, 3),
+                          util::formatDouble(h.maxMs, 3)});
+        }
+        output += table.render();
+    }
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -375,12 +497,23 @@ usage()
            "                                  clean a perf interval log\n"
            "  explore <db.cmdb>               summarize a database\n"
            "  error <benchmark> [--seed S]    quick MLPX-error check\n"
+           "  stats [metrics.json]            pretty-print an exported\n"
+           "                metrics file (default: cminer-metrics.json)\n"
            "\n"
            "global options:\n"
            "  --threads N   worker threads for the mining pipeline\n"
            "                (default: CMINER_THREADS env var, else all\n"
            "                hardware threads; 1 = fully serial; results\n"
            "                are bit-identical for any value)\n"
+           "\n"
+           "observability:\n"
+           "  --trace-out FILE    write a JSON tree of timed pipeline\n"
+           "                phase spans (collect/clean/dataset/eir/...)\n"
+           "  --metrics-out FILE  write pipeline counters, gauges and\n"
+           "                duration histograms as JSON; inspect with\n"
+           "                'counterminer stats FILE'\n"
+           "                Both are off by default and cost nothing\n"
+           "                when absent.\n"
            "\n"
            "fault tolerance:\n"
            "  --inject-faults SPEC  deterministic damage for hardening\n"
@@ -414,18 +547,26 @@ run(const std::vector<std::string> &args, std::string &output)
             util::Parallelism::setThreadCount(
                 static_cast<std::size_t>(threads));
         }
+        ObservabilityScope observability(flags);
+        const auto finish = [&](int code) {
+            if (code == 0)
+                observability.writeReports(output);
+            return code;
+        };
         if (command == "list-benchmarks")
-            return cmdListBenchmarks(output);
+            return finish(cmdListBenchmarks(output));
         if (command == "list-events")
-            return cmdListEvents(flags, output);
+            return finish(cmdListEvents(flags, output));
         if (command == "profile")
-            return cmdProfile(flags, output);
+            return finish(cmdProfile(flags, output));
         if (command == "clean")
-            return cmdClean(flags, output);
+            return finish(cmdClean(flags, output));
         if (command == "explore")
-            return cmdExplore(flags, output);
+            return finish(cmdExplore(flags, output));
         if (command == "error")
-            return cmdError(flags, output);
+            return finish(cmdError(flags, output));
+        if (command == "stats")
+            return finish(cmdStats(flags, output));
         output += "unknown command '" + command + "'\n" + usage();
         return 1;
     } catch (const util::FatalError &e) {

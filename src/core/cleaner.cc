@@ -8,6 +8,7 @@
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace cminer::core {
@@ -177,6 +178,18 @@ DataCleaner::clean(TimeSeries &series) const
         if (options_.fillMissing)
             fillMissing(values, report);
     }
+
+    // Counters mirror the SeriesCleanReport fields one-to-one, so the
+    // exported metrics reconcile exactly with the summed reports (and
+    // stay race-free when cleanAll fans series out across the pool).
+    cminer::util::count("cleaner.series_cleaned");
+    cminer::util::count("cleaner.outliers_replaced",
+                        report.outliersReplaced);
+    cminer::util::count("cleaner.missing_filled", report.missingFilled);
+    cminer::util::count("cleaner.non_finite_repaired",
+                        report.nonFiniteRepaired);
+    cminer::util::count("cleaner.true_zeros_kept",
+                        report.trueZerosKept);
     return report;
 }
 

@@ -1,6 +1,8 @@
 #include "core/collector.h"
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace cminer::core {
 
@@ -29,6 +31,8 @@ DataCollector::withTransientRetry(const std::function<Status()> &attempt)
     const auto result = cminer::util::retryWithBackoff(
         retryOptions_, retryClock_, retryRng_, attempt);
     transientRetries_ += result.attempts - 1;
+    cminer::util::count("collector.transient_retries",
+                        result.attempts - 1);
     return result.status;
 }
 
@@ -61,9 +65,12 @@ DataCollector::tryRecord(const std::string &program,
         run.id = added.value();
         return Status::okStatus();
     });
-    if (!status.ok())
+    if (!status.ok()) {
+        cminer::util::count("collector.runs_failed");
         return status.withContext("collector: recording run for " +
                                   program);
+    }
+    cminer::util::count("collector.runs_recorded");
     run.series = std::move(series);
     return run;
 }
@@ -114,6 +121,8 @@ DataCollector::tryCollectMlpx(const SyntheticBenchmark &benchmark,
                               const SparkConfig &config,
                               RotationPolicy policy)
 {
+    cminer::util::Span span("collect.run");
+    span.label("benchmark", benchmark.name());
     // A transient sampler-launch failure happens *before* the trace is
     // drawn, so a successful retry consumes the caller's Rng stream
     // exactly as an undisturbed run would.
@@ -153,6 +162,8 @@ DataCollector::tryCollectMlpxFromTrace(const TrueTrace &trace,
                                        const std::vector<EventId> &events,
                                        Rng &rng)
 {
+    cminer::util::Span span("collect.run");
+    span.label("benchmark", program);
     const Status launch = withTransientRetry([&]() -> Status {
         return injector_ != nullptr
             ? injector_->transientFault("sampler")

@@ -2,7 +2,9 @@
 
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace cminer::core {
 
@@ -45,6 +47,7 @@ CounterMiner::quarantine(PipelineIngestSummary &ingest,
                          std::size_t attempt, const Status &status)
 {
     ingest.quarantined.push_back({attempt, status.toString()});
+    util::count("collector.runs_quarantined");
     util::warn(util::format("counterminer: quarantined run %zu: %s",
                             attempt, status.toString().c_str()));
     if (ingest.quarantined.size() > options_.maxBadRuns) {
@@ -94,6 +97,8 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
     // Clean every run's event series (never the IPC series: the fixed
     // counters are not multiplexed).
     if (!options_.skipCleaning) {
+        util::Span span("clean");
+        span.number("runs", static_cast<double>(runs.size()));
         const DataCleaner cleaner(options_.cleaner);
         for (std::size_t r = 0; r < runs.size(); ++r) {
             auto &series = runs[r].series;
@@ -106,7 +111,14 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
     }
 
     const ImportanceRanker ranker(options_.importance);
-    const auto data = ImportanceRanker::buildDataset(runs, catalog_);
+    const auto data = [&] {
+        util::Span span("dataset");
+        auto built = ImportanceRanker::buildDataset(runs, catalog_);
+        span.number("rows", static_cast<double>(built.rowCount()));
+        span.number("events",
+                    static_cast<double>(built.featureCount()));
+        return built;
+    }();
     util::inform(util::format(
         "counterminer: %s dataset has %zu rows x %zu events",
         program.c_str(), data.rowCount(), data.featureCount()));
@@ -119,7 +131,13 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
 
     // Interactions among the top events, through the MAPM oracle.
     const auto mapm_data = data.project(report.importance.mapmFeatures);
-    const auto mapm = ranker.trainMapm(data, report.importance, rng);
+    const auto mapm = [&] {
+        util::Span span("mapm");
+        span.number("events",
+                    static_cast<double>(
+                        report.importance.mapmFeatures.size()));
+        return ranker.trainMapm(data, report.importance, rng);
+    }();
     std::vector<std::string> top_names;
     for (const auto &fi : report.topEvents)
         top_names.push_back(fi.feature);
@@ -134,18 +152,25 @@ CounterMiner::profile(const cminer::workload::SyntheticBenchmark &benchmark,
                       Rng &rng,
                       const cminer::workload::SparkConfig &config)
 {
+    util::Span span("profile");
+    span.label("benchmark", benchmark.name());
     PipelineIngestSummary ingest;
     std::vector<CollectedRun> runs;
     runs.reserve(options_.mlpxRuns);
-    for (std::size_t r = 0; r < options_.mlpxRuns; ++r) {
-        ++ingest.attemptedRuns;
-        auto result = collector_.tryCollectMlpx(benchmark,
-                                                options_.events, rng,
-                                                config);
-        if (result.ok())
-            runs.push_back(std::move(result).value());
-        else
-            quarantine(ingest, r, result.status());
+    {
+        util::Span collect("collect");
+        collect.number("runs",
+                       static_cast<double>(options_.mlpxRuns));
+        for (std::size_t r = 0; r < options_.mlpxRuns; ++r) {
+            ++ingest.attemptedRuns;
+            auto result = collector_.tryCollectMlpx(benchmark,
+                                                    options_.events, rng,
+                                                    config);
+            if (result.ok())
+                runs.push_back(std::move(result).value());
+            else
+                quarantine(ingest, r, result.status());
+        }
     }
     finishCollection(ingest, runs.size());
     ProfileReport report =
@@ -160,17 +185,23 @@ CounterMiner::profileTraces(
     const std::string &program, const std::string &suite, Rng &rng)
 {
     CM_ASSERT(!traces.empty());
+    util::Span span("profile");
+    span.label("benchmark", program);
     PipelineIngestSummary ingest;
     std::vector<CollectedRun> runs;
     runs.reserve(traces.size());
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-        ++ingest.attemptedRuns;
-        auto result = collector_.tryCollectMlpxFromTrace(
-            traces[t], program, suite, options_.events, rng);
-        if (result.ok())
-            runs.push_back(std::move(result).value());
-        else
-            quarantine(ingest, t, result.status());
+    {
+        util::Span collect("collect");
+        collect.number("runs", static_cast<double>(traces.size()));
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            ++ingest.attemptedRuns;
+            auto result = collector_.tryCollectMlpxFromTrace(
+                traces[t], program, suite, options_.events, rng);
+            if (result.ok())
+                runs.push_back(std::move(result).value());
+            else
+                quarantine(ingest, t, result.status());
+        }
     }
     finishCollection(ingest, runs.size());
     ProfileReport report = runPipeline(std::move(runs), program, rng);

@@ -5,7 +5,9 @@
 #include "ml/cv.h"
 #include "ml/metrics.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cminer::core {
 
@@ -109,10 +111,7 @@ ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
     for (std::size_t i = 0; i < names.size(); ++i)
         averaged.push_back(
             {names[i], sums[i] / static_cast<double>(folds)});
-    std::sort(averaged.begin(), averaged.end(),
-              [](const FeatureImportance &a, const FeatureImportance &b) {
-                  return a.importance > b.importance;
-              });
+    ml::sortByImportance(averaged);
 
     double error_sum = 0.0;
     for (double e : errors)
@@ -123,15 +122,24 @@ ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
 ImportanceResult
 ImportanceRanker::run(const Dataset &data, Rng &rng) const
 {
+    cminer::util::Span span("eir");
+    span.number("events", static_cast<double>(data.featureCount()));
+    span.number("rows", static_cast<double>(data.rowCount()));
+
     ImportanceResult result;
     std::vector<std::string> features = data.featureNames();
     double best_error = -1.0;
     std::size_t since_best = 0;
 
     while (true) {
+        cminer::util::Span iteration("eir.iteration");
+        iteration.number("events",
+                         static_cast<double>(features.size()));
         const Dataset current = features.size() == data.featureCount()
             ? data : data.project(features);
         auto [ranking, error] = fitOnce(current, rng);
+        iteration.number("cv_error_percent", error);
+        cminer::util::count("eir.iterations");
 
         result.curve.push_back({features.size(), error});
         if (best_error < 0.0 || error < best_error) {
@@ -168,6 +176,11 @@ ImportanceRanker::run(const Dataset &data, Rng &rng) const
         }
         features = std::move(next);
     }
+    cminer::util::gaugeSet("eir.best_error_percent",
+                           result.mapmErrorPercent);
+    cminer::util::gaugeSet("eir.mapm_events",
+                           static_cast<double>(result.mapmEventCount));
+    span.number("iterations", static_cast<double>(result.curve.size()));
     return result;
 }
 

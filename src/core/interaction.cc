@@ -5,7 +5,9 @@
 #include "ml/linear_regression.h"
 #include "ml/metrics.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cminer::core {
 
@@ -90,6 +92,8 @@ InteractionRanker::rankPairs(
 {
     CM_ASSERT(model.fitted());
     CM_ASSERT(data.rowCount() >= 8);
+    cminer::util::Span span("interaction");
+    span.number("pairs", static_cast<double>(pairs.size()));
     const auto means = data.featureMeans();
 
     // Stride-sample observation rows so every pair sees the same slice.
@@ -126,10 +130,20 @@ InteractionRanker::rankPairs(
             pair.importancePercent =
                 100.0 * pair.residualVariance / total_variance;
     }
+    // Descending intensity; ties (e.g. an additive model where every
+    // pair's residual variance is exactly zero) fall back to the pair
+    // names, so the surface is bitwise-stable across STL
+    // implementations and thread counts.
     std::sort(result.pairs.begin(), result.pairs.end(),
               [](const PairInteraction &a, const PairInteraction &b) {
-                  return a.importancePercent > b.importancePercent;
+                  if (a.importancePercent != b.importancePercent)
+                      return a.importancePercent > b.importancePercent;
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
               });
+    cminer::util::count("interaction.pairs_ranked",
+                        result.pairs.size());
     return result;
 }
 

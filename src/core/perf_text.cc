@@ -4,6 +4,7 @@
 #include <map>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace cminer::core {
@@ -99,12 +100,44 @@ lineError(std::size_t line_no, const std::string &what)
         util::format("perf_text: line %zu: ", line_no) + what);
 }
 
+/**
+ * Mirror one parse's IngestReport deltas into the metrics registry.
+ * Callers may pass an accumulating report, so the wired values are the
+ * difference against the entry snapshot — the counters then reconcile
+ * exactly with the per-file report totals.
+ */
+void
+addIngestMetrics(const IngestReport &before, const IngestReport &after)
+{
+    using cminer::util::count;
+    count("ingest.lines_total", after.totalLines - before.totalLines);
+    count("ingest.samples_parsed",
+          after.parsedSamples - before.parsedSamples);
+    count("ingest.malformed_lines",
+          after.malformedLines - before.malformedLines);
+    count("ingest.bad_timestamps",
+          after.badTimestamps - before.badTimestamps);
+    count("ingest.non_monotonic",
+          after.nonMonotonic - before.nonMonotonic);
+    count("ingest.duplicate_samples",
+          after.duplicateSamples - before.duplicateSamples);
+    count("ingest.non_finite_counts",
+          after.nonFiniteCounts - before.nonFiniteCounts);
+    count("ingest.truncated_lines",
+          after.truncatedLines - before.truncatedLines);
+    count("ingest.samples_padded",
+          after.paddedSamples - before.paddedSamples);
+    count("ingest.lines_dropped", after.damaged() - before.damaged());
+    count("ingest.files_parsed");
+}
+
 } // namespace
 
 StatusOr<std::vector<TimeSeries>>
 parsePerfIntervals(const std::string &text,
                    const PerfParseOptions &options, IngestReport &report)
 {
+    const IngestReport entry_snapshot = report;
     std::vector<std::string> order;
     std::map<std::string, std::size_t> event_index;
     std::vector<EventCells> cells;
@@ -274,6 +307,7 @@ parsePerfIntervals(const std::string &text,
         series.emplace_back(order[e], std::move(event_cells.values),
                             interval_ms > 0.0 ? interval_ms : 10.0);
     }
+    addIngestMetrics(entry_snapshot, report);
     return series;
 }
 

@@ -5,9 +5,21 @@
 
 #include "stats/descriptive.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace cminer::ml {
+
+void
+sortByImportance(std::vector<FeatureImportance> &ranking)
+{
+    std::sort(ranking.begin(), ranking.end(),
+              [](const FeatureImportance &a, const FeatureImportance &b) {
+                  if (a.importance != b.importance)
+                      return a.importance > b.importance;
+                  return a.feature < b.feature;
+              });
+}
 
 Gbrt::Gbrt(GbrtParams params)
     : params_(params)
@@ -63,6 +75,8 @@ Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
         trees_.push_back(std::move(tree));
     }
     fitted_ = true;
+    cminer::util::count("gbrt.fits");
+    cminer::util::count("gbrt.trees_fit", trees_.size());
 }
 
 double
@@ -123,10 +137,7 @@ Gbrt::featureImportances() const
         fi.importance = total > 0.0 ? 100.0 * influence[f] / total : 0.0;
         ranking.push_back(std::move(fi));
     }
-    std::sort(ranking.begin(), ranking.end(),
-              [](const FeatureImportance &a, const FeatureImportance &b) {
-                  return a.importance > b.importance;
-              });
+    sortByImportance(ranking);
     return ranking;
 }
 

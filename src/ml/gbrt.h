@@ -43,6 +43,16 @@ struct FeatureImportance
     double importance = 0.0; ///< percent; all entries sum to 100
 };
 
+/**
+ * Sort a ranking by descending importance with ties broken by ascending
+ * feature name. Importance alone under-determines the order: equal
+ * importances (duplicated events, all-zero rankings) would land in
+ * whatever order the STL's unstable sort leaves them, differing across
+ * implementations. The secondary key makes every ranking surface
+ * bitwise-reproducible.
+ */
+void sortByImportance(std::vector<FeatureImportance> &ranking);
+
 /** Stochastic gradient boosted regression tree ensemble. */
 class Gbrt
 {

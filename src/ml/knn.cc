@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace cminer::ml {
@@ -35,23 +36,26 @@ KnnRegressor::predict(const std::vector<double> &features) const
     CM_ASSERT(!trainX_.empty());
     CM_ASSERT(features.size() == trainX_.front().size());
 
-    std::vector<std::pair<double, double>> dist_target;
-    dist_target.reserve(trainX_.size());
+    // Equidistant neighbors tie-break by training-row index. Sorting
+    // (distance, target) pairs instead would order exact ties by target
+    // value and bias the k-subset toward small targets.
+    std::vector<std::pair<double, std::size_t>> dist_row;
+    dist_row.reserve(trainX_.size());
     for (std::size_t r = 0; r < trainX_.size(); ++r) {
         double d2 = 0.0;
         for (std::size_t f = 0; f < features.size(); ++f) {
             const double d = features[f] - trainX_[r][f];
             d2 += d * d;
         }
-        dist_target.emplace_back(d2, trainY_[r]);
+        dist_row.emplace_back(d2, r);
     }
-    const std::size_t k = std::min(k_, dist_target.size());
-    std::partial_sort(dist_target.begin(),
-                      dist_target.begin() + static_cast<long>(k),
-                      dist_target.end());
+    const std::size_t k = std::min(k_, dist_row.size());
+    std::partial_sort(dist_row.begin(),
+                      dist_row.begin() + static_cast<long>(k),
+                      dist_row.end());
     double total = 0.0;
     for (std::size_t i = 0; i < k; ++i)
-        total += dist_target[i].second;
+        total += trainY_[dist_row[i].second];
     return total / static_cast<double>(k);
 }
 
@@ -86,8 +90,20 @@ knnImputeSeries(std::vector<double> &values,
         if (!missing_set.count(i))
             observed.push_back(i);
     }
-    if (observed.empty())
-        return 0;
+    if (observed.empty()) {
+        // Nothing to impute from. Returning the values untouched would
+        // let NaN/negative samples survive into the dataset and poison
+        // every model fit downstream; fall back to the paper's "no
+        // information" value of 0.0 for the whole series and report the
+        // repairs so the caller's accounting stays exact.
+        for (std::size_t idx : missing) {
+            CM_ASSERT(idx < values.size());
+            values[idx] = 0.0;
+        }
+        cminer::util::count("knn.all_missing_zero_filled",
+                            missing.size());
+        return missing.size();
+    }
 
     // Every imputation reads only *observed* positions (never another
     // missing slot, imputed or not) and writes its own missing slot, so

@@ -54,10 +54,7 @@ permutationImportance(const Gbrt &model, const Dataset &data,
         out.push_back({data.featureNames()[f],
                        total > 0.0 ? 100.0 * deltas[f] / total : 0.0});
     }
-    std::sort(out.begin(), out.end(),
-              [](const FeatureImportance &a, const FeatureImportance &b) {
-                  return a.importance > b.importance;
-              });
+    sortByImportance(out);
     return out;
 }
 

@@ -155,9 +155,23 @@ JsonWriter::escape(const std::string &text)
           case '\t':
             escaped += "\\t";
             break;
+          case '\b':
+            escaped += "\\b";
+            break;
+          case '\f':
+            escaped += "\\f";
+            break;
           default:
+            // Every remaining control character must be \u-escaped —
+            // RFC 8259 forbids raw chars below 0x20 — and the format
+            // argument must go through unsigned char so a negative
+            // (high-bit) char can never smuggle a sign extension into
+            // the hex digits.
             if (static_cast<unsigned char>(c) < 0x20)
-                escaped += format("\\u%04x", c);
+                escaped += format(
+                    "\\u%04x",
+                    static_cast<unsigned>(
+                        static_cast<unsigned char>(c)));
             else
                 escaped += c;
         }

@@ -1,8 +1,9 @@
 /**
  * @file
  * A minimal streaming JSON writer (objects, arrays, scalars) for report
- * export. Write-only by design — the library never needs to parse JSON,
- * only to emit it for downstream dashboards.
+ * export. Write-only by design — the one place the library reads JSON
+ * back (`util::parseMetricsJson` for `cminer stats`) parses only the
+ * fixed format its own registry emits.
  */
 
 #ifndef CMINER_UTIL_JSON_WRITER_H

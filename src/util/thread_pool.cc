@@ -6,11 +6,57 @@
 #include <memory>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace cminer::util {
 
 namespace {
+
+/**
+ * Wrap a task with per-task metrics (queue wait + run time + count)
+ * when a metrics registry is installed at enqueue time. Returns the
+ * task untouched when metrics are off, so the disabled path adds one
+ * atomic load per enqueue and nothing per element.
+ *
+ * At execution time the registry is re-resolved through MetricsAccess:
+ * parallelFor returns once every *chunk* is done, not every helper
+ * task, so a drained helper (or the helper that ran the final chunk
+ * and woke the caller) can still be in this wrapper after the owner
+ * uninstalls and destroys the registry. The access pin makes that
+ * safe — setGlobalMetrics waits for it — and a task that drains after
+ * uninstall simply runs unrecorded. The pin is never held across
+ * task() itself, so uninstalling never blocks on a long task.
+ */
+std::function<void()>
+instrumentTask(std::function<void()> task)
+{
+    MetricsRegistry *metrics = globalMetrics();
+    if (metrics == nullptr)
+        return task;
+    const double enqueued_ms = metrics->nowMs();
+    return [task = std::move(task), enqueued_ms] {
+        double start_ms = 0.0;
+        bool recorded = false;
+        {
+            MetricsAccess access;
+            if (MetricsRegistry *m = access.get()) {
+                start_ms = m->nowMs();
+                m->counter("threadpool.tasks").add(1);
+                m->histogram("threadpool.queue_wait_ms")
+                    .record(start_ms - enqueued_ms);
+                recorded = true;
+            }
+        }
+        task();
+        if (recorded) {
+            MetricsAccess access;
+            if (MetricsRegistry *m = access.get())
+                m->histogram("threadpool.run_ms")
+                    .record(m->nowMs() - start_ms);
+        }
+    };
+}
 
 /** Set while the current thread is executing inside a pool worker. */
 thread_local bool inside_worker = false;
@@ -102,7 +148,8 @@ ThreadPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         CM_ASSERT(!stopping_);
-        queue_.emplace_back([packaged] { (*packaged)(); });
+        queue_.emplace_back(
+            instrumentTask([packaged] { (*packaged)(); }));
     }
     wake_.notify_one();
     return future;
@@ -136,6 +183,8 @@ ThreadPool::parallelFor(
     {
         std::atomic<std::size_t> cursor{0};
         std::atomic<std::size_t> finished{0};
+        /** Queued helper tasks that have fully completed. */
+        std::atomic<std::size_t> helpersDone{0};
         /** Lowest chunk index that threw; SIZE_MAX while none has. */
         std::atomic<std::size_t> errorChunk{SIZE_MAX};
         std::exception_ptr error;
@@ -173,27 +222,55 @@ ThreadPool::parallelFor(
     };
 
     // Helpers claim chunks from the shared cursor; the caller is one of
-    // them, so the pool never waits on an idle caller.
+    // them, so the pool never waits on an idle caller. Each queued
+    // helper signals completion of its whole task — including any
+    // metrics instrumentation around the runner — so the join below is
+    // a true fork-join: nothing enqueued here outlives this call. That
+    // keeps the by-reference fn capture sound and makes per-task
+    // counters reconcile exactly the moment parallelFor returns.
     const std::size_t helpers = std::min(workerCount(), chunks - 1);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         CM_ASSERT(!stopping_);
-        for (std::size_t h = 0; h < helpers; ++h)
-            queue_.emplace_back(runner);
+        for (std::size_t h = 0; h < helpers; ++h) {
+            queue_.emplace_back(
+                [loop, helper = instrumentTask(runner)] {
+                    helper();
+                    // Notify while holding the mutex: the caller can
+                    // only leave its wait through this mutex, so the
+                    // Loop (condvar included) cannot be destroyed
+                    // while the notify is still in flight.
+                    std::lock_guard<std::mutex> done_lock(loop->mutex);
+                    loop->helpersDone.fetch_add(1);
+                    loop->done.notify_all();
+                });
+        }
     }
     if (helpers == 1)
         wake_.notify_one();
     else
         wake_.notify_all();
 
-    runner();
+    // The caller's own share is a task too: zero queue wait, same
+    // counting, so `threadpool.tasks` covers every pool execution.
+    instrumentTask(runner)();
 
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->done.wait(lock, [&loop, chunks] {
-        return loop->finished.load() == chunks;
-    });
-    if (loop->error)
-        std::rethrow_exception(loop->error);
+    // Take the exception out under the lock: the last Loop reference
+    // may be dropped by a worker, and the exception object must be
+    // destroyed on this thread — the caller may still be inspecting
+    // the rethrown exception when the worker-side release runs.
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(loop->mutex);
+        loop->done.wait(lock, [&loop, chunks, helpers] {
+            return loop->finished.load() == chunks &&
+                   loop->helpersDone.load() == helpers;
+        });
+        error = std::move(loop->error);
+    }
+    loop.reset();
+    if (error)
+        std::rethrow_exception(error);
 }
 
 bool

@@ -1,0 +1,191 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace cminer::util {
+
+namespace {
+
+/** The installed tracer; relaxed loads keep disabled spans near-free. */
+std::atomic<Tracer *> global_tracer{nullptr};
+
+/**
+ * Per-thread stack of open span ids, for parent linkage. Spans opened on
+ * a pool worker root their own subtree (the worker has no ancestor span
+ * on its stack), which is exactly the truth about where the work ran.
+ */
+thread_local std::vector<std::size_t> span_stack;
+
+} // namespace
+
+double
+SteadyClock::nowMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::size_t
+Tracer::beginSpan(std::string name)
+{
+    const double now = clock_.nowMs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    SpanRecord record;
+    record.name = std::move(name);
+    record.id = spans_.size() + 1;
+    record.parent = span_stack.empty() ? 0 : span_stack.back();
+    record.startMs = now;
+    record.endMs = now;
+    spans_.push_back(std::move(record));
+    span_stack.push_back(spans_.back().id);
+    return spans_.back().id;
+}
+
+void
+Tracer::endSpan(std::size_t id,
+                std::vector<std::pair<std::string, double>> numbers,
+                std::vector<std::pair<std::string, std::string>> labels)
+{
+    const double now = clock_.nowMs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    CM_ASSERT(id >= 1 && id <= spans_.size());
+    SpanRecord &record = spans_[id - 1];
+    CM_ASSERT(!record.closed);
+    record.endMs = now;
+    record.closed = true;
+    record.numbers = std::move(numbers);
+    record.labels = std::move(labels);
+    // Spans close in LIFO order per thread (RAII guarantees it).
+    CM_ASSERT(!span_stack.empty() && span_stack.back() == id);
+    span_stack.pop_back();
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+namespace {
+
+void
+writeSpanNode(JsonWriter &json, const std::vector<SpanRecord> &spans,
+              const std::vector<std::vector<std::size_t>> &children,
+              std::size_t index)
+{
+    const SpanRecord &span = spans[index];
+    json.beginObject();
+    json.key("name");
+    json.value(span.name);
+    json.key("startMs");
+    json.value(span.startMs);
+    json.key("endMs");
+    json.value(span.endMs);
+    json.key("durationMs");
+    json.value(span.durationMs());
+    if (!span.closed) {
+        json.key("open");
+        json.value(true);
+    }
+    if (!span.numbers.empty() || !span.labels.empty()) {
+        json.key("attrs");
+        json.beginObject();
+        for (const auto &[key, value] : span.labels) {
+            json.key(key);
+            json.value(value);
+        }
+        for (const auto &[key, value] : span.numbers) {
+            json.key(key);
+            json.value(value);
+        }
+        json.endObject();
+    }
+    if (!children[index].empty()) {
+        json.key("children");
+        json.beginArray();
+        for (std::size_t child : children[index])
+            writeSpanNode(json, spans, children, child);
+        json.endArray();
+    }
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+Tracer::toJson() const
+{
+    const std::vector<SpanRecord> snapshot = spans();
+
+    // Index children per span (ids are 1-based positions in the vector).
+    std::vector<std::vector<std::size_t>> children(snapshot.size());
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        if (snapshot[i].parent == 0)
+            roots.push_back(i);
+        else
+            children[snapshot[i].parent - 1].push_back(i);
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("spans");
+    json.beginArray();
+    for (std::size_t root : roots)
+        writeSpanNode(json, snapshot, children, root);
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+Tracer *
+globalTracer()
+{
+    return global_tracer.load(std::memory_order_relaxed);
+}
+
+void
+setGlobalTracer(Tracer *tracer)
+{
+    global_tracer.store(tracer, std::memory_order_release);
+}
+
+Span::Span(const char *name)
+    : tracer_(globalTracer())
+{
+    if (tracer_ == nullptr)
+        return;
+    id_ = tracer_->beginSpan(name);
+}
+
+Span::~Span()
+{
+    if (tracer_ == nullptr)
+        return;
+    tracer_->endSpan(id_, std::move(numbers_), std::move(labels_));
+}
+
+void
+Span::number(const char *key, double value)
+{
+    if (tracer_ == nullptr)
+        return;
+    numbers_.emplace_back(key, value);
+}
+
+void
+Span::label(const char *key, const std::string &value)
+{
+    if (tracer_ == nullptr)
+        return;
+    labels_.emplace_back(key, value);
+}
+
+} // namespace cminer::util

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * RAII phase spans for pipeline observability.
+ *
+ * A Span marks the lifetime of one pipeline stage (collect, clean, fit,
+ * ...). Spans nest through a per-thread stack, so the collected records
+ * form a tree, and carry optional numeric/text attributes (event count,
+ * CV error, benchmark name). The clock is injectable — the same pattern
+ * as util/retry.h — so tests assert exact durations with a ManualClock
+ * and never touch the wall clock.
+ *
+ * Tracing is off by default: Span construction reduces to one relaxed
+ * atomic load of the global tracer pointer and a branch, so instrumented
+ * code pays nothing measurable when no tracer is installed (verified by
+ * BM_SpanOverhead in bench/perf_kernels.cc).
+ */
+
+#ifndef CMINER_UTIL_TRACE_H
+#define CMINER_UTIL_TRACE_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cminer::util {
+
+/** Monotonic time source for spans and duration metrics. */
+class TraceClock
+{
+  public:
+    virtual ~TraceClock() = default;
+    /** Milliseconds since an arbitrary fixed origin. */
+    virtual double nowMs() = 0;
+};
+
+/** Real monotonic clock (std::chrono::steady_clock). */
+class SteadyClock : public TraceClock
+{
+  public:
+    double nowMs() override;
+};
+
+/**
+ * A clock tests drive by hand; time only moves when advanced, so span
+ * durations are exact and wall-clock-free.
+ */
+class ManualClock : public TraceClock
+{
+  public:
+    double nowMs() override { return now_; }
+    /** Move time forward by `ms`. */
+    void advance(double ms) { now_ += ms; }
+
+  private:
+    double now_ = 0.0;
+};
+
+/** One finished (or still open) span as the tracer recorded it. */
+struct SpanRecord
+{
+    std::string name;
+    /** 1-based id; 0 is reserved for "no span". */
+    std::size_t id = 0;
+    /** Id of the enclosing span on the same thread; 0 = root. */
+    std::size_t parent = 0;
+    double startMs = 0.0;
+    double endMs = 0.0;
+    /** True once the owning Span was destroyed. */
+    bool closed = false;
+    /** Numeric attributes (e.g. {"events", 226}). */
+    std::vector<std::pair<std::string, double>> numbers;
+    /** Text attributes (e.g. {"benchmark", "sort"}). */
+    std::vector<std::pair<std::string, std::string>> labels;
+
+    double durationMs() const { return endMs - startMs; }
+};
+
+/**
+ * Collects spans from any thread. Begin/end are mutex-protected; span
+ * ids are assigned in begin order, so exports are deterministic under a
+ * ManualClock.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(TraceClock &clock)
+        : clock_(clock)
+    {
+    }
+
+    /** Open a span; returns its id. Parent = the thread's current span. */
+    std::size_t beginSpan(std::string name);
+
+    /** Close span `id`, folding in the attributes gathered by the Span. */
+    void endSpan(std::size_t id,
+                 std::vector<std::pair<std::string, double>> numbers,
+                 std::vector<std::pair<std::string, std::string>> labels);
+
+    /** Snapshot of every span recorded so far, in begin order. */
+    std::vector<SpanRecord> spans() const;
+
+    /**
+     * The span tree as JSON: {"spans": [...]} with children nested under
+     * their parents, each node carrying name/start/end/duration/attrs.
+     */
+    std::string toJson() const;
+
+    /** The clock this tracer stamps spans with. */
+    TraceClock &clock() { return clock_; }
+
+  private:
+    TraceClock &clock_;
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+};
+
+/** The installed tracer, or nullptr when tracing is off. */
+Tracer *globalTracer();
+
+/**
+ * Install (or with nullptr remove) the process-wide tracer. The caller
+ * keeps ownership and must outlive any Span opened while installed.
+ */
+void setGlobalTracer(Tracer *tracer);
+
+/**
+ * RAII span handle. Opens a span on the global tracer at construction,
+ * closes it at destruction; inert (a pointer load and a branch) when no
+ * tracer is installed.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a numeric attribute, exported when the span closes. */
+    void number(const char *key, double value);
+    /** Attach a text attribute, exported when the span closes. */
+    void label(const char *key, const std::string &value);
+
+    /** True when a tracer was installed at construction. */
+    bool active() const { return tracer_ != nullptr; }
+
+  private:
+    Tracer *tracer_;
+    std::size_t id_ = 0;
+    std::vector<std::pair<std::string, double>> numbers_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+};
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_TRACE_H

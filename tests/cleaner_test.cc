@@ -301,19 +301,38 @@ TEST(Cleaner, EmptyAndTinySeriesSafe)
     EXPECT_EQ(tiny_report.outliersReplaced, 0u);
 }
 
-TEST(Cleaner, AllValuesMissingIsANoop)
+TEST(Cleaner, AllValuesMissingFallsBackToZeroFill)
 {
     // Every entry corrupt (negative): there is no observed neighbor to
-    // impute from, so the series must pass through untouched rather
-    // than crash or divide by zero.
+    // impute from, so the imputer falls back to 0.0 — the "no
+    // information" count — instead of passing the corrupt samples
+    // through (the old behavior, which let negative counts reach the
+    // model) or crashing.
     std::vector<double> values(50, -1.0);
     TimeSeries series("X", values);
     DataCleaner cleaner;
     const auto report = cleaner.clean(series);
-    EXPECT_EQ(report.missingFilled, 0u);
+    EXPECT_EQ(report.missingFilled, 50u);
     EXPECT_EQ(report.outliersReplaced, 0u);
     for (std::size_t i = 0; i < series.size(); ++i)
-        EXPECT_DOUBLE_EQ(series.at(i), -1.0);
+        EXPECT_DOUBLE_EQ(series.at(i), 0.0);
+}
+
+TEST(Cleaner, AllValuesNaNEndsFiniteWithEveryRepairReported)
+{
+    // The fully-damaged end of the spectrum: a series that is nothing
+    // but NaN must still come out finite, with every sample counted
+    // both as non-finite damage and as a fill.
+    std::vector<double> values(32, std::nan(""));
+    TimeSeries series("X", values);
+    DataCleaner cleaner;
+    const auto report = cleaner.clean(series);
+    EXPECT_EQ(report.nonFiniteRepaired, 32u);
+    EXPECT_EQ(report.missingFilled, 32u);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(series.at(i)));
+        EXPECT_DOUBLE_EQ(series.at(i), 0.0);
+    }
 }
 
 TEST(Cleaner, SingleSampleSeriesSafe)

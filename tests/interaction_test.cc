@@ -151,6 +151,40 @@ TEST(InteractionRanker, ExplicitPairListRespected)
               result.pairs[1].importancePercent);
 }
 
+TEST(InteractionRanker, TiedPairsRankInLexicographicOrder)
+{
+    // A constant target makes the oracle fit zero trees, so every
+    // pair sees identical probe data and lands on exactly the same
+    // intensity — the whole ranking is one big tie. std::sort is
+    // unstable: without the name-pair secondary key the exported order
+    // varied across STL implementations. It must be lexicographic,
+    // always.
+    Dataset data({"d", "b", "a", "c"});
+    Rng rng(21);
+    for (int i = 0; i < 200; ++i)
+        data.addRow({rng.gaussian(), rng.gaussian(), rng.gaussian(),
+                     rng.gaussian()},
+                    5.0);
+    Gbrt model;
+    Rng fit_rng(22);
+    model.fit(data, fit_rng);
+
+    InteractionRanker ranker;
+    const auto result =
+        ranker.rankTopEvents(model, data, {"a", "b", "c", "d"});
+    ASSERT_EQ(result.pairs.size(), 6u);
+    for (const auto &pair : result.pairs)
+        EXPECT_DOUBLE_EQ(pair.importancePercent,
+                         result.pairs.front().importancePercent);
+    std::vector<std::pair<std::string, std::string>> order;
+    for (const auto &pair : result.pairs)
+        order.emplace_back(pair.first, pair.second);
+    const std::vector<std::pair<std::string, std::string>> expected = {
+        {"a", "b"}, {"a", "c"}, {"a", "d"},
+        {"b", "c"}, {"b", "d"}, {"c", "d"}};
+    EXPECT_EQ(order, expected);
+}
+
 TEST(InteractionResult, TopReturnsPrefix)
 {
     InteractionResult result;

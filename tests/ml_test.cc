@@ -18,6 +18,7 @@
 #include "ml/metrics.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -199,6 +200,21 @@ TEST(Knn, KLargerThanTrainingSetUsesAll)
     EXPECT_DOUBLE_EQ(knn.predict({0.5}), 2.0);
 }
 
+TEST(Knn, ExactDistanceTiesBreakByTrainingRowOrder)
+{
+    // Rows 0 and 1 are equidistant from the query. The tie must go to
+    // the earlier training row (insertion order), not to the smaller
+    // target value — the old target-based tie-break silently biased
+    // predictions low.
+    Dataset data({"x"});
+    data.addRow({1.0}, 100.0); // row 0: large target, same distance
+    data.addRow({-1.0}, 1.0);  // row 1: small target, same distance
+    data.addRow({5.0}, 50.0);  // row 2: farther away
+    KnnRegressor knn(1);
+    knn.fit(data);
+    EXPECT_DOUBLE_EQ(knn.predict({0.0}), 100.0);
+}
+
 TEST(KnnImpute, FillsFromNearestTemporalNeighbors)
 {
     //                 0    1    2     3(m)  4    5
@@ -219,10 +235,16 @@ TEST(KnnImpute, HandlesEdgesAndRuns)
     EXPECT_DOUBLE_EQ(v[4], 35.0);
 }
 
-TEST(KnnImpute, AllMissingImputesNothing)
+TEST(KnnImpute, AllMissingFallsBackToZeroFill)
 {
-    std::vector<double> v = {0.0, 0.0};
-    EXPECT_EQ(knnImputeSeries(v, {0, 1}, 3), 0u);
+    // With no observed sample anywhere there is nothing to impute from;
+    // the series must still come back finite (NaNs would poison every
+    // downstream statistic), so the holes are filled with 0.0 and the
+    // fills are reported.
+    std::vector<double> v = {std::nan(""), -3.0};
+    EXPECT_EQ(knnImputeSeries(v, {0, 1}, 3), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
 }
 
 TEST(KnnImpute, NoMissingNoChange)
@@ -397,6 +419,57 @@ TEST(Gbrt, ImportancesSumTo100)
     for (std::size_t i = 1; i < importances.size(); ++i)
         EXPECT_GE(importances[i - 1].importance,
                   importances[i].importance);
+}
+
+TEST(Gbrt, SortByImportanceBreaksTiesByFeatureName)
+{
+    // Tied importances are common in practice (a constant-target fit
+    // leaves every feature at exactly zero). std::sort is unstable, so
+    // without a secondary key the tie order — and therefore every
+    // exported ranking — varied across STL implementations and runs.
+    std::vector<FeatureImportance> ranking = {
+        {"zeta", 10.0},  {"mid", 50.0},  {"beta", 10.0},
+        {"alpha", 10.0}, {"top", 90.0},  {"gamma", 10.0},
+    };
+    sortByImportance(ranking);
+    ASSERT_EQ(ranking.size(), 6u);
+    EXPECT_EQ(ranking[0].feature, "top");
+    EXPECT_EQ(ranking[1].feature, "mid");
+    // The four-way tie at 10.0 resolves alphabetically, always.
+    EXPECT_EQ(ranking[2].feature, "alpha");
+    EXPECT_EQ(ranking[3].feature, "beta");
+    EXPECT_EQ(ranking[4].feature, "gamma");
+    EXPECT_EQ(ranking[5].feature, "zeta");
+}
+
+TEST(Gbrt, TiedImportancesRankIdenticallyForAnyThreadCount)
+{
+    // A constant target early-stops the fit: every feature importance is
+    // exactly 0.0 and the ranking order is pure tie-break. It must be
+    // bitwise identical however the pipeline is threaded.
+    Dataset data({"delta", "alpha", "charlie", "bravo"});
+    for (int i = 0; i < 64; ++i) {
+        data.addRow({static_cast<double>(i), static_cast<double>(-i),
+                     static_cast<double>(i % 7),
+                     static_cast<double>(i % 3)},
+                    5.0);
+    }
+    std::vector<std::vector<std::string>> orders;
+    for (std::size_t threads : {1u, 4u}) {
+        cminer::util::Parallelism::setThreadCount(threads);
+        Rng rng(14);
+        Gbrt gbrt;
+        gbrt.fit(data, rng);
+        std::vector<std::string> order;
+        for (const auto &fi : gbrt.featureImportances())
+            order.push_back(fi.feature);
+        orders.push_back(std::move(order));
+    }
+    cminer::util::Parallelism::setThreadCount(0);
+    EXPECT_EQ(orders[0], orders[1]);
+    EXPECT_EQ(orders[0],
+              (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                        "delta"}));
 }
 
 TEST(Gbrt, ConstantTargetEarlyStops)

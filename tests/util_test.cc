@@ -14,6 +14,7 @@
 
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -403,6 +404,27 @@ TEST(TablePrinter, AsciiBarScalesAndClamps)
     EXPECT_EQ(asciiBar(100.0, 100.0, 10), "##########");
     EXPECT_EQ(asciiBar(50.0, 100.0, 10), "#####.....");
     EXPECT_EQ(asciiBar(200.0, 100.0, 10), "##########");
+}
+
+// --- JSON escaping ----------------------------------------------------
+
+TEST(JsonEscape, ControlCharactersAlwaysEscape)
+{
+    // RFC 8259: every character below 0x20 must be escaped — the short
+    // forms where they exist, \u00XX for the rest. Raw control bytes in
+    // a string make the document unparseable.
+    EXPECT_EQ(JsonWriter::escape(std::string("a\x01z")), "a\\u0001z");
+    EXPECT_EQ(JsonWriter::escape(std::string("a\x1fz")), "a\\u001fz");
+    EXPECT_EQ(JsonWriter::escape(std::string("a\bz")), "a\\bz");
+    EXPECT_EQ(JsonWriter::escape(std::string("a\fz")), "a\\fz");
+    EXPECT_EQ(JsonWriter::escape("a\tb\nc\rd"), "a\\tb\\nc\\rd");
+    EXPECT_EQ(JsonWriter::escape("quote\"back\\slash"),
+              "quote\\\"back\\\\slash");
+    // NUL embedded mid-string must not truncate the escape.
+    EXPECT_EQ(JsonWriter::escape(std::string("a\0z", 3)), "a\\u0000z");
+    // High-bit bytes (UTF-8 continuation) pass through untouched; a
+    // signed-char sign extension here would emit \uffxx garbage.
+    EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");
 }
 
 // --- error -----------------------------------------------------------
