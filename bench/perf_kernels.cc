@@ -7,7 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "common.h"
+#include "ml/dataset_view.h"
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
 #include "stats/anderson_darling.h"
@@ -20,6 +25,89 @@
 #include "workload/suites.h"
 
 using namespace cminer;
+
+// --- allocation accounting -----------------------------------------------
+// Global new/delete replacements tallying every heap allocation in the
+// process. The columnar data plane's contract is that deriving a view
+// performs no matrix copy; the *Copy/*View benchmark twins below report
+// allocs/iter and alloc_kb/iter so the difference shows up in the bench
+// output, not just in wall clock.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    if (void *p = std::malloc(size > 0 ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Snapshot of the global allocation tallies. */
+struct AllocCounters
+{
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+
+    static AllocCounters
+    now()
+    {
+        return {g_alloc_count.load(std::memory_order_relaxed),
+                g_alloc_bytes.load(std::memory_order_relaxed)};
+    }
+};
+
+/** Report per-iteration allocation deltas as benchmark counters. */
+void
+reportAllocsPerIter(benchmark::State &state, const AllocCounters &before)
+{
+    const auto after = AllocCounters::now();
+    const auto iters =
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(after.count - before.count) / iters;
+    state.counters["alloc_kb_per_iter"] =
+        static_cast<double>(after.bytes - before.bytes) / 1024.0 / iters;
+}
+
+} // namespace
 
 namespace {
 
@@ -153,6 +241,108 @@ BM_GbrtPredictAll(benchmark::State &state)
         static_cast<double>(bench::activeThreads());
 }
 BENCHMARK(BM_GbrtPredictAll)->UseRealTime();
+
+// --- columnar data plane: copy vs view twins ------------------------------
+// Each pair runs the identical workload through the legacy materializing
+// path (Dataset::project / subset copies) and the DatasetView path. The
+// allocs_per_iter / alloc_kb_per_iter counters prove the view twin does
+// no per-iteration matrix copy; wall clock proves it is no slower.
+
+/** The EIR survivor set: every feature but the 10 dropped last round. */
+std::vector<std::string>
+eirSurvivors(const ml::Dataset &data)
+{
+    std::vector<std::string> keep = data.featureNames();
+    keep.resize(keep.size() - 10);
+    return keep;
+}
+
+void
+BM_DatasetProjectCopy(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(226, 800);
+    const auto keep = eirSurvivors(data);
+    const auto before = AllocCounters::now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(data.project(keep));
+    reportAllocsPerIter(state, before);
+}
+BENCHMARK(BM_DatasetProjectCopy);
+
+void
+BM_DatasetProjectView(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(226, 800);
+    const auto keep = eirSurvivors(data);
+    const auto before = AllocCounters::now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ml::DatasetView(data).withFeatures(keep));
+    reportAllocsPerIter(state, before);
+}
+BENCHMARK(BM_DatasetProjectView);
+
+/**
+ * One EIR drop-10-retrain iteration: narrow the training matrix to the
+ * surviving events, then refit the GBRT. The Copy twin materializes the
+ * narrowed matrix the way the pre-columnar pipeline did; the View twin
+ * shrinks a column mask. Both run with a metrics registry installed so
+ * the gbrt.split_scan_ms histogram wiring is exercised and surfaced.
+ */
+void
+BM_EirRefitCopy(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(226, 800);
+    const auto keep = eirSurvivors(data);
+    ml::GbrtParams params;
+    params.treeCount = 20;
+    util::MetricsRegistry registry;
+    util::setGlobalMetrics(&registry);
+    const auto before = AllocCounters::now();
+    for (auto _ : state) {
+        util::Rng rng(7);
+        const ml::Dataset current = data.project(keep);
+        ml::Gbrt model(params);
+        model.fit(current, rng);
+        benchmark::DoNotOptimize(model.treeCount());
+    }
+    reportAllocsPerIter(state, before);
+    util::setGlobalMetrics(nullptr);
+    const auto scan =
+        registry.histogram("gbrt.split_scan_ms").snapshot();
+    state.counters["split_scan_ms_per_iter"] =
+        scan.totalMs /
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_EirRefitCopy)->Unit(benchmark::kMillisecond);
+
+void
+BM_EirRefitView(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(226, 800);
+    const auto keep = eirSurvivors(data);
+    ml::GbrtParams params;
+    params.treeCount = 20;
+    util::MetricsRegistry registry;
+    util::setGlobalMetrics(&registry);
+    const auto before = AllocCounters::now();
+    for (auto _ : state) {
+        util::Rng rng(7);
+        const ml::DatasetView current =
+            ml::DatasetView(data).withFeatures(keep);
+        ml::Gbrt model(params);
+        model.fit(current, rng);
+        benchmark::DoNotOptimize(model.treeCount());
+    }
+    reportAllocsPerIter(state, before);
+    util::setGlobalMetrics(nullptr);
+    const auto scan =
+        registry.histogram("gbrt.split_scan_ms").snapshot();
+    state.counters["split_scan_ms_per_iter"] =
+        scan.totalMs /
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_EirRefitView)->Unit(benchmark::kMillisecond);
 
 void
 BM_CleanerSeries(benchmark::State &state)

@@ -28,7 +28,7 @@ namespace {
 
 /** The finite subset of a series — the only samples statistics trust. */
 std::vector<double>
-finiteValues(const std::vector<double> &values)
+finiteValues(std::span<const double> values)
 {
     std::vector<double> finite;
     finite.reserve(values.size());
@@ -42,7 +42,7 @@ finiteValues(const std::vector<double> &values)
 } // namespace
 
 double
-DataCleaner::chooseThresholdN(const std::vector<double> &values) const
+DataCleaner::chooseThresholdN(std::span<const double> values) const
 {
     // NaN/Inf samples are missing data, not evidence: they must not
     // poison the mean/std the Eq.-6 threshold is built from.
@@ -61,7 +61,7 @@ DataCleaner::chooseThresholdN(const std::vector<double> &values) const
 }
 
 std::size_t
-DataCleaner::replaceOutliers(std::vector<double> &values,
+DataCleaner::replaceOutliers(std::span<double> values,
                              SeriesCleanReport &report) const
 {
     const std::vector<double> finite = finiteValues(values);
@@ -100,7 +100,7 @@ DataCleaner::replaceOutliers(std::vector<double> &values,
 }
 
 void
-DataCleaner::fillMissing(std::vector<double> &values,
+DataCleaner::fillMissing(std::span<double> values,
                          SeriesCleanReport &report) const
 {
     // Candidate missing values: zeros (MLPX "<not counted>" samples),
@@ -153,12 +153,17 @@ DataCleaner::fillMissing(std::vector<double> &values,
 SeriesCleanReport
 DataCleaner::clean(TimeSeries &series) const
 {
-    SeriesCleanReport report;
-    report.event = series.eventName();
-    if (series.empty())
-        return report;
+    return cleanValues(series.eventName(), series.mutableValues());
+}
 
-    auto &values = series.mutableValues();
+SeriesCleanReport
+DataCleaner::cleanValues(const std::string &event,
+                         std::span<double> values) const
+{
+    SeriesCleanReport report;
+    report.event = event;
+    if (values.empty())
+        return report;
 
     // Record the distribution family before touching the data. The fit
     // sorts its input, so NaN samples must be screened out first.

@@ -24,6 +24,7 @@
 #ifndef CMINER_CORE_CLEANER_H
 #define CMINER_CORE_CLEANER_H
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,14 @@ class DataCleaner
     /** Clean one series in place and report what changed. */
     SeriesCleanReport clean(cminer::ts::TimeSeries &series) const;
 
+    /**
+     * Clean one event's samples in place, wherever they live — a
+     * TimeSeries buffer or a dataset column segment. The span-based
+     * core the other entry points delegate to.
+     */
+    SeriesCleanReport cleanValues(const std::string &event,
+                                  std::span<double> values) const;
+
     /** Clean a batch of series in place. */
     std::vector<SeriesCleanReport>
     cleanAll(std::vector<cminer::ts::TimeSeries> &series) const;
@@ -86,12 +95,12 @@ class DataCleaner
      * The smallest candidate n whose threshold keeps `coverageTarget` of
      * the data inside (Table I); the largest candidate when none does.
      */
-    double chooseThresholdN(const std::vector<double> &values) const;
+    double chooseThresholdN(std::span<const double> values) const;
 
   private:
-    std::size_t replaceOutliers(std::vector<double> &values,
+    std::size_t replaceOutliers(std::span<double> values,
                                 SeriesCleanReport &report) const;
-    void fillMissing(std::vector<double> &values,
+    void fillMissing(std::span<double> values,
                      SeriesCleanReport &report) const;
 
     CleanerOptions options_;

@@ -1,9 +1,12 @@
 #include "core/counterminer.h"
 
+#include <span>
+
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace cminer::core {
@@ -94,31 +97,60 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
     ProfileReport report;
     report.benchmark = program;
 
-    // Clean every run's event series (never the IPC series: the fixed
-    // counters are not multiplexed).
-    if (!options_.skipCleaning) {
-        util::Span span("clean");
-        span.number("runs", static_cast<double>(runs.size()));
-        const DataCleaner cleaner(options_.cleaner);
-        for (std::size_t r = 0; r < runs.size(); ++r) {
-            auto &series = runs[r].series;
-            std::vector<SeriesCleanReport> reports;
-            for (std::size_t s = 0; s + 1 < series.size(); ++s)
-                reports.push_back(cleaner.clean(series[s]));
-            if (r == 0)
-                report.cleaning = std::move(reports);
-        }
-    }
+    // Assemble the dataset straight from the runs' level-2 store
+    // tables: feature columns fill from contiguous column spans, no
+    // per-run TimeSeries round-trip.
+    std::vector<cminer::store::RunId> ids;
+    ids.reserve(runs.size());
+    for (const auto &run : runs)
+        ids.push_back(run.id);
 
     const ImportanceRanker ranker(options_.importance);
-    const auto data = [&] {
+    auto data = [&] {
         util::Span span("dataset");
-        auto built = ImportanceRanker::buildDataset(runs, catalog_);
+        auto built =
+            ImportanceRanker::buildDatasetFromStore(db_, ids, catalog_);
         span.number("rows", static_cast<double>(built.rowCount()));
         span.number("events",
                     static_cast<double>(built.featureCount()));
         return built;
     }();
+
+    // Clean every event column in place, one per-run segment at a time
+    // (never the IPC target: the fixed counters are not multiplexed).
+    // The dataset rows are run-major, so run r's samples of feature f
+    // are one contiguous segment of column f. Segments are independent
+    // — each task owns its own slice and report slot — so the columns
+    // fan out across the pool with bit-identical results.
+    if (!options_.skipCleaning) {
+        util::Span span("clean");
+        span.number("runs", static_cast<double>(runs.size()));
+        const DataCleaner cleaner(options_.cleaner);
+        const auto &events = db_.runInfo(ids.front()).events;
+        std::vector<std::size_t> lengths;
+        lengths.reserve(ids.size());
+        for (const auto id : ids)
+            lengths.push_back(db_.seriesTable(id).rowCount());
+        report.cleaning.resize(data.featureCount());
+        cminer::util::parallelFor(
+            0, data.featureCount(), 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t f = lo; f < hi; ++f) {
+                    const std::span<double> column =
+                        data.mutableColumn(f);
+                    std::size_t offset = 0;
+                    for (std::size_t r = 0; r < lengths.size(); ++r) {
+                        auto segment =
+                            column.subspan(offset, lengths[r]);
+                        auto cleaned =
+                            cleaner.cleanValues(events[f], segment);
+                        if (r == 0)
+                            report.cleaning[f] = std::move(cleaned);
+                        offset += lengths[r];
+                    }
+                }
+            });
+    }
     util::inform(util::format(
         "counterminer: %s dataset has %zu rows x %zu events",
         program.c_str(), data.rowCount(), data.featureCount()));
@@ -129,8 +161,10 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
          ++i)
         report.topEvents.push_back(report.importance.ranking[i]);
 
-    // Interactions among the top events, through the MAPM oracle.
-    const auto mapm_data = data.project(report.importance.mapmFeatures);
+    // Interactions among the top events, through the MAPM oracle. The
+    // MAPM's feature subset is a column-mask view, not a copy.
+    const ml::DatasetView mapm_view =
+        ml::DatasetView(data).withFeatures(report.importance.mapmFeatures);
     const auto mapm = [&] {
         util::Span span("mapm");
         span.number("events",
@@ -143,7 +177,7 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
         top_names.push_back(fi.feature);
     const InteractionRanker interaction(options_.interaction);
     report.interactions =
-        interaction.rankTopEvents(mapm, mapm_data, top_names);
+        interaction.rankTopEvents(mapm, mapm_view, top_names);
     return report;
 }
 

@@ -12,6 +12,7 @@
 namespace cminer::core {
 
 using cminer::ml::Dataset;
+using cminer::ml::DatasetView;
 using cminer::ml::FeatureImportance;
 using cminer::ml::Gbrt;
 using cminer::util::Rng;
@@ -41,26 +42,79 @@ ImportanceRanker::buildDataset(const std::vector<CollectedRun> &runs,
                            : first[s].eventName());
     }
 
-    Dataset data(names);
+    // Fill whole columns, run after run — same row order the old
+    // row-major build produced, without materializing any row.
+    std::size_t total_rows = 0;
     for (const auto &run : runs) {
         CM_ASSERT(run.series.size() == first.size());
-        const auto &ipc = run.ipc();
-        CM_ASSERT(ipc.eventName() == ipc_series_name);
-        for (std::size_t t = 0; t < ipc.size(); ++t) {
-            std::vector<double> row;
-            row.reserve(names.size());
-            for (std::size_t s = 0; s + 1 < run.series.size(); ++s) {
-                CM_ASSERT(run.series[s].size() == ipc.size());
-                row.push_back(run.series[s].at(t));
-            }
-            data.addRow(std::move(row), ipc.at(t));
-        }
+        CM_ASSERT(run.ipc().eventName() == ipc_series_name);
+        total_rows += run.ipc().size();
     }
-    return data;
+    std::vector<std::vector<double>> columns(names.size());
+    for (auto &col : columns)
+        col.reserve(total_rows);
+    std::vector<double> targets;
+    targets.reserve(total_rows);
+    for (const auto &run : runs) {
+        const auto &ipc = run.ipc();
+        for (std::size_t s = 0; s + 1 < run.series.size(); ++s) {
+            CM_ASSERT(run.series[s].size() == ipc.size());
+            const auto &values = run.series[s].values();
+            columns[s].insert(columns[s].end(), values.begin(),
+                              values.end());
+        }
+        const auto &ipc_values = ipc.values();
+        targets.insert(targets.end(), ipc_values.begin(),
+                       ipc_values.end());
+    }
+    return Dataset::fromColumns(std::move(names), std::move(columns),
+                                std::move(targets));
+}
+
+Dataset
+ImportanceRanker::buildDatasetFromStore(
+    const cminer::store::Database &db,
+    const std::vector<cminer::store::RunId> &ids,
+    const cminer::pmu::EventCatalog &catalog)
+{
+    CM_ASSERT(!ids.empty());
+    const auto &events = db.runInfo(ids.front()).events;
+    CM_ASSERT(events.size() >= 2); // at least one event plus IPC
+    CM_ASSERT(events.back() == ipc_series_name);
+
+    // Feature names: paper abbreviations where known, else full names.
+    std::vector<std::string> names;
+    for (std::size_t s = 0; s + 1 < events.size(); ++s) {
+        const auto id = catalog.findByName(events[s]);
+        names.push_back(id ? catalog.info(*id).abbrev : events[s]);
+    }
+
+    std::size_t total_rows = 0;
+    for (const auto run_id : ids) {
+        CM_ASSERT(db.runInfo(run_id).events == events);
+        total_rows += db.seriesTable(run_id).rowCount();
+    }
+    std::vector<std::vector<double>> columns(names.size());
+    for (auto &col : columns)
+        col.reserve(total_rows);
+    std::vector<double> targets;
+    targets.reserve(total_rows);
+    for (const auto run_id : ids) {
+        for (std::size_t s = 0; s + 1 < events.size(); ++s) {
+            const auto values = db.seriesValues(run_id, events[s]);
+            columns[s].insert(columns[s].end(), values.begin(),
+                              values.end());
+        }
+        const auto ipc_values = db.seriesValues(run_id, events.back());
+        targets.insert(targets.end(), ipc_values.begin(),
+                       ipc_values.end());
+    }
+    return Dataset::fromColumns(std::move(names), std::move(columns),
+                                std::move(targets));
 }
 
 std::pair<std::vector<FeatureImportance>, double>
-ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
+ImportanceRanker::fitOnce(const DatasetView &data, Rng &rng) const
 {
     if (options_.cvFolds <= 1) {
         auto split =
@@ -99,7 +153,7 @@ ImportanceRanker::fitOnce(const Dataset &data, Rng &rng) const
         });
 
     // Average per-feature importance percents and errors in fold order.
-    const auto &names = data.featureNames();
+    const std::vector<std::string> names = data.featureNames();
     std::vector<double> sums(names.size(), 0.0);
     for (std::size_t f = 0; f < folds; ++f) {
         CM_ASSERT(rankings[f].size() == names.size());
@@ -131,12 +185,17 @@ ImportanceRanker::run(const Dataset &data, Rng &rng) const
     double best_error = -1.0;
     std::size_t since_best = 0;
 
+    // The whole refinement loop runs over views of one base dataset:
+    // dropping events shrinks a column mask, nothing is re-copied.
+    const DatasetView base(data);
     while (true) {
         cminer::util::Span iteration("eir.iteration");
         iteration.number("events",
                          static_cast<double>(features.size()));
-        const Dataset current = features.size() == data.featureCount()
-            ? data : data.project(features);
+        const DatasetView current =
+            features.size() == data.featureCount()
+                ? base
+                : base.withFeatures(features);
         auto [ranking, error] = fitOnce(current, rng);
         iteration.number("cv_error_percent", error);
         cminer::util::count("eir.iterations");
@@ -190,9 +249,10 @@ ImportanceRanker::trainMapm(const Dataset &data,
                             Rng &rng) const
 {
     CM_ASSERT(!result.mapmFeatures.empty());
-    const Dataset mapm_data = data.project(result.mapmFeatures);
+    const DatasetView mapm_view =
+        DatasetView(data).withFeatures(result.mapmFeatures);
     Gbrt model(options_.gbrt);
-    model.fit(mapm_data, rng);
+    model.fit(mapm_view, rng);
     return model;
 }
 

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "core/collector.h"
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "ml/gbrt.h"
 #include "pmu/event.h"
 #include "util/rng.h"
@@ -97,10 +97,21 @@ class ImportanceRanker
                  const cminer::pmu::EventCatalog &catalog);
 
     /**
+     * Assemble the same dataset straight from the store: feature
+     * columns are filled from the runs' level-2 table column spans
+     * (zero intermediate TimeSeries copies). All runs must have
+     * measured the same event list, with the IPC series last.
+     */
+    static cminer::ml::Dataset
+    buildDatasetFromStore(const cminer::store::Database &db,
+                          const std::vector<cminer::store::RunId> &ids,
+                          const cminer::pmu::EventCatalog &catalog);
+
+    /**
      * One SGBRT fit: ranking plus held-out error, no refinement.
      */
     std::pair<std::vector<cminer::ml::FeatureImportance>, double>
-    fitOnce(const cminer::ml::Dataset &data,
+    fitOnce(const cminer::ml::DatasetView &data,
             cminer::util::Rng &rng) const;
 
     /**

@@ -12,6 +12,7 @@
 namespace cminer::core {
 
 using cminer::ml::Dataset;
+using cminer::ml::DatasetView;
 using cminer::ml::Gbrt;
 using cminer::ml::LinearRegression;
 
@@ -30,7 +31,7 @@ namespace {
  * safe and deterministic to evaluate for many pairs concurrently.
  */
 double
-pairResidualVariance(const Gbrt &model, const Dataset &data,
+pairResidualVariance(const Gbrt &model, const DatasetView &data,
                      const std::vector<double> &means,
                      const std::vector<std::size_t> &rows,
                      const std::pair<std::string, std::string> &pair)
@@ -44,8 +45,8 @@ pairResidualVariance(const Gbrt &model, const Dataset &data,
     oracle.reserve(rows.size());
     std::vector<double> probe = means;
     for (std::size_t r : rows) {
-        const double value_a = data.row(r)[idx_a];
-        const double value_b = data.row(r)[idx_b];
+        const double value_a = data.value(r, idx_a);
+        const double value_b = data.value(r, idx_b);
         probe[idx_a] = value_a;
         probe[idx_b] = value_b;
         const double joint = model.predict(probe);
@@ -87,7 +88,7 @@ InteractionResult::top(std::size_t n) const
 
 InteractionResult
 InteractionRanker::rankPairs(
-    const Gbrt &model, const Dataset &data,
+    const Gbrt &model, const DatasetView &data,
     const std::vector<std::pair<std::string, std::string>> &pairs) const
 {
     CM_ASSERT(model.fitted());
@@ -148,7 +149,8 @@ InteractionRanker::rankPairs(
 }
 
 InteractionResult
-InteractionRanker::rankTopEvents(const Gbrt &model, const Dataset &data,
+InteractionRanker::rankTopEvents(const Gbrt &model,
+                                 const DatasetView &data,
                                  const std::vector<std::string> &events)
     const
 {

@@ -21,7 +21,7 @@
 #include <utility>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "ml/gbrt.h"
 
 namespace cminer::core {
@@ -75,7 +75,7 @@ class InteractionRanker
      */
     InteractionResult
     rankPairs(const cminer::ml::Gbrt &model,
-              const cminer::ml::Dataset &data,
+              const cminer::ml::DatasetView &data,
               const std::vector<std::pair<std::string, std::string>>
                   &pairs) const;
 
@@ -85,7 +85,7 @@ class InteractionRanker
      */
     InteractionResult
     rankTopEvents(const cminer::ml::Gbrt &model,
-                  const cminer::ml::Dataset &data,
+                  const cminer::ml::DatasetView &data,
                   const std::vector<std::string> &events) const;
 
   private:

@@ -1,19 +1,38 @@
 #include "ml/cv.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace cminer::ml {
 
 TrainTest
-trainTestSplit(const Dataset &data, double train_fraction,
+trainTestSplit(const DatasetView &data, double train_fraction,
                cminer::util::Rng &rng)
 {
-    auto [train, test] = data.split(train_fraction, rng);
-    return {std::move(train), std::move(test)};
+    CM_ASSERT(train_fraction > 0.0 && train_fraction < 1.0);
+    // Same shuffle-then-cut protocol (and the same rng draws) as
+    // Dataset::split, but the halves are row-index views, not copies.
+    std::vector<std::size_t> order(data.rowCount());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    const std::size_t train_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               train_fraction * static_cast<double>(order.size())));
+    std::vector<std::size_t> train_rows(order.begin(),
+                                        order.begin() +
+                                            static_cast<long>(train_count));
+    std::vector<std::size_t> test_rows(order.begin() +
+                                           static_cast<long>(train_count),
+                                       order.end());
+    return {data.withRows(std::move(train_rows)),
+            data.withRows(std::move(test_rows))};
 }
 
 std::vector<TrainTest>
-kFold(const Dataset &data, std::size_t folds, cminer::util::Rng &rng)
+kFold(const DatasetView &data, std::size_t folds, cminer::util::Rng &rng)
 {
     CM_ASSERT(folds >= 2);
     CM_ASSERT(folds <= data.rowCount());
@@ -34,8 +53,8 @@ kFold(const Dataset &data, std::size_t folds, cminer::util::Rng &rng)
             else
                 train_rows.push_back(order[i]);
         }
-        splits.push_back(
-            {data.subset(train_rows), data.subset(test_rows)});
+        splits.push_back({data.withRows(std::move(train_rows)),
+                          data.withRows(std::move(test_rows))});
     }
     return splits;
 }

@@ -4,6 +4,11 @@
  *
  * The paper's EIR loop trains on m examples and evaluates on m/4 unseen
  * ones; trainTestSplit with fraction 0.8 reproduces that protocol.
+ *
+ * Splits are zero-copy: each fold is a row-index DatasetView over the
+ * caller's data, so k-fold CV allocates k index vectors instead of k
+ * dataset copies. The views borrow the caller's base Dataset — it must
+ * outlive every returned split.
  */
 
 #ifndef CMINER_ML_CV_H
@@ -12,36 +17,36 @@
 #include <utility>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "util/rng.h"
 
 namespace cminer::ml {
 
-/** A train/test pair. */
+/** A train/test pair of row-subset views over one base dataset. */
 struct TrainTest
 {
-    Dataset train;
-    Dataset test;
+    DatasetView train;
+    DatasetView test;
 };
 
 /**
  * Shuffled train/test split.
  *
- * @param data source dataset
+ * @param data source view (a Dataset converts implicitly)
  * @param train_fraction fraction of rows for training (0, 1)
  * @param rng shuffle source
  */
-TrainTest trainTestSplit(const Dataset &data, double train_fraction,
+TrainTest trainTestSplit(const DatasetView &data, double train_fraction,
                          cminer::util::Rng &rng);
 
 /**
  * k-fold partition: fold i is the test set of split i, the rest train.
  *
- * @param data source dataset
+ * @param data source view (a Dataset converts implicitly)
  * @param folds number of folds (>= 2, <= rows)
  * @param rng shuffle source
  */
-std::vector<TrainTest> kFold(const Dataset &data, std::size_t folds,
+std::vector<TrainTest> kFold(const DatasetView &data, std::size_t folds,
                              cminer::util::Rng &rng);
 
 } // namespace cminer::ml

@@ -1,20 +1,44 @@
 #include "ml/dataset.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "util/error.h"
 
 namespace cminer::ml {
 
 Dataset::Dataset(std::vector<std::string> feature_names)
-    : featureNames_(std::move(feature_names))
+    : featureNames_(std::move(feature_names)),
+      columns_(featureNames_.size())
 {
-    std::unordered_set<std::string> seen;
-    for (const auto &name : featureNames_) {
+    checkNamesAndBuildIndex();
+}
+
+Dataset
+Dataset::fromColumns(std::vector<std::string> feature_names,
+                     std::vector<std::vector<double>> columns,
+                     std::vector<double> targets)
+{
+    Dataset out(std::move(feature_names));
+    if (columns.size() != out.featureCount())
+        util::fatal("ml: fromColumns column count mismatch");
+    for (const auto &col : columns) {
+        if (col.size() != targets.size())
+            util::fatal("ml: fromColumns column length mismatch");
+    }
+    out.columns_ = std::move(columns);
+    out.targets_ = std::move(targets);
+    return out;
+}
+
+void
+Dataset::checkNamesAndBuildIndex()
+{
+    index_.reserve(featureNames_.size());
+    for (std::size_t i = 0; i < featureNames_.size(); ++i) {
+        const auto &name = featureNames_[i];
         if (name.empty())
             util::fatal("ml: empty feature name");
-        if (!seen.insert(name).second)
+        if (!index_.emplace(name, i).second)
             util::fatal("ml: duplicate feature name: " + name);
     }
 }
@@ -22,27 +46,37 @@ Dataset::Dataset(std::vector<std::string> feature_names)
 std::size_t
 Dataset::featureIndex(const std::string &name) const
 {
-    for (std::size_t i = 0; i < featureNames_.size(); ++i) {
-        if (featureNames_[i] == name)
-            return i;
-    }
-    util::fatal("ml: no such feature: " + name);
+    auto it = index_.find(name);
+    if (it == index_.end())
+        util::fatal("ml: no such feature: " + name);
+    return it->second;
+}
+
+bool
+Dataset::hasFeature(const std::string &name) const
+{
+    return index_.find(name) != index_.end();
 }
 
 void
-Dataset::addRow(std::vector<double> features, double target)
+Dataset::addRow(const std::vector<double> &features, double target)
 {
     if (features.size() != featureNames_.size())
         util::fatal("ml: row width mismatch");
-    rows_.push_back(std::move(features));
+    for (std::size_t f = 0; f < features.size(); ++f)
+        columns_[f].push_back(features[f]);
     targets_.push_back(target);
 }
 
-const std::vector<double> &
+std::vector<double>
 Dataset::row(std::size_t index) const
 {
-    CM_ASSERT(index < rows_.size());
-    return rows_[index];
+    CM_ASSERT(index < targets_.size());
+    std::vector<double> out;
+    out.reserve(columns_.size());
+    for (const auto &col : columns_)
+        out.push_back(col[index]);
+    return out;
 }
 
 double
@@ -52,48 +86,44 @@ Dataset::target(std::size_t index) const
     return targets_[index];
 }
 
-std::vector<double>
+const std::vector<double> &
 Dataset::column(std::size_t feature) const
 {
-    CM_ASSERT(feature < featureNames_.size());
-    std::vector<double> out;
-    out.reserve(rows_.size());
-    for (const auto &r : rows_)
-        out.push_back(r[feature]);
-    return out;
+    CM_ASSERT(feature < columns_.size());
+    return columns_[feature];
+}
+
+std::span<double>
+Dataset::mutableColumn(std::size_t feature)
+{
+    CM_ASSERT(feature < columns_.size());
+    return columns_[feature];
 }
 
 std::vector<double>
 Dataset::featureMeans() const
 {
     std::vector<double> means(featureNames_.size(), 0.0);
-    if (rows_.empty())
+    if (targets_.empty())
         return means;
-    for (const auto &r : rows_) {
-        for (std::size_t f = 0; f < means.size(); ++f)
-            means[f] += r[f];
+    // Per-feature sums accumulate in row order, matching the historical
+    // row-major loop bit for bit.
+    for (std::size_t f = 0; f < means.size(); ++f) {
+        for (double v : columns_[f])
+            means[f] += v;
     }
     for (auto &m : means)
-        m /= static_cast<double>(rows_.size());
+        m /= static_cast<double>(targets_.size());
     return means;
 }
 
 Dataset
 Dataset::project(const std::vector<std::string> &keep) const
 {
-    std::vector<std::size_t> indices;
-    indices.reserve(keep.size());
-    for (const auto &name : keep)
-        indices.push_back(featureIndex(name));
-
     Dataset out(keep);
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-        std::vector<double> features;
-        features.reserve(indices.size());
-        for (std::size_t idx : indices)
-            features.push_back(rows_[r][idx]);
-        out.addRow(std::move(features), targets_[r]);
-    }
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        out.columns_[i] = columns_[featureIndex(keep[i])];
+    out.targets_ = targets_;
     return out;
 }
 
@@ -101,10 +131,17 @@ Dataset
 Dataset::subset(const std::vector<std::size_t> &rows) const
 {
     Dataset out(featureNames_);
-    for (std::size_t r : rows) {
-        CM_ASSERT(r < rows_.size());
-        out.addRow(rows_[r], targets_[r]);
+    for (std::size_t f = 0; f < columns_.size(); ++f) {
+        auto &col = out.columns_[f];
+        col.reserve(rows.size());
+        for (std::size_t r : rows) {
+            CM_ASSERT(r < targets_.size());
+            col.push_back(columns_[f][r]);
+        }
     }
+    out.targets_.reserve(rows.size());
+    for (std::size_t r : rows)
+        out.targets_.push_back(targets_[r]);
     return out;
 }
 
@@ -112,7 +149,7 @@ std::pair<Dataset, Dataset>
 Dataset::split(double train_fraction, cminer::util::Rng &rng) const
 {
     CM_ASSERT(train_fraction > 0.0 && train_fraction < 1.0);
-    std::vector<std::size_t> order(rows_.size());
+    std::vector<std::size_t> order(targets_.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     rng.shuffle(order);

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Non-owning column/row subsets of a Dataset — the currency of the
+ * mining layer.
+ *
+ * A DatasetView is a (base dataset, column subset, row-index subset)
+ * triple. Deriving a view copies nothing: `withFeatures` shrinks the
+ * column mask, `withRows` composes row-index subsets, and the EIR
+ * drop-10-retrain loop, CV folds, and pairwise interaction fits all run
+ * over views of one base Dataset instead of materializing copies.
+ *
+ * Ownership rules:
+ *  - A view never outlives its base Dataset; it borrows, it never owns.
+ *    Moving or destroying the base invalidates every view of it.
+ *  - Views are read-only. Mutation (e.g. cleaning) goes through the
+ *    owning Dataset's mutableColumn(); any view sees the change.
+ *  - Views are cheap to copy and safe to share across threads as long
+ *    as the base is not concurrently mutated.
+ */
+
+#ifndef CMINER_ML_DATASET_VIEW_H
+#define CMINER_ML_DATASET_VIEW_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace cminer::ml {
+
+/**
+ * A zero-copy window onto a Dataset: a subset of its columns and
+ * (optionally) a subset of its rows, in a caller-chosen order.
+ */
+class DatasetView
+{
+  public:
+    /**
+     * Whole-dataset view: every column, every row. Implicit so any
+     * function taking a view also accepts a Dataset lvalue directly.
+     * The base must outlive the view.
+     */
+    DatasetView(const Dataset &base); // NOLINT(google-explicit-constructor)
+
+    /**
+     * Derived view keeping only the named features, in the given
+     * order; fatal when a name is not in this view.
+     */
+    DatasetView withFeatures(const std::vector<std::string> &keep) const;
+
+    /**
+     * Derived view keeping only the given rows (indices are positions
+     * in THIS view, so row subsets compose).
+     */
+    DatasetView withRows(std::vector<std::size_t> rows) const;
+
+    /** Number of visible feature columns. */
+    std::size_t featureCount() const { return cols_.size(); }
+
+    /** Number of visible rows. */
+    std::size_t rowCount() const { return rowCount_; }
+
+    /** Name of one visible feature. */
+    const std::string &featureName(std::size_t feature) const
+    {
+        return base_->featureNames()[cols_[feature]];
+    }
+
+    /** Names of all visible features, in view order (materialized). */
+    std::vector<std::string> featureNames() const;
+
+    /**
+     * Position of a named feature within this view (O(1)); fatal when
+     * the feature is absent or masked out.
+     */
+    std::size_t featureIndex(const std::string &name) const;
+
+    /** One cell. */
+    double value(std::size_t row, std::size_t feature) const
+    {
+        return base_->column(cols_[feature])[baseRow(row)];
+    }
+
+    /** Target of one visible row. */
+    double target(std::size_t row) const
+    {
+        return base_->targets()[baseRow(row)];
+    }
+
+    /** All visible targets, gathered in view row order. */
+    std::vector<double> targets() const;
+
+    /** True when the view exposes the base's rows unpermuted. */
+    bool identityRows() const { return rows_.empty(); }
+
+    /**
+     * Zero-copy span over one column's contiguous storage. Only valid
+     * for identity-row views (CM_ASSERT otherwise) — a row subset has
+     * no contiguous storage to point at; use gatherColumn then.
+     */
+    std::span<const double> columnSpan(std::size_t feature) const;
+
+    /** One visible column, gathered into a fresh vector. */
+    std::vector<double> column(std::size_t feature) const;
+
+    /** Gather one visible column into `out` (resized to rowCount()). */
+    void gatherColumn(std::size_t feature, std::vector<double> &out) const;
+
+    /**
+     * Gather one visible row's features into `out`, which must have
+     * featureCount() elements. Lets hot loops reuse one buffer.
+     */
+    void gatherRow(std::size_t row, std::span<double> out) const;
+
+    /** Feature vector of one visible row (gathered copy). */
+    std::vector<double> row(std::size_t index) const;
+
+    /** Per-feature means over the visible rows, in view order. */
+    std::vector<double> featureMeans() const;
+
+    /** The underlying dataset. */
+    const Dataset &base() const { return *base_; }
+
+    /** Base column index of a view feature. */
+    std::size_t baseColumn(std::size_t feature) const
+    {
+        return cols_[feature];
+    }
+
+    /** Base row index of a view row. */
+    std::size_t baseRow(std::size_t row) const
+    {
+        return rows_.empty() ? row : rows_[row];
+    }
+
+    /** Deep-copy the visible window into an owning Dataset. */
+    Dataset materialize() const;
+
+  private:
+    const Dataset *base_;
+    /** View feature position -> base column index. */
+    std::vector<std::size_t> cols_;
+    /** True when cols_ is 0..featureCount-1 of the base, untouched. */
+    bool identityCols_ = true;
+    /** Base column index -> view position; empty for identity cols. */
+    std::unordered_map<std::size_t, std::size_t> colOfBase_;
+    /** View row -> base row; empty means identity. */
+    std::vector<std::size_t> rows_;
+    std::size_t rowCount_ = 0;
+};
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_DATASET_VIEW_H

@@ -39,8 +39,10 @@ scanCandidate(const FeatureBinner &binner, std::size_t feature,
         return best;
     std::vector<double> bin_sum(bins, 0.0);
     std::vector<std::size_t> bin_count(bins, 0);
+    const std::span<const std::uint8_t> bin_col =
+        binner.binColumn(feature);
     for (std::size_t r : rows) {
-        const std::uint8_t b = binner.bin(feature, r);
+        const std::uint8_t b = bin_col[r];
         bin_sum[b] += targets[r];
         ++bin_count[b];
     }
@@ -69,7 +71,7 @@ scanCandidate(const FeatureBinner &binner, std::size_t feature,
 
 } // namespace
 
-FeatureBinner::FeatureBinner(const Dataset &data, std::size_t max_bins)
+FeatureBinner::FeatureBinner(const DatasetView &data, std::size_t max_bins)
     : rowCount_(data.rowCount())
 {
     CM_ASSERT(max_bins >= 2 && max_bins <= 255);
@@ -77,8 +79,9 @@ FeatureBinner::FeatureBinner(const Dataset &data, std::size_t max_bins)
     edges_.resize(features);
     bins_.resize(features);
 
+    std::vector<double> values;
     for (std::size_t f = 0; f < features; ++f) {
-        std::vector<double> values = data.column(f);
+        data.gatherColumn(f, values);
         std::vector<double> sorted = values;
         std::sort(sorted.begin(), sorted.end());
 
@@ -130,6 +133,13 @@ FeatureBinner::bin(std::size_t feature, std::size_t row) const
     return bins_[feature][row];
 }
 
+std::span<const std::uint8_t>
+FeatureBinner::binColumn(std::size_t feature) const
+{
+    CM_ASSERT(feature < bins_.size());
+    return bins_[feature];
+}
+
 double
 FeatureBinner::upperEdge(std::size_t feature, std::size_t bin) const
 {
@@ -148,7 +158,7 @@ RegressionTree::RegressionTree(TreeParams params)
 }
 
 void
-RegressionTree::fit(const Dataset &data, const FeatureBinner &binner,
+RegressionTree::fit(const DatasetView &data, const FeatureBinner &binner,
                     std::span<const double> targets,
                     std::span<const std::size_t> rows,
                     cminer::util::Rng &rng)
@@ -163,7 +173,7 @@ RegressionTree::fit(const Dataset &data, const FeatureBinner &binner,
 }
 
 std::size_t
-RegressionTree::grow(const Dataset &data, const FeatureBinner &binner,
+RegressionTree::grow(const DatasetView &data, const FeatureBinner &binner,
                      std::span<const double> targets,
                      std::vector<std::size_t> &rows, std::size_t depth,
                      cminer::util::Rng &rng)
@@ -263,7 +273,7 @@ RegressionTree::grow(const Dataset &data, const FeatureBinner &binner,
 }
 
 double
-RegressionTree::predict(const std::vector<double> &features) const
+RegressionTree::predict(std::span<const double> features) const
 {
     CM_ASSERT(fitted());
     std::size_t index = 0;

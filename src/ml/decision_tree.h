@@ -16,7 +16,7 @@
 #include <span>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "util/rng.h"
 
 namespace cminer::ml {
@@ -42,10 +42,10 @@ class FeatureBinner
 {
   public:
     /**
-     * @param data dataset to discretize
+     * @param data dataset view to discretize (rows/columns as visible)
      * @param max_bins bins per feature (2..255)
      */
-    FeatureBinner(const Dataset &data, std::size_t max_bins);
+    FeatureBinner(const DatasetView &data, std::size_t max_bins);
 
     /** Number of features. */
     std::size_t featureCount() const { return edges_.size(); }
@@ -58,6 +58,12 @@ class FeatureBinner
 
     /** Bin index of a stored row. */
     std::uint8_t bin(std::size_t feature, std::size_t row) const;
+
+    /**
+     * One feature's whole bin column as a contiguous span — the split
+     * scan's hot path walks this directly.
+     */
+    std::span<const std::uint8_t> binColumn(std::size_t feature) const;
 
     /**
      * Raw-value threshold for "bin <= b goes left": the upper edge of
@@ -92,18 +98,25 @@ class RegressionTree
     /**
      * Fit on a subset of rows.
      *
-     * @param data feature source
+     * @param data feature source (row indices are view positions)
      * @param binner shared discretization of `data`
-     * @param targets regression targets, one per dataset row
-     * @param rows row indices to train on (the stochastic subsample)
+     * @param targets regression targets, one per view row
+     * @param rows view-row indices to train on (stochastic subsample)
      * @param rng feature-subsampling source
      */
-    void fit(const Dataset &data, const FeatureBinner &binner,
+    void fit(const DatasetView &data, const FeatureBinner &binner,
              std::span<const double> targets,
              std::span<const std::size_t> rows, cminer::util::Rng &rng);
 
     /** Predict one raw feature vector. */
-    double predict(const std::vector<double> &features) const;
+    double predict(std::span<const double> features) const;
+
+    /** predict() convenience for braced literals. */
+    double predict(std::initializer_list<double> features) const
+    {
+        return predict(
+            std::span<const double>(features.begin(), features.size()));
+    }
 
     /** All splits made while fitting (for importance accounting). */
     const std::vector<SplitRecord> &splits() const { return splits_; }
@@ -126,7 +139,7 @@ class RegressionTree
     };
 
     /** Recursively grow the tree; returns the new node's index. */
-    std::size_t grow(const Dataset &data, const FeatureBinner &binner,
+    std::size_t grow(const DatasetView &data, const FeatureBinner &binner,
                      std::span<const double> targets,
                      std::vector<std::size_t> &rows, std::size_t depth,
                      cminer::util::Rng &rng);

@@ -7,6 +7,7 @@
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cminer::ml {
 
@@ -30,7 +31,7 @@ Gbrt::Gbrt(GbrtParams params)
 }
 
 void
-Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
+Gbrt::fit(const DatasetView &data, cminer::util::Rng &rng)
 {
     CM_ASSERT(data.rowCount() >= 2 * params_.tree.minSamplesLeaf);
     featureNames_ = data.featureNames();
@@ -38,7 +39,8 @@ Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
 
     const FeatureBinner binner(data, params_.tree.maxBins);
 
-    baseline_ = stats::mean(data.targets());
+    const std::vector<double> targets = data.targets();
+    baseline_ = stats::mean(targets);
     std::vector<double> predictions(data.rowCount(), baseline_);
     std::vector<double> residuals(data.rowCount(), 0.0);
 
@@ -47,16 +49,26 @@ Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
         static_cast<std::size_t>(params_.subsample *
                                  static_cast<double>(data.rowCount())));
 
+    // Split-scan time is the fit's hot section; meter it only when a
+    // metrics registry is installed so the steady-clock reads cost
+    // nothing otherwise.
+    const bool metered = cminer::util::globalMetrics() != nullptr;
+    cminer::util::SteadyClock clock;
+    double scan_ms = 0.0;
+
     for (std::size_t stage = 0; stage < params_.treeCount; ++stage) {
         for (std::size_t r = 0; r < data.rowCount(); ++r)
-            residuals[r] = data.target(r) - predictions[r];
+            residuals[r] = targets[r] - predictions[r];
 
         const std::vector<std::size_t> rows =
             rng.sampleIndices(data.rowCount(),
                               std::min(sample_size, data.rowCount()));
 
         RegressionTree tree(params_.tree);
+        const double t0 = metered ? clock.nowMs() : 0.0;
         tree.fit(data, binner, residuals, rows, rng);
+        if (metered)
+            scan_ms += clock.nowMs() - t0;
         if (tree.splits().empty()) {
             // Residuals have no structure left; further stages would all
             // be stumps predicting ~0.
@@ -65,22 +77,29 @@ Gbrt::fit(const Dataset &data, cminer::util::Rng &rng)
 
         // Each row's update reads only the new tree and writes its own
         // slot, so chunked execution is bit-identical to the serial loop.
+        // Rows are gathered into one reusable buffer per chunk instead
+        // of materializing a vector per row.
         cminer::util::parallelFor(
             0, data.rowCount(), 512,
             [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t r = lo; r < hi; ++r)
-                    predictions[r] += params_.learningRate *
-                                      tree.predict(data.row(r));
+                std::vector<double> row(data.featureCount());
+                for (std::size_t r = lo; r < hi; ++r) {
+                    data.gatherRow(r, row);
+                    predictions[r] +=
+                        params_.learningRate * tree.predict(row);
+                }
             });
         trees_.push_back(std::move(tree));
     }
     fitted_ = true;
     cminer::util::count("gbrt.fits");
     cminer::util::count("gbrt.trees_fit", trees_.size());
+    if (metered)
+        cminer::util::recordDuration("gbrt.split_scan_ms", scan_ms);
 }
 
 double
-Gbrt::predict(const std::vector<double> &features) const
+Gbrt::predict(std::span<const double> features) const
 {
     CM_ASSERT(fitted_);
     double y = baseline_;
@@ -90,18 +109,19 @@ Gbrt::predict(const std::vector<double> &features) const
 }
 
 std::vector<double>
-Gbrt::predictAll(const Dataset &data) const
+Gbrt::predictAll(const DatasetView &data) const
 {
     CM_ASSERT(fitted_);
     std::vector<double> out(data.rowCount(), 0.0);
     // Row-major accumulation in the same tree order as predict() (so the
     // two agree bitwise), with the fitted check hoisted out of the loop
-    // and each row's feature vector bound once by reference.
+    // and one gather buffer reused per chunk.
     cminer::util::parallelFor(
         0, data.rowCount(), 256,
         [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> row(data.featureCount());
             for (std::size_t r = lo; r < hi; ++r) {
-                const std::vector<double> &row = data.row(r);
+                data.gatherRow(r, row);
                 double y = baseline_;
                 for (const auto &tree : trees_)
                     y += params_.learningRate * tree.predict(row);

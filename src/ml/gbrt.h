@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "ml/decision_tree.h"
 #include "util/rng.h"
 
@@ -62,16 +62,23 @@ class Gbrt
     /**
      * Fit the ensemble.
      *
-     * @param data training data
+     * @param data training data (a Dataset converts implicitly)
      * @param rng subsampling source (deterministic given the seed)
      */
-    void fit(const Dataset &data, cminer::util::Rng &rng);
+    void fit(const DatasetView &data, cminer::util::Rng &rng);
 
     /** Predict one raw feature vector. */
-    double predict(const std::vector<double> &features) const;
+    double predict(std::span<const double> features) const;
 
-    /** Predictions for every row of a dataset. */
-    std::vector<double> predictAll(const Dataset &data) const;
+    /** predict() convenience for braced literals. */
+    double predict(std::initializer_list<double> features) const
+    {
+        return predict(
+            std::span<const double>(features.begin(), features.size()));
+    }
+
+    /** Predictions for every visible row of a dataset view. */
+    std::vector<double> predictAll(const DatasetView &data) const;
 
     /**
      * Friedman relative influence per feature, normalized so the sum is

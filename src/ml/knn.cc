@@ -17,34 +17,33 @@ KnnRegressor::KnnRegressor(std::size_t k)
 }
 
 void
-KnnRegressor::fit(const Dataset &data)
+KnnRegressor::fit(const DatasetView &data)
 {
     CM_ASSERT(data.rowCount() >= 1);
-    trainX_.clear();
-    trainY_.clear();
-    trainX_.reserve(data.rowCount());
-    trainY_.reserve(data.rowCount());
-    for (std::size_t r = 0; r < data.rowCount(); ++r) {
-        trainX_.push_back(data.row(r));
-        trainY_.push_back(data.target(r));
-    }
+    dim_ = data.featureCount();
+    trainX_.resize(data.rowCount() * dim_);
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        data.gatherRow(r, std::span<double>(trainX_).subspan(r * dim_,
+                                                             dim_));
+    trainY_ = data.targets();
 }
 
 double
-KnnRegressor::predict(const std::vector<double> &features) const
+KnnRegressor::predict(std::span<const double> features) const
 {
-    CM_ASSERT(!trainX_.empty());
-    CM_ASSERT(features.size() == trainX_.front().size());
+    CM_ASSERT(!trainY_.empty());
+    CM_ASSERT(features.size() == dim_);
 
     // Equidistant neighbors tie-break by training-row index. Sorting
     // (distance, target) pairs instead would order exact ties by target
     // value and bias the k-subset toward small targets.
     std::vector<std::pair<double, std::size_t>> dist_row;
-    dist_row.reserve(trainX_.size());
-    for (std::size_t r = 0; r < trainX_.size(); ++r) {
+    dist_row.reserve(trainY_.size());
+    for (std::size_t r = 0; r < trainY_.size(); ++r) {
+        const double *train_row = trainX_.data() + r * dim_;
         double d2 = 0.0;
         for (std::size_t f = 0; f < features.size(); ++f) {
-            const double d = features[f] - trainX_[r][f];
+            const double d = features[f] - train_row[f];
             d2 += d * d;
         }
         dist_row.emplace_back(d2, r);
@@ -60,21 +59,25 @@ KnnRegressor::predict(const std::vector<double> &features) const
 }
 
 std::vector<double>
-KnnRegressor::predictAll(const Dataset &data) const
+KnnRegressor::predictAll(const DatasetView &data) const
 {
     std::vector<double> out(data.rowCount(), 0.0);
-    // Each query is an independent read-only scan of the training set.
+    // Each query is an independent read-only scan of the training set;
+    // one gather buffer is reused per chunk.
     cminer::util::parallelFor(
         0, data.rowCount(), 16,
         [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t r = lo; r < hi; ++r)
-                out[r] = predict(data.row(r));
+            std::vector<double> row(data.featureCount());
+            for (std::size_t r = lo; r < hi; ++r) {
+                data.gatherRow(r, row);
+                out[r] = predict(row);
+            }
         });
     return out;
 }
 
 std::size_t
-knnImputeSeries(std::vector<double> &values,
+knnImputeSeries(std::span<double> values,
                 const std::vector<std::size_t> &missing, std::size_t k)
 {
     CM_ASSERT(k >= 1);

@@ -11,9 +11,10 @@
 #define CMINER_ML_KNN_H
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 
 namespace cminer::ml {
 
@@ -24,19 +25,28 @@ class KnnRegressor
     /** @param k neighborhood size (>= 1) */
     explicit KnnRegressor(std::size_t k = 5);
 
-    /** Store the training data (lazy learner). */
-    void fit(const Dataset &data);
+    /** Store the training data (lazy learner; gathers one flat copy). */
+    void fit(const DatasetView &data);
 
     /** Mean target of the k nearest training rows. */
-    double predict(const std::vector<double> &features) const;
+    double predict(std::span<const double> features) const;
 
-    /** Predictions for every row of a dataset. */
-    std::vector<double> predictAll(const Dataset &data) const;
+    /** predict() convenience for braced literals. */
+    double predict(std::initializer_list<double> features) const
+    {
+        return predict(
+            std::span<const double>(features.begin(), features.size()));
+    }
+
+    /** Predictions for every visible row of a dataset view. */
+    std::vector<double> predictAll(const DatasetView &data) const;
 
   private:
     std::size_t k_;
-    std::vector<std::vector<double>> trainX_;
+    /** Training rows, row-major in one contiguous block. */
+    std::vector<double> trainX_;
     std::vector<double> trainY_;
+    std::size_t dim_ = 0;
 };
 
 /**
@@ -50,7 +60,7 @@ class KnnRegressor
  * @return number of entries actually imputed (0 when every index was
  *         missing, in which case nothing can be inferred)
  */
-std::size_t knnImputeSeries(std::vector<double> &values,
+std::size_t knnImputeSeries(std::span<double> values,
                             const std::vector<std::size_t> &missing,
                             std::size_t k);
 

@@ -54,7 +54,7 @@ LinearRegression::LinearRegression(double ridge)
 }
 
 void
-LinearRegression::fit(const Dataset &data)
+LinearRegression::fit(const DatasetView &data)
 {
     const std::size_t p = data.featureCount();
     const std::size_t n = data.rowCount();
@@ -67,8 +67,9 @@ LinearRegression::fit(const Dataset &data)
                                          std::vector<double>(dim, 0.0));
     std::vector<double> xty(dim, 0.0);
 
+    std::vector<double> row(p);
     for (std::size_t r = 0; r < n; ++r) {
-        const auto &row = data.row(r);
+        data.gatherRow(r, row);
         const double y = data.target(r);
         for (std::size_t i = 0; i < dim; ++i) {
             const double xi = i < p ? row[i] : 1.0;
@@ -93,7 +94,7 @@ LinearRegression::fit(const Dataset &data)
 }
 
 double
-LinearRegression::predict(const std::vector<double> &features) const
+LinearRegression::predict(std::span<const double> features) const
 {
     CM_ASSERT(fitted_);
     CM_ASSERT(features.size() == coef_.size());
@@ -104,12 +105,15 @@ LinearRegression::predict(const std::vector<double> &features) const
 }
 
 std::vector<double>
-LinearRegression::predictAll(const Dataset &data) const
+LinearRegression::predictAll(const DatasetView &data) const
 {
     std::vector<double> out;
     out.reserve(data.rowCount());
-    for (std::size_t r = 0; r < data.rowCount(); ++r)
-        out.push_back(predict(data.row(r)));
+    std::vector<double> row(data.featureCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r) {
+        data.gatherRow(r, row);
+        out.push_back(predict(row));
+    }
     return out;
 }
 

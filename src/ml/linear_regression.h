@@ -10,9 +10,10 @@
 #ifndef CMINER_ML_LINEAR_REGRESSION_H
 #define CMINER_ML_LINEAR_REGRESSION_H
 
+#include <span>
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 
 namespace cminer::ml {
 
@@ -26,14 +27,21 @@ class LinearRegression
     /** @param ridge L2 regularization added to the diagonal (>= 0) */
     explicit LinearRegression(double ridge = 1e-9);
 
-    /** Fit on a dataset. Requires at least featureCount()+1 rows. */
-    void fit(const Dataset &data);
+    /** Fit on a dataset view. Requires at least featureCount()+1 rows. */
+    void fit(const DatasetView &data);
 
     /** Predict one row (width must match the training features). */
-    double predict(const std::vector<double> &features) const;
+    double predict(std::span<const double> features) const;
 
-    /** Predictions for every row of a dataset. */
-    std::vector<double> predictAll(const Dataset &data) const;
+    /** predict() convenience for braced literals. */
+    double predict(std::initializer_list<double> features) const
+    {
+        return predict(
+            std::span<const double>(features.begin(), features.size()));
+    }
+
+    /** Predictions for every visible row of a dataset view. */
+    std::vector<double> predictAll(const DatasetView &data) const;
 
     /** Fitted coefficients, one per feature (valid after fit). */
     const std::vector<double> &coefficients() const { return coef_; }

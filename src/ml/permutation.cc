@@ -8,15 +8,15 @@
 namespace cminer::ml {
 
 std::vector<FeatureImportance>
-permutationImportance(const Gbrt &model, const Dataset &data,
+permutationImportance(const Gbrt &model, const DatasetView &data,
                       cminer::util::Rng &rng, std::size_t repeats)
 {
     CM_ASSERT(model.fitted());
     CM_ASSERT(data.rowCount() >= 2);
     CM_ASSERT(repeats >= 1);
 
-    const double baseline =
-        rmse(data.targets(), model.predictAll(data));
+    const std::vector<double> targets = data.targets();
+    const double baseline = rmse(targets, model.predictAll(data));
 
     std::vector<double> deltas(data.featureCount(), 0.0);
     std::vector<std::vector<double>> rows;
@@ -38,7 +38,7 @@ permutationImportance(const Gbrt &model, const Dataset &data,
                 predictions[r] = model.predict(rows[r]);
                 rows[r][f] = original;
             }
-            delta += rmse(data.targets(), predictions) - baseline;
+            delta += rmse(targets, predictions) - baseline;
         }
         deltas[f] =
             std::max(0.0, delta / static_cast<double>(repeats));
@@ -48,10 +48,11 @@ permutationImportance(const Gbrt &model, const Dataset &data,
     for (double d : deltas)
         total += d;
 
+    const std::vector<std::string> names = data.featureNames();
     std::vector<FeatureImportance> out;
     out.reserve(deltas.size());
     for (std::size_t f = 0; f < deltas.size(); ++f) {
-        out.push_back({data.featureNames()[f],
+        out.push_back({names[f],
                        total > 0.0 ? 100.0 * deltas[f] / total : 0.0});
     }
     sortByImportance(out);

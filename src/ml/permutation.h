@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "ml/dataset.h"
+#include "ml/dataset_view.h"
 #include "ml/gbrt.h"
 #include "util/rng.h"
 
@@ -27,7 +27,7 @@ namespace cminer::ml {
  * @return importances sorted descending; negative raw deltas clamp to 0
  */
 std::vector<FeatureImportance>
-permutationImportance(const Gbrt &model, const Dataset &data,
+permutationImportance(const Gbrt &model, const DatasetView &data,
                       cminer::util::Rng &rng, std::size_t repeats = 3);
 
 } // namespace cminer::ml

@@ -197,13 +197,28 @@ Database::programs() const
 TimeSeries
 Database::series(RunId id, const std::string &event) const
 {
+    const auto values = seriesValues(id, event);
+    return TimeSeries(event, {values.begin(), values.end()},
+                      seriesIntervalMs(id));
+}
+
+std::span<const double>
+Database::seriesValues(RunId id, const std::string &event) const
+{
     const Table &table = seriesTable(id);
     if (!table.schema().hasColumn(event))
         util::fatal("store: run " + std::to_string(id) +
                     " has no event " + event);
+    return table.realColumn(event);
+}
+
+double
+Database::seriesIntervalMs(RunId id) const
+{
     auto it = intervalMs_.find(id);
-    CM_ASSERT(it != intervalMs_.end());
-    return TimeSeries(event, table.numericColumn(event), it->second);
+    if (it == intervalMs_.end())
+        util::fatal("store: unknown run id " + std::to_string(id));
+    return it->second;
 }
 
 std::vector<TimeSeries>
@@ -249,8 +264,7 @@ Database::save(const std::string &path) const
         writeU64(out, table.rowCount());
         for (const auto &event : meta.events) {
             writeString(out, event);
-            const auto values = table.numericColumn(event);
-            for (double v : values)
+            for (double v : table.realColumn(event))
                 writeF64(out, v);
         }
     }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,12 +97,28 @@ class Database
     /** All distinct program names in the catalog. */
     std::vector<std::string> programs() const;
 
-    /** One event's series from one run; fatal when absent. */
+    /**
+     * One event's series from one run; fatal when absent.
+     *
+     * Copying API kept for external users; internal readers use
+     * seriesValues() to stay on the zero-copy column path.
+     */
     cminer::ts::TimeSeries series(RunId id,
                                   const std::string &event) const;
 
-    /** All series of a run, in catalog event order. */
+    /** All series of a run, in catalog event order (copies). */
     std::vector<cminer::ts::TimeSeries> allSeries(RunId id) const;
+
+    /**
+     * Zero-copy view of one event's sampled values, straight out of the
+     * run's level-2 table column. Fatal when the run or event is
+     * absent. Invalidated by the next mutation of the run's table.
+     */
+    std::span<const double> seriesValues(RunId id,
+                                         const std::string &event) const;
+
+    /** Sampling interval of a run's series, in milliseconds. */
+    double seriesIntervalMs(RunId id) const;
 
     /** Direct access to the level-1 catalog table (read-only). */
     const Table &catalog() const { return catalog_; }

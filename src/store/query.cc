@@ -58,10 +58,9 @@ summarizeEventAcrossRuns(const Database &db, const std::string &program,
         if (std::find(meta.events.begin(), meta.events.end(), event) ==
             meta.events.end())
             continue;
-        const auto series = db.series(id, event);
-        pooled.insert(pooled.end(), series.values().begin(),
-                      series.values().end());
-        run_means.push_back(stats::mean(series.span()));
+        const auto values = db.seriesValues(id, event);
+        pooled.insert(pooled.end(), values.begin(), values.end());
+        run_means.push_back(stats::mean(values));
         ++result.runCount;
     }
     if (result.runCount == 0) {

@@ -66,7 +66,8 @@ Schema::validate(const Row &row) const
 }
 
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema))
+    : name_(std::move(name)), schema_(std::move(schema)),
+      columns_(schema_.size())
 {
     if (name_.empty())
         util::fatal("store: empty table name");
@@ -76,30 +77,60 @@ void
 Table::insert(Row row)
 {
     schema_.validate(row);
-    // Normalize integers stored in REAL columns so readers see doubles.
     for (std::size_t i = 0; i < row.size(); ++i) {
-        if (schema_.column(i).type == ColumnType::Real &&
-            valueType(row[i]) == ColumnType::Integer) {
-            row[i] = static_cast<double>(std::get<std::int64_t>(row[i]));
+        ColumnStore &store = columns_[i];
+        switch (schema_.column(i).type) {
+        case ColumnType::Integer:
+            store.ints.push_back(std::get<std::int64_t>(row[i]));
+            break;
+        case ColumnType::Real:
+            // Widen integers stored in REAL columns so readers see
+            // doubles (SQLite-like affinity, same as validate()).
+            store.reals.push_back(asReal(row[i]));
+            break;
+        case ColumnType::Text:
+            store.texts.push_back(
+                std::move(std::get<std::string>(row[i])));
+            break;
         }
     }
-    rows_.push_back(std::move(row));
+    ++rowCount_;
 }
 
-const Row &
+Value
+Table::cell(std::size_t column, std::size_t row) const
+{
+    const ColumnStore &store = columns_[column];
+    switch (schema_.column(column).type) {
+    case ColumnType::Integer:
+        return store.ints[row];
+    case ColumnType::Real:
+        return store.reals[row];
+    case ColumnType::Text:
+        return store.texts[row];
+    }
+    util::fatal("store: unreachable column type");
+}
+
+Row
 Table::row(std::size_t index) const
 {
-    CM_ASSERT(index < rows_.size());
-    return rows_[index];
+    CM_ASSERT(index < rowCount_);
+    Row out;
+    out.reserve(schema_.size());
+    for (std::size_t c = 0; c < schema_.size(); ++c)
+        out.push_back(cell(c, index));
+    return out;
 }
 
 std::vector<Row>
 Table::select(const std::function<bool(const Row &)> &predicate) const
 {
     std::vector<Row> matched;
-    for (const auto &r : rows_) {
-        if (predicate(r))
-            matched.push_back(r);
+    for (std::size_t r = 0; r < rowCount_; ++r) {
+        Row candidate = row(r);
+        if (predicate(candidate))
+            matched.push_back(std::move(candidate));
     }
     return matched;
 }
@@ -109,9 +140,9 @@ Table::column(const std::string &name) const
 {
     const std::size_t index = schema_.indexOf(name);
     std::vector<Value> out;
-    out.reserve(rows_.size());
-    for (const auto &r : rows_)
-        out.push_back(r[index]);
+    out.reserve(rowCount_);
+    for (std::size_t r = 0; r < rowCount_; ++r)
+        out.push_back(cell(index, r));
     return out;
 }
 
@@ -119,11 +150,44 @@ std::vector<double>
 Table::numericColumn(const std::string &name) const
 {
     const std::size_t index = schema_.indexOf(name);
-    std::vector<double> out;
-    out.reserve(rows_.size());
-    for (const auto &r : rows_)
-        out.push_back(asReal(r[index]));
-    return out;
+    const ColumnStore &store = columns_[index];
+    switch (schema_.column(index).type) {
+    case ColumnType::Real:
+        return store.reals;
+    case ColumnType::Integer:
+        return {store.ints.begin(), store.ints.end()};
+    case ColumnType::Text:
+        util::fatal("store: column '" + name + "' is not numeric");
+    }
+    util::fatal("store: unreachable column type");
+}
+
+std::span<const double>
+Table::realColumn(const std::string &name) const
+{
+    return realColumn(schema_.indexOf(name));
+}
+
+std::span<const double>
+Table::realColumn(std::size_t index) const
+{
+    CM_ASSERT(index < columns_.size());
+    if (schema_.column(index).type != ColumnType::Real) {
+        util::fatal("store: column '" + schema_.column(index).name +
+                    "' is not REAL; realColumn needs contiguous doubles");
+    }
+    return columns_[index].reals;
+}
+
+void
+Table::clear()
+{
+    for (auto &store : columns_) {
+        store.ints.clear();
+        store.reals.clear();
+        store.texts.clear();
+    }
+    rowCount_ = 0;
 }
 
 } // namespace cminer::store

@@ -2,12 +2,20 @@
  * @file
  * A typed in-memory table with schema validation — the building block of
  * the two-level store (Section III-A of the paper).
+ *
+ * Storage is columnar: each column keeps its values in one contiguous,
+ * type-homogeneous vector, so numeric (REAL) columns can be handed to
+ * the mining layer as `std::span<const double>` without materializing
+ * rows or copying values. The row-oriented API (insert/row/select) is
+ * kept on top of that layout; `row()` materializes on demand.
  */
 
 #ifndef CMINER_STORE_TABLE_H
 #define CMINER_STORE_TABLE_H
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,8 +65,9 @@ class Schema
 using Row = std::vector<Value>;
 
 /**
- * An append-oriented table: insert rows, scan with predicates, project
- * columns. Deliberately small — the store needs no joins or updates.
+ * An append-oriented columnar table: insert rows, scan with predicates,
+ * project columns. Deliberately small — the store needs no joins or
+ * updates.
  */
 class Table
 {
@@ -78,31 +87,56 @@ class Table
     const Schema &schema() const { return schema_; }
 
     /** Number of stored rows. */
-    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t rowCount() const { return rowCount_; }
 
     /** Append a row after validating it against the schema. */
     void insert(Row row);
 
-    /** Row by position (bounds-checked). */
-    const Row &row(std::size_t index) const;
+    /** Row by position, materialized from the columns (bounds-checked). */
+    Row row(std::size_t index) const;
 
-    /** All rows matching a predicate. */
+    /** All rows matching a predicate (rows are materialized to test). */
     std::vector<Row> select(
         const std::function<bool(const Row &)> &predicate) const;
 
-    /** Values of one column across all rows. */
+    /** Values of one column across all rows (materialized copy). */
     std::vector<Value> column(const std::string &name) const;
 
-    /** Numeric column as doubles (integers widened). */
+    /** Numeric column as doubles (integers widened; copies). */
     std::vector<double> numericColumn(const std::string &name) const;
 
+    /**
+     * Zero-copy view of a REAL column's contiguous storage. Fatal when
+     * the column is absent or not REAL. The span is invalidated by the
+     * next insert() or clear().
+     */
+    std::span<const double> realColumn(const std::string &name) const;
+
+    /** realColumn by position. */
+    std::span<const double> realColumn(std::size_t index) const;
+
     /** Remove all rows, keeping the schema. */
-    void clear() { rows_.clear(); }
+    void clear();
 
   private:
+    /**
+     * Typed storage of one column; only the vector matching the
+     * schema's column type is populated.
+     */
+    struct ColumnStore
+    {
+        std::vector<std::int64_t> ints;
+        std::vector<double> reals;
+        std::vector<std::string> texts;
+    };
+
+    /** The cell of one column at one row, as a Value. */
+    Value cell(std::size_t column, std::size_t row) const;
+
     std::string name_;
     Schema schema_;
-    std::vector<Row> rows_;
+    std::vector<ColumnStore> columns_;
+    std::size_t rowCount_ = 0;
 };
 
 } // namespace cminer::store
