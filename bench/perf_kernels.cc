@@ -9,12 +9,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 
 #include "common.h"
 #include "ml/dataset_view.h"
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
+#include "ml/model_io.h"
 #include "stats/anderson_darling.h"
 #include "ts/dtw.h"
 #include "ts/lb_keogh.h"
@@ -241,6 +243,72 @@ BM_GbrtPredictAll(benchmark::State &state)
         static_cast<double>(bench::activeThreads());
 }
 BENCHMARK(BM_GbrtPredictAll)->UseRealTime();
+
+// --- checkpoint subsystem -------------------------------------------------
+
+/** Full model checkpoint round trip: serialize, atomic write, load. */
+void
+BM_ModelSaveLoad(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(64, 800);
+    util::Rng rng(7);
+    ml::GbrtParams params;
+    params.treeCount = static_cast<std::size_t>(state.range(0));
+    ml::Gbrt model(params);
+    model.fit(data, rng);
+    const std::string path = "/tmp/cminer_bench_model.ckpt";
+    const auto before = AllocCounters::now();
+    for (auto _ : state) {
+        if (!ml::saveModel(model, path).ok())
+            state.SkipWithError("save failed");
+        auto loaded = ml::loadModel(path);
+        if (!loaded.ok())
+            state.SkipWithError("load failed");
+        benchmark::DoNotOptimize(loaded);
+    }
+    reportAllocsPerIter(state, before);
+    std::error_code ec;
+    state.counters["file_kb"] = static_cast<double>(
+        std::filesystem::file_size(path, ec)) / 1024.0;
+    std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_ModelSaveLoad)->Arg(50)->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+/** The predict serving path: score a reloaded checkpoint over a view. */
+void
+BM_PredictThroughput(benchmark::State &state)
+{
+    const auto data = gbrtBenchData(64, 4096);
+    util::Rng rng(7);
+    ml::GbrtParams params;
+    params.treeCount = 50;
+    ml::Gbrt trained(params);
+    trained.fit(data, rng);
+    const std::string path = "/tmp/cminer_bench_predict.ckpt";
+    if (!ml::saveModel(trained, path).ok()) {
+        state.SkipWithError("save failed");
+        return;
+    }
+    auto loaded = ml::loadModel(path);
+    if (!loaded.ok()) {
+        state.SkipWithError("load failed");
+        return;
+    }
+    const ml::Gbrt &model = loaded.value();
+    const ml::DatasetView view(data);
+    const auto before = AllocCounters::now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predictAll(view));
+    reportAllocsPerIter(state, before);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(view.rowCount()));
+    state.counters["threads"] =
+        static_cast<double>(bench::activeThreads());
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_PredictThroughput)->UseRealTime();
 
 // --- columnar data plane: copy vs view twins ------------------------------
 // Each pair runs the identical workload through the legacy materializing

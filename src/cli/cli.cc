@@ -6,14 +6,17 @@
 #include <sstream>
 
 #include "core/advisor.h"
+#include "core/checkpoint.h"
 #include "core/cleaner.h"
 #include "core/counterminer.h"
 #include "core/error_metrics.h"
 #include "core/perf_text.h"
 #include "core/report_export.h"
+#include "ml/metrics.h"
 #include "pmu/event.h"
 #include "store/database.h"
 #include "store/query.h"
+#include "util/binary_io.h"
 #include "util/error.h"
 #include "util/fault_injection.h"
 #include "util/metrics.h"
@@ -163,10 +166,11 @@ class ObservabilityScope
     static void
     writeFile(const std::string &path, const std::string &text)
     {
-        std::ofstream out(path);
-        if (!out)
-            util::fatal("cannot write " + path);
-        out << text << "\n";
+        // Atomic like every other exporter: a failed write never
+        // clobbers the previous report at this path.
+        util::writeFileAtomic(path, text + "\n")
+            .withContext("write " + path)
+            .throwIfError();
     }
 
     util::SteadyClock clock_;
@@ -313,6 +317,154 @@ cmdProfile(const Flags &flags, std::string &output)
         db.save(path);
         output += "saved " + std::to_string(db.runCount()) +
                   " runs to " + path + "\n";
+    }
+    return 0;
+}
+
+int
+cmdMapm(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("mapm expects a benchmark name");
+    const auto &benchmark = resolveBenchmark(flags.positional.front());
+
+    core::ProfileOptions options;
+    options.mlpxRuns =
+        static_cast<std::size_t>(flags.getInt("runs", 2));
+    options.importance.minEvents =
+        static_cast<std::size_t>(flags.getInt("min-events", 96));
+
+    store::Database db("haswell-e");
+    core::CounterMiner miner(db, pmu::EventCatalog::instance(), options);
+    util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+    auto report = miner.profile(benchmark, rng);
+
+    output += util::format(
+        "mined %s: MAPM with %zu events, cv error %.2f%%\n",
+        report.benchmark.c_str(), report.importance.mapmEventCount,
+        report.importance.mapmErrorPercent);
+    util::TablePrinter events({"rank", "event", "importance %"});
+    for (std::size_t i = 0; i < report.topEvents.size(); ++i) {
+        events.addRow({std::to_string(i + 1),
+                       report.topEvents[i].feature,
+                       util::formatDouble(
+                           report.topEvents[i].importance, 1)});
+    }
+    output += events.render();
+
+    if (flags.has("model-out")) {
+        const std::string path = flags.get("model-out", "");
+        core::MapmArtifact artifact;
+        artifact.benchmark = report.benchmark;
+        artifact.microarch = db.microarch();
+        artifact.events = report.importance.mapmFeatures;
+        artifact.ranking = report.importance.ranking;
+        artifact.cvErrorPercent = report.importance.mapmErrorPercent;
+        artifact.model = std::move(report.mapmModel);
+        core::saveMapmArtifact(artifact, path).throwIfError();
+        output += "wrote model checkpoint to " + path + "\n";
+    }
+    if (flags.has("db")) {
+        const std::string path = flags.get("db", "");
+        db.save(path);
+        output += "saved " + std::to_string(db.runCount()) +
+                  " runs to " + path + "\n";
+    }
+    return 0;
+}
+
+int
+cmdPredict(const Flags &flags, std::string &output)
+{
+    const std::string model_path = flags.get("model", "");
+    if (model_path.empty())
+        util::fatal("predict requires --model FILE (a checkpoint "
+                    "written by 'mapm --model-out')");
+    if (flags.positional.empty())
+        util::fatal("predict expects a database file (written by "
+                    "'mapm --db' or 'profile --db')");
+    const std::string db_path = flags.positional.front();
+
+    auto loaded = core::loadMapmArtifact(model_path);
+    loaded.status().throwIfError();
+    const core::MapmArtifact artifact = std::move(loaded).value();
+    const auto db = store::Database::load(db_path);
+
+    util::Span span("predict");
+    span.label("model", model_path);
+
+    // Scoring needs one homogeneous event list ending in the IPC
+    // target, the shape 'mapm --db' / 'profile --db' records for mlpx
+    // runs. The first eligible run fixes the list; runs that measured
+    // something else are skipped and reported.
+    const std::string mode = flags.get("mode", "mlpx");
+    std::vector<store::RunId> ids;
+    std::size_t skipped = 0;
+    const std::vector<std::string> *events = nullptr;
+    for (const auto &program : db.programs()) {
+        for (const auto id : db.findRuns(program, mode)) {
+            const auto &run_events = db.runInfo(id).events;
+            if (run_events.size() < 2 ||
+                run_events.back() != core::ipc_series_name) {
+                ++skipped;
+                continue;
+            }
+            if (events == nullptr)
+                events = &db.runInfo(id).events;
+            if (run_events != *events) {
+                ++skipped;
+                continue;
+            }
+            ids.push_back(id);
+        }
+    }
+    if (ids.empty())
+        util::fatal("predict: no scorable '" + mode + "' runs in " +
+                    db_path);
+
+    const auto data = core::ImportanceRanker::buildDatasetFromStore(
+        db, ids, pmu::EventCatalog::instance());
+    for (const auto &event : artifact.events) {
+        if (!data.hasFeature(event))
+            util::fatal("predict: the database runs did not measure "
+                        "model event '" + event + "'");
+    }
+
+    // Project onto the model's kept-event columns, in artifact order —
+    // the exact view the MAPM trained on.
+    const ml::DatasetView view =
+        ml::DatasetView(data).withFeatures(artifact.events);
+    const std::vector<double> predictions =
+        artifact.model.predictAll(view);
+    util::count("predict.rows_scored", predictions.size());
+    util::count("predict.requests");
+    span.number("rows", static_cast<double>(predictions.size()));
+
+    const double error = ml::mape(data.targets(), predictions);
+    output += util::format(
+        "scored %zu rows from %zu runs with MAPM '%s' (%zu events, "
+        "cv error %.2f%%)\n",
+        predictions.size(), ids.size(), artifact.benchmark.c_str(),
+        artifact.events.size(), artifact.cvErrorPercent);
+    if (skipped > 0)
+        output += util::format(
+            "skipped %zu runs with a different event list\n", skipped);
+    output += util::format("MAPE vs measured IPC: %.2f%%\n", error);
+
+    if (flags.has("out")) {
+        const std::string path = flags.get("out", "");
+        // Full shortest-round-trip precision so the file is a bitwise
+        // witness of the predictions (the determinism tests diff it).
+        std::string csv = "row,predicted_ipc,measured_ipc\n";
+        const auto &targets = data.targets();
+        for (std::size_t r = 0; r < predictions.size(); ++r) {
+            csv += util::format("%zu,%.17g,%.17g\n", r, predictions[r],
+                                targets[r]);
+        }
+        util::writeFileAtomic(path, csv)
+            .withContext("write " + path)
+            .throwIfError();
+        output += "wrote predictions to " + path + "\n";
     }
     return 0;
 }
@@ -493,6 +645,13 @@ usage()
            "          [--skip-cleaning] [--json FILE] [--db FILE]\n"
            "          [--inject-faults SPEC] [--max-bad-runs N]\n"
            "          [--max-bad-fraction F]\n"
+           "  mapm <benchmark> [--model-out FILE] [--db FILE]\n"
+           "       [--runs N] [--seed S] [--min-events N]\n"
+           "                                  mine the MAPM and write a\n"
+           "                model checkpoint for later serving\n"
+           "  predict <db.cmdb> --model FILE [--out FILE] [--mode M]\n"
+           "                                  score a database with a\n"
+           "                checkpointed MAPM, without retraining\n"
            "  clean <perf.csv> [--out FILE] [--lenient]\n"
            "                                  clean a perf interval log\n"
            "  explore <db.cmdb>               summarize a database\n"
@@ -559,6 +718,10 @@ run(const std::vector<std::string> &args, std::string &output)
             return finish(cmdListEvents(flags, output));
         if (command == "profile")
             return finish(cmdProfile(flags, output));
+        if (command == "mapm")
+            return finish(cmdMapm(flags, output));
+        if (command == "predict")
+            return finish(cmdPredict(flags, output));
         if (command == "clean")
             return finish(cmdClean(flags, output));
         if (command == "explore")

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The MAPM checkpoint — the train-once/query-many artifact.
+ *
+ * EIR (paper §V) distills a profiled benchmark down to its Most
+ * Accurate Performance Model; everything downstream (interaction
+ * ranking, tuning case studies, serving) consumes that model. A
+ * MapmArtifact captures the complete result of that mining run — the
+ * kept-event list, the normalized importance ranking, the held-out CV
+ * error, and the trained SGBRT itself — in one checkpoint file, so a
+ * `cminer predict` process can score new data without retraining.
+ *
+ * On-disk form: a checkpoint container (util/binary_io.h, DESIGN.md
+ * §12) of kind "mapm-artifact" with sections meta / events / ranking /
+ * model. Saves are atomic; loads are bounded and validated.
+ */
+
+#ifndef CMINER_CORE_CHECKPOINT_H
+#define CMINER_CORE_CHECKPOINT_H
+
+#include <string>
+#include <vector>
+
+#include "ml/gbrt.h"
+#include "util/status.h"
+
+namespace cminer::core {
+
+/** Artifact kind tag of a MAPM checkpoint. */
+inline constexpr const char *mapm_artifact_kind = "mapm-artifact";
+
+/** Schema version of the MAPM payload. */
+inline constexpr std::uint32_t mapm_artifact_version = 1;
+
+/**
+ * Everything a serving process needs from one mining run.
+ */
+struct MapmArtifact
+{
+    /** Benchmark (program) the model was mined from. */
+    std::string benchmark;
+    /** Microarchitecture of the profiled machine. */
+    std::string microarch;
+    /**
+     * The MAPM's kept-event list (paper abbreviations), in model
+     * feature order — scoring projects a dataset onto exactly these
+     * columns, in this order.
+     */
+    std::vector<std::string> events;
+    /** Normalized importance ranking of the MAPM (sums to 100%). */
+    std::vector<cminer::ml::FeatureImportance> ranking;
+    /** Held-out cross-validation error of the MAPM, in percent. */
+    double cvErrorPercent = 0.0;
+    /** The trained MAPM ensemble. */
+    cminer::ml::Gbrt model;
+};
+
+/**
+ * Save an artifact to `path` atomically. Instrumented with the
+ * `checkpoint.save` span and `checkpoint.bytes_written` counter.
+ */
+cminer::util::Status saveMapmArtifact(const MapmArtifact &artifact,
+                                      const std::string &path);
+
+/**
+ * Load an artifact written by saveMapmArtifact(). All reads are
+ * bounded; damage comes back as a Status naming the byte offset.
+ */
+cminer::util::StatusOr<MapmArtifact>
+loadMapmArtifact(const std::string &path);
+
+} // namespace cminer::core
+
+#endif // CMINER_CORE_CHECKPOINT_H

@@ -165,7 +165,7 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
     // MAPM's feature subset is a column-mask view, not a copy.
     const ml::DatasetView mapm_view =
         ml::DatasetView(data).withFeatures(report.importance.mapmFeatures);
-    const auto mapm = [&] {
+    auto mapm = [&] {
         util::Span span("mapm");
         span.number("events",
                     static_cast<double>(
@@ -178,6 +178,7 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
     const InteractionRanker interaction(options_.interaction);
     report.interactions =
         interaction.rankTopEvents(mapm, mapm_view, top_names);
+    report.mapmModel = std::move(mapm);
     return report;
 }
 

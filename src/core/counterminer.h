@@ -98,6 +98,12 @@ struct ProfileReport
     std::vector<cminer::ml::FeatureImportance> topEvents;
     /** Fault-tolerance accounting for the collection stage. */
     PipelineIngestSummary ingest;
+    /**
+     * The trained MAPM ensemble (the model the interaction ranker
+     * queried) — what `mapm --model-out` checkpoints for later
+     * `predict` serving.
+     */
+    cminer::ml::Gbrt mapmModel;
 };
 
 /**

@@ -19,6 +19,11 @@
 #include "ml/dataset_view.h"
 #include "util/rng.h"
 
+namespace cminer::util {
+class BinaryWriter;
+class BinaryReader;
+} // namespace cminer::util
+
 namespace cminer::ml {
 
 /** Hyperparameters of one regression tree. */
@@ -126,6 +131,27 @@ class RegressionTree
 
     /** True after fit(). */
     bool fitted() const { return !nodes_.empty(); }
+
+    /**
+     * Append the fitted structure (nodes + split records) to a
+     * checkpoint writer. Hyperparameters are not part of the artifact;
+     * a deserialized tree predicts and reports importances, it does
+     * not refit.
+     */
+    void serialize(cminer::util::BinaryWriter &out) const;
+
+    /**
+     * Read a tree written by serialize(), validating the node graph:
+     * child and feature indices are range-checked (children must point
+     * forward, so prediction always terminates). On damage the reader
+     * latches a Status naming the byte offset and an empty tree is
+     * returned — callers check `in.ok()`.
+     *
+     * @param in bounded checkpoint reader positioned at a tree
+     * @param feature_count width of the feature space for validation
+     */
+    static RegressionTree deserialize(cminer::util::BinaryReader &in,
+                                      std::size_t feature_count);
 
   private:
     struct Node

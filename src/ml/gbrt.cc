@@ -38,6 +38,12 @@ Gbrt::fit(const DatasetView &data, cminer::util::Rng &rng)
     trees_.clear();
 
     const FeatureBinner binner(data, params_.tree.maxBins);
+    binEdges_.assign(featureNames_.size(), {});
+    for (std::size_t f = 0; f < featureNames_.size(); ++f) {
+        binEdges_[f].reserve(binner.binCount(f));
+        for (std::size_t b = 0; b < binner.binCount(f); ++b)
+            binEdges_[f].push_back(binner.upperEdge(f, b));
+    }
 
     const std::vector<double> targets = data.targets();
     baseline_ = stats::mean(targets);

@@ -92,11 +92,46 @@ class Gbrt
     /** True after fit(). */
     bool fitted() const { return fitted_; }
 
+    /** Feature names captured at fit time, in model column order. */
+    const std::vector<std::string> &featureNames() const
+    {
+        return featureNames_;
+    }
+
+    /** Stage shrinkage (the learning rate predictions multiply by). */
+    double shrinkage() const { return params_.learningRate; }
+
+    /**
+     * Per-feature quantile bin upper edges of the FeatureBinner the
+     * ensemble trained on — part of the checkpoint so a reloaded model
+     * carries its own discretization.
+     */
+    const std::vector<std::vector<double>> &binEdges() const
+    {
+        return binEdges_;
+    }
+
+    /**
+     * Append the fitted ensemble (baseline, shrinkage, feature names,
+     * bin edges, trees) to a checkpoint writer. See model_io.h for the
+     * file-level wrappers.
+     */
+    void serialize(cminer::util::BinaryWriter &out) const;
+
+    /**
+     * Read an ensemble written by serialize(). Every count is bounds-
+     * checked by the reader and the tree graphs are validated; on
+     * damage the reader latches a Status and an unfitted model is
+     * returned — callers check `in.ok()`.
+     */
+    static Gbrt deserialize(cminer::util::BinaryReader &in);
+
   private:
     GbrtParams params_;
     double baseline_ = 0.0;
     std::vector<RegressionTree> trees_;
     std::vector<std::string> featureNames_;
+    std::vector<std::vector<double>> binEdges_;
     bool fitted_ = false;
 };
 

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Serialization of the fitted tree ensemble, plus the file-level model
+ * checkpoint wrappers. The member serialize()/deserialize() methods of
+ * RegressionTree and Gbrt live here so the training code in gbrt.cc /
+ * decision_tree.cc stays free of I/O concerns.
+ */
+
+#include "ml/model_io.h"
+
+#include "util/string_util.h"
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "util/binary_io.h"
+#include "util/error.h"
+
+namespace cminer::ml {
+
+using cminer::util::BinaryReader;
+using cminer::util::BinaryWriter;
+using cminer::util::Status;
+using cminer::util::StatusOr;
+
+// --- RegressionTree -------------------------------------------------------
+
+void
+RegressionTree::serialize(BinaryWriter &out) const
+{
+    out.u64(nodes_.size());
+    for (const Node &node : nodes_) {
+        out.u8(node.leaf ? 1 : 0);
+        out.f64(node.value);
+        out.u64(node.feature);
+        out.f64(node.threshold);
+        out.u64(node.left);
+        out.u64(node.right);
+    }
+    out.u64(splits_.size());
+    for (const SplitRecord &split : splits_) {
+        out.u64(split.feature);
+        out.f64(split.improvement);
+    }
+}
+
+RegressionTree
+RegressionTree::deserialize(BinaryReader &in, std::size_t feature_count)
+{
+    RegressionTree tree;
+    // One node is 1 + 8 + 8 + 8 + 8 + 8 bytes on disk.
+    const std::uint64_t node_count = in.count(41);
+    tree.nodes_.reserve(node_count);
+    for (std::uint64_t i = 0; i < node_count && in.ok(); ++i) {
+        Node node;
+        node.leaf = in.u8() != 0;
+        node.value = in.f64();
+        node.feature = in.u64();
+        node.threshold = in.f64();
+        node.left = in.u64();
+        node.right = in.u64();
+        if (!in.ok())
+            break;
+        if (!node.leaf) {
+            if (node.feature >= feature_count) {
+                in.fail(cminer::util::format(
+                    "tree node %llu splits on feature %zu of %zu",
+                    static_cast<unsigned long long>(i), node.feature,
+                    feature_count));
+                break;
+            }
+            // grow() appends children after their parent, so forward
+            // pointers are an invariant — and the loop in predict()
+            // provably terminates on a tree that satisfies it.
+            if (node.left <= i || node.right <= i ||
+                node.left >= node_count || node.right >= node_count) {
+                in.fail(cminer::util::format(
+                    "tree node %llu has out-of-order children "
+                    "(%zu, %zu of %llu nodes)",
+                    static_cast<unsigned long long>(i), node.left,
+                    node.right,
+                    static_cast<unsigned long long>(node_count)));
+                break;
+            }
+        }
+        tree.nodes_.push_back(node);
+    }
+    const std::uint64_t split_count = in.count(16);
+    tree.splits_.reserve(split_count);
+    for (std::uint64_t i = 0; i < split_count && in.ok(); ++i) {
+        SplitRecord split;
+        split.feature = in.u64();
+        split.improvement = in.f64();
+        if (in.ok() && split.feature >= feature_count) {
+            in.fail(cminer::util::format(
+                "split record %llu names feature %zu of %zu",
+                static_cast<unsigned long long>(i), split.feature,
+                feature_count));
+            break;
+        }
+        tree.splits_.push_back(split);
+    }
+    if (!in.ok())
+        return RegressionTree();
+    return tree;
+}
+
+// --- Gbrt -----------------------------------------------------------------
+
+void
+Gbrt::serialize(BinaryWriter &out) const
+{
+    out.u8(fitted_ ? 1 : 0);
+    out.f64(baseline_);
+    out.f64(params_.learningRate);
+    out.u64(featureNames_.size());
+    for (const auto &name : featureNames_)
+        out.str(name);
+    out.u64(binEdges_.size());
+    for (const auto &edges : binEdges_) {
+        out.u64(edges.size());
+        out.f64Span(edges);
+    }
+    out.u64(trees_.size());
+    for (const auto &tree : trees_)
+        tree.serialize(out);
+}
+
+Gbrt
+Gbrt::deserialize(BinaryReader &in)
+{
+    Gbrt model;
+    const bool fitted = in.u8() != 0;
+    model.baseline_ = in.f64();
+    model.params_.learningRate = in.f64();
+    if (in.ok() && (!std::isfinite(model.params_.learningRate) ||
+                    model.params_.learningRate <= 0.0 ||
+                    model.params_.learningRate > 1.0)) {
+        in.fail("model shrinkage is outside (0, 1]");
+        return Gbrt();
+    }
+
+    // A feature record is at least its 8-byte name length.
+    const std::uint64_t feature_count = in.count(8);
+    model.featureNames_.reserve(feature_count);
+    for (std::uint64_t f = 0; f < feature_count && in.ok(); ++f) {
+        std::string name = in.str();
+        if (in.ok() && name.empty()) {
+            in.fail("model feature name is empty");
+            break;
+        }
+        model.featureNames_.push_back(std::move(name));
+    }
+
+    const std::uint64_t edge_lists = in.count(8);
+    if (in.ok() && edge_lists != feature_count) {
+        in.fail(cminer::util::format(
+            "model has %llu bin-edge lists for %llu features",
+            static_cast<unsigned long long>(edge_lists),
+            static_cast<unsigned long long>(feature_count)));
+        return Gbrt();
+    }
+    model.binEdges_.reserve(edge_lists);
+    for (std::uint64_t f = 0; f < edge_lists && in.ok(); ++f) {
+        const std::uint64_t edges = in.count(8);
+        model.binEdges_.push_back(in.f64Vec(edges));
+    }
+
+    // A serialized tree is at least its two count fields.
+    const std::uint64_t tree_count = in.count(16);
+    model.trees_.reserve(tree_count);
+    for (std::uint64_t t = 0; t < tree_count && in.ok(); ++t) {
+        model.trees_.push_back(RegressionTree::deserialize(
+            in, model.featureNames_.size()));
+    }
+    if (!in.ok())
+        return Gbrt();
+    model.fitted_ = fitted;
+    return model;
+}
+
+// --- file wrappers --------------------------------------------------------
+
+Status
+saveModel(const Gbrt &model, const std::string &path)
+{
+    if (!model.fitted())
+        return Status::dataError("refusing to checkpoint an unfitted "
+                                 "model");
+    BinaryWriter out(gbrt_artifact_kind, gbrt_artifact_version);
+    out.beginSection(model_section_name);
+    model.serialize(out);
+    out.endSection();
+    Status status = out.writeFile(path);
+    if (!status.ok())
+        return status.withContext("save model " + path);
+    return status;
+}
+
+StatusOr<Gbrt>
+loadModel(const std::string &path)
+{
+    auto opened = BinaryReader::open(path, gbrt_artifact_kind);
+    if (!opened.ok())
+        return opened.status().withContext("load model " + path);
+    BinaryReader in = std::move(opened).value();
+    if (in.artifactVersion() != gbrt_artifact_version)
+        return in
+            .fail(cminer::util::format(
+                "unsupported model version %u (this build reads %u)",
+                in.artifactVersion(), gbrt_artifact_version))
+            .withContext("load model " + path);
+
+    Gbrt model;
+    bool seen_model = false;
+    for (std::uint64_t s = 0; s < in.sectionCount() && in.ok(); ++s) {
+        const std::string section = in.beginSection();
+        if (!in.ok())
+            break;
+        if (section == model_section_name) {
+            model = Gbrt::deserialize(in);
+            seen_model = in.ok();
+        }
+        // Unknown sections from newer writers are skipped by size.
+        in.endSection();
+    }
+    if (!in.ok())
+        return in.status().withContext("load model " + path);
+    if (!seen_model)
+        return Status::dataError("no '" +
+                                 std::string(model_section_name) +
+                                 "' section")
+            .withContext("load model " + path);
+    return model;
+}
+
+} // namespace cminer::ml

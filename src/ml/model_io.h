@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Standalone model checkpoints: a trained ml::Gbrt as one file in the
+ * checkpoint container format (util/binary_io.h, DESIGN.md §12).
+ *
+ * The artifact holds everything prediction and importance reporting
+ * need — baseline, shrinkage, feature names, FeatureBinner bin edges,
+ * and the fitted trees — so a model saved by a training process scores
+ * byte-identically when reloaded by a serving process. Loading does
+ * only bounded, validated reads: truncated or corrupt files come back
+ * as Status errors naming the byte offset.
+ *
+ * The MAPM-level artifact (model plus kept-event list, ranking, and CV
+ * error) lives one layer up in core/checkpoint.h and embeds the same
+ * model section.
+ */
+
+#ifndef CMINER_ML_MODEL_IO_H
+#define CMINER_ML_MODEL_IO_H
+
+#include <string>
+
+#include "ml/gbrt.h"
+#include "util/status.h"
+
+namespace cminer::ml {
+
+/** Artifact kind tag of a bare model checkpoint. */
+inline constexpr const char *gbrt_artifact_kind = "gbrt-model";
+
+/** Schema version of the model payload (shared with MAPM artifacts). */
+inline constexpr std::uint32_t gbrt_artifact_version = 1;
+
+/** Name of the section holding the serialized ensemble. */
+inline constexpr const char *model_section_name = "model";
+
+/**
+ * Save a fitted model to `path` atomically (temp file + rename; a
+ * failure leaves any previous file untouched).
+ */
+cminer::util::Status saveModel(const Gbrt &model, const std::string &path);
+
+/**
+ * Load a model written by saveModel().
+ * @return the model, or a Status naming the path and byte offset
+ */
+cminer::util::StatusOr<Gbrt> loadModel(const std::string &path);
+
+} // namespace cminer::ml
+
+#endif // CMINER_ML_MODEL_IO_H

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <set>
 
+#include "util/binary_io.h"
 #include "util/csv.h"
 #include "util/error.h"
 #include "util/string_util.h"
@@ -28,62 +29,100 @@ catalogSchema()
                    {"series_table", ColumnType::Text}});
 }
 
-// --- tiny binary I/O helpers -----------------------------------------------
+// --- persistence format constants ------------------------------------------
 
-void
-writeU64(std::ostream &out, std::uint64_t v)
+/** Magic of the legacy (pre-container) v1 file format. */
+constexpr char db_legacy_magic[4] = {'C', 'M', 'D', 'B'};
+
+/** Artifact kind of the container-format database file. */
+constexpr const char *db_artifact_kind = "cminer-db";
+
+/**
+ * Current database schema version. v1 was the legacy raw layout; v2 is
+ * the same run records inside a checkpoint container (DESIGN.md §12),
+ * written atomically and read with bounded, validated reads. v1 files
+ * still load.
+ */
+constexpr std::uint32_t db_version = 2;
+
+/**
+ * Smallest possible run record on disk: id (8) + three string length
+ * prefixes (24) + exec/interval (16) + event count (8) + length (8).
+ * Run-count fields are validated against it before any allocation.
+ */
+constexpr std::size_t min_run_record_bytes = 64;
+
+/**
+ * Parse the run records shared by the v1 and v2 layouts, inserting
+ * them into `db`. All counts and lengths are validated against the
+ * bytes remaining in `in` before anything is allocated.
+ */
+util::Status
+readRuns(util::BinaryReader &in, Database &db)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    const std::uint64_t run_count = in.count(min_run_record_bytes);
+    for (std::uint64_t r = 0; r < run_count; ++r) {
+        in.u64(); // original id; ids are reassigned densely on load
+        const std::string program = in.str();
+        const std::string suite = in.str();
+        const std::string mode = in.str();
+        const double exec_time_ms = in.f64();
+        const double interval_ms = in.f64();
+        // Per event: at least the name's length prefix plus the length
+        // count... the series payload itself is checked per event.
+        const std::uint64_t event_count = in.count(8);
+        const std::uint64_t length = in.count(8);
+        if (!in.ok())
+            return in.status().withContext(
+                util::format("run %llu",
+                             static_cast<unsigned long long>(r)));
+        std::vector<cminer::ts::TimeSeries> series;
+        series.reserve(event_count);
+        for (std::uint64_t e = 0; e < event_count; ++e) {
+            const std::string event = in.str();
+            std::vector<double> values = in.f64Vec(length);
+            if (!in.ok())
+                return in.status().withContext(util::format(
+                    "run %llu event %llu",
+                    static_cast<unsigned long long>(r),
+                    static_cast<unsigned long long>(e)));
+            series.emplace_back(event, std::move(values), interval_ms);
+        }
+        auto added = db.tryAddRun(program, suite, mode, exec_time_ms,
+                                  series);
+        if (!added.ok())
+            return added.status().withContext(util::format(
+                "run %llu", static_cast<unsigned long long>(r)));
+    }
+    return util::Status::okStatus();
 }
 
-void
-writeF64(std::ostream &out, double v)
+/**
+ * Load the legacy v1 layout (magic "CMDB", u64 version, microarch,
+ * then the run records) with the same bounded-read discipline. The
+ * old reader trusted these count fields outright: a corrupt file
+ * could request an OOM-sized allocation or fatal without an offset.
+ */
+util::StatusOr<Database>
+loadLegacyV1(std::string bytes)
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    util::BinaryReader in = util::BinaryReader::raw(std::move(bytes));
+    in.u32(); // the 4 magic bytes, already matched by the caller
+    const std::uint64_t version = in.u64();
+    if (in.ok() && version != 1)
+        return in.fail(util::format(
+            "unsupported legacy database version %llu",
+            static_cast<unsigned long long>(version)));
+    Database db(in.str());
+    if (!in.ok())
+        return in.status();
+    const util::Status status = readRuns(in, db);
+    if (!status.ok())
+        return status;
+    if (!in.ok())
+        return in.status();
+    return db;
 }
-
-void
-writeString(std::ostream &out, const std::string &s)
-{
-    writeU64(out, s.size());
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::uint64_t
-readU64(std::istream &in)
-{
-    std::uint64_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        util::fatal("store: truncated database file");
-    return v;
-}
-
-double
-readF64(std::istream &in)
-{
-    double v = 0.0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        util::fatal("store: truncated database file");
-    return v;
-}
-
-std::string
-readString(std::istream &in)
-{
-    const std::uint64_t size = readU64(in);
-    if (size > (1ULL << 32))
-        util::fatal("store: corrupt string length in database file");
-    std::string s(size, '\0');
-    in.read(s.data(), static_cast<std::streamsize>(size));
-    if (!in)
-        util::fatal("store: truncated database file");
-    return s;
-}
-
-constexpr char db_magic[4] = {'C', 'M', 'D', 'B'};
-constexpr std::uint64_t db_version = 1;
 
 } // namespace
 
@@ -244,71 +283,99 @@ Database::seriesTable(RunId id) const
 void
 Database::save(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        util::fatal("store: cannot open for writing: " + path);
+    trySave(path).throwIfError();
+}
 
-    out.write(db_magic, sizeof(db_magic));
-    writeU64(out, db_version);
-    writeString(out, microarch_);
-    writeU64(out, runs_.size());
+util::Status
+Database::trySave(const std::string &path) const
+{
+    util::BinaryWriter out(db_artifact_kind, db_version);
+    out.beginSection("runs");
+    out.str(microarch_);
+    out.u64(runs_.size());
     for (const auto &[id, meta] : runs_) {
-        writeU64(out, static_cast<std::uint64_t>(id));
-        writeString(out, meta.program);
-        writeString(out, meta.suite);
-        writeString(out, meta.mode);
-        writeF64(out, meta.execTimeMs);
-        writeF64(out, intervalMs_.at(id));
-        writeU64(out, meta.events.size());
+        out.u64(static_cast<std::uint64_t>(id));
+        out.str(meta.program);
+        out.str(meta.suite);
+        out.str(meta.mode);
+        out.f64(meta.execTimeMs);
+        out.f64(intervalMs_.at(id));
+        out.u64(meta.events.size());
         const Table &table = seriesTables_.at(id);
-        writeU64(out, table.rowCount());
+        out.u64(table.rowCount());
         for (const auto &event : meta.events) {
-            writeString(out, event);
-            for (double v : table.realColumn(event))
-                writeF64(out, v);
+            out.str(event);
+            out.f64Span(table.realColumn(event));
         }
     }
-    if (!out)
-        util::fatal("store: write failed: " + path);
+    out.endSection();
+    util::Status status = out.writeFile(path);
+    if (!status.ok())
+        return status.withContext("store: save " + path);
+    return status;
 }
 
 Database
 Database::load(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        util::fatal("store: cannot open for reading: " + path);
+    auto loaded = tryLoad(path);
+    loaded.status().throwIfError();
+    return std::move(loaded).value();
+}
 
-    char magic[4];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, db_magic, sizeof(db_magic)) != 0)
-        util::fatal("store: not a CounterMiner database: " + path);
-    const std::uint64_t version = readU64(in);
-    if (version != db_version)
-        util::fatal("store: unsupported database version in " + path);
+util::StatusOr<Database>
+Database::tryLoad(const std::string &path)
+{
+    auto read = util::readFileBytes(path);
+    if (!read.ok())
+        return read.status().withContext("store: load " + path);
+    std::string bytes = std::move(read).value();
 
-    Database db(readString(in));
-    const std::uint64_t run_count = readU64(in);
-    for (std::uint64_t r = 0; r < run_count; ++r) {
-        readU64(in); // original id; ids are reassigned densely on load
-        const std::string program = readString(in);
-        const std::string suite = readString(in);
-        const std::string mode = readString(in);
-        const double exec_time_ms = readF64(in);
-        const double interval_ms = readF64(in);
-        const std::uint64_t event_count = readU64(in);
-        const std::uint64_t length = readU64(in);
-        std::vector<TimeSeries> series;
-        series.reserve(event_count);
-        for (std::uint64_t e = 0; e < event_count; ++e) {
-            const std::string event = readString(in);
-            std::vector<double> values(length);
-            for (auto &v : values)
-                v = readF64(in);
-            series.emplace_back(event, std::move(values), interval_ms);
-        }
-        db.addRun(program, suite, mode, exec_time_ms, series);
+    // Legacy v1 files predate the container header; sniff their magic.
+    if (bytes.size() >= sizeof(db_legacy_magic) &&
+        std::memcmp(bytes.data(), db_legacy_magic,
+                    sizeof(db_legacy_magic)) == 0) {
+        auto db = loadLegacyV1(std::move(bytes));
+        if (!db.ok())
+            return db.status().withContext("store: load " + path +
+                                           " (v1)");
+        return db;
     }
+
+    auto opened =
+        util::BinaryReader::fromBytes(std::move(bytes), db_artifact_kind);
+    if (!opened.ok())
+        return opened.status().withContext("store: load " + path);
+    util::BinaryReader in = std::move(opened).value();
+    if (in.artifactVersion() != db_version)
+        return in
+            .fail(util::format(
+                "unsupported database version %u (this build reads "
+                "v1 legacy files and v%u containers)",
+                in.artifactVersion(), db_version))
+            .withContext("store: load " + path);
+
+    Database db;
+    bool seen_runs = false;
+    for (std::uint64_t s = 0; s < in.sectionCount() && in.ok(); ++s) {
+        const std::string section = in.beginSection();
+        if (!in.ok())
+            break;
+        if (section == "runs") {
+            db = Database(in.str());
+            const util::Status status = readRuns(in, db);
+            if (!status.ok())
+                return status.withContext("store: load " + path);
+            seen_runs = in.ok();
+        }
+        // Unknown sections from newer writers are skipped by size.
+        in.endSection();
+    }
+    if (!in.ok())
+        return in.status().withContext("store: load " + path);
+    if (!seen_runs)
+        return util::Status::dataError("no 'runs' section")
+            .withContext("store: load " + path);
     return db;
 }
 

@@ -127,16 +127,31 @@ class Database
     const Table &seriesTable(RunId id) const;
 
     /**
-     * Persist to a single binary file.
+     * Persist to a single binary file in the checkpoint container
+     * format (util/binary_io.h, DESIGN.md §12). The write is atomic:
+     * data lands in a temp file renamed over the destination, so a
+     * mid-write failure never destroys the previous good file.
      * @throws util::FatalError on I/O failure
      */
     void save(const std::string &path) const;
 
+    /** Recoverable flavour of save(): a Status instead of a throw. */
+    cminer::util::Status trySave(const std::string &path) const;
+
     /**
-     * Load from a binary file written by save().
+     * Load from a binary file written by save(). Current (v2,
+     * container) and legacy (v1) formats both load; either way every
+     * count/length field is validated against the bytes actually in
+     * the file before any allocation, so truncated or corrupt input
+     * produces a clean error naming the byte offset — never an
+     * OOM-sized allocation or a silently zero-filled run.
      * @throws util::FatalError on I/O failure or format mismatch
      */
     static Database load(const std::string &path);
+
+    /** Recoverable flavour of load(): a Status instead of a throw. */
+    static cminer::util::StatusOr<Database>
+    tryLoad(const std::string &path);
 
     /**
      * Export the catalog and every run table as CSV files into a

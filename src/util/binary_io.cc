@@ -1,0 +1,438 @@
+#include "util/binary_io.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace cminer::util {
+
+namespace {
+
+/** Hard cap on a single length-prefixed string (names, not payloads). */
+constexpr std::uint64_t max_string_bytes = 1ULL << 32;
+
+void
+appendU64Le(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU32Le(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t
+decodeU64Le(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint32_t
+decodeU32Le(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// --- file helpers ---------------------------------------------------------
+
+StatusOr<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::dataError("cannot open for reading: " + path);
+    std::string bytes;
+    in.seekg(0, std::ios::end);
+    const auto size = in.tellg();
+    if (size < 0)
+        return Status::dataError("cannot determine size of: " + path);
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(size));
+    in.read(bytes.data(), size);
+    if (!in)
+        return Status::dataError("read failed: " + path);
+    return bytes;
+}
+
+Status
+writeFileAtomic(const std::string &path, std::string_view bytes)
+{
+    // Same directory as the destination so the final rename cannot
+    // cross a filesystem boundary (rename is only atomic within one).
+    const std::string tmp = path + ".tmp";
+    bool opened = false;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return Status::transient("cannot open for writing: " + tmp);
+        opened = true;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return Status::transient("write failed: " + tmp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (opened) {
+            std::error_code ignore;
+            std::filesystem::remove(tmp, ignore);
+        }
+        return Status::transient("cannot rename " + tmp + " to " + path +
+                                 ": " + ec.message());
+    }
+    return Status::okStatus();
+}
+
+// --- BinaryWriter ---------------------------------------------------------
+
+BinaryWriter::BinaryWriter(const std::string &artifact_kind,
+                           std::uint32_t artifact_version)
+{
+    buffer_.append(checkpoint_magic, sizeof(checkpoint_magic));
+    appendU32Le(buffer_, checkpoint_container_version);
+    fileSizeOffset_ = buffer_.size();
+    appendU64Le(buffer_, 0); // patched by finish()
+    str(artifact_kind);
+    appendU32Le(buffer_, artifact_version);
+    sectionCountOffset_ = buffer_.size();
+    appendU64Le(buffer_, 0); // patched by finish()
+}
+
+void
+BinaryWriter::beginSection(const std::string &name)
+{
+    CM_ASSERT(!inSection_ && !finished_);
+    str(name);
+    sectionSizeOffset_ = buffer_.size();
+    appendU64Le(buffer_, 0); // patched by endSection()
+    inSection_ = true;
+    ++sectionCount_;
+}
+
+void
+BinaryWriter::endSection()
+{
+    CM_ASSERT(inSection_);
+    patchU64(sectionSizeOffset_,
+             buffer_.size() - (sectionSizeOffset_ + 8));
+    inSection_ = false;
+}
+
+void
+BinaryWriter::u8(std::uint8_t v)
+{
+    buffer_.push_back(static_cast<char>(v));
+}
+
+void
+BinaryWriter::u32(std::uint32_t v)
+{
+    appendU32Le(buffer_, v);
+}
+
+void
+BinaryWriter::u64(std::uint64_t v)
+{
+    appendU64Le(buffer_, v);
+}
+
+void
+BinaryWriter::f64(double v)
+{
+    appendU64Le(buffer_, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+BinaryWriter::str(std::string_view s)
+{
+    appendU64Le(buffer_, s.size());
+    buffer_.append(s.data(), s.size());
+}
+
+void
+BinaryWriter::f64Span(std::span<const double> values)
+{
+    for (double v : values)
+        f64(v);
+}
+
+void
+BinaryWriter::patchU64(std::size_t offset, std::uint64_t v)
+{
+    CM_ASSERT(offset + 8 <= buffer_.size());
+    for (int i = 0; i < 8; ++i)
+        buffer_[offset + static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::string
+BinaryWriter::finish()
+{
+    CM_ASSERT(!inSection_ && !finished_);
+    finished_ = true;
+    patchU64(fileSizeOffset_, buffer_.size());
+    patchU64(sectionCountOffset_, sectionCount_);
+    return std::move(buffer_);
+}
+
+Status
+BinaryWriter::writeFile(const std::string &path)
+{
+    const std::string bytes = finish();
+    Status status = writeFileAtomic(path, bytes);
+    if (status.ok()) {
+        count("checkpoint.files_written");
+        count("checkpoint.bytes_written", bytes.size());
+    }
+    return status;
+}
+
+// --- BinaryReader ---------------------------------------------------------
+
+BinaryReader::BinaryReader(std::string bytes)
+    : bytes_(std::move(bytes)),
+      bound_(bytes_.size())
+{
+}
+
+BinaryReader
+BinaryReader::raw(std::string bytes)
+{
+    return BinaryReader(std::move(bytes));
+}
+
+StatusOr<BinaryReader>
+BinaryReader::fromBytes(std::string bytes,
+                        const std::string &expected_kind)
+{
+    BinaryReader in(std::move(bytes));
+    if (in.bytes_.size() < sizeof(checkpoint_magic) + 4 + 8)
+        return in.fail("file too small to hold a checkpoint header");
+    if (in.bytes_.compare(0, sizeof(checkpoint_magic), checkpoint_magic,
+                          sizeof(checkpoint_magic)) != 0)
+        return in.fail("bad magic (not a CounterMiner checkpoint)");
+    in.pos_ = sizeof(checkpoint_magic);
+    const std::uint32_t container = in.u32();
+    if (in.ok() && container != checkpoint_container_version)
+        return in.fail(format("unsupported container version %u "
+                              "(this build reads %u)",
+                              container, checkpoint_container_version));
+    const std::uint64_t declared_size = in.u64();
+    if (in.ok() && declared_size != in.bytes_.size())
+        return in.fail(format("file size mismatch: header declares "
+                              "%llu bytes, file has %zu (truncated or "
+                              "over-appended)",
+                              static_cast<unsigned long long>(
+                                  declared_size),
+                              in.bytes_.size()));
+    const std::string kind = in.str();
+    if (in.ok() && kind != expected_kind)
+        return in.fail("artifact kind mismatch: file holds '" + kind +
+                       "', expected '" + expected_kind + "'");
+    in.artifactVersion_ = in.u32();
+    in.sectionCount_ = in.count(16); // a section is at least name + size
+    if (!in.ok())
+        return in.status();
+    return in;
+}
+
+StatusOr<BinaryReader>
+BinaryReader::open(const std::string &path,
+                   const std::string &expected_kind)
+{
+    auto bytes = readFileBytes(path);
+    if (!bytes.ok())
+        return bytes.status();
+    auto reader = fromBytes(std::move(bytes).value(), expected_kind);
+    if (!reader.ok())
+        return reader.status().withContext(path);
+    return reader;
+}
+
+std::uint64_t
+BinaryReader::remaining() const
+{
+    return pos_ <= bound_ ? bound_ - pos_ : 0;
+}
+
+bool
+BinaryReader::need(std::uint64_t n, const char *what)
+{
+    if (!ok())
+        return false;
+    if (n > remaining()) {
+        fail(format("truncated: need %llu bytes for %s, %llu remain",
+                    static_cast<unsigned long long>(n), what,
+                    static_cast<unsigned long long>(remaining())));
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+BinaryReader::u8()
+{
+    if (!need(1, "u8"))
+        return 0;
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t
+BinaryReader::u32()
+{
+    if (!need(4, "u32"))
+        return 0;
+    const std::uint32_t v = decodeU32Le(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+BinaryReader::u64()
+{
+    if (!need(8, "u64"))
+        return 0;
+    const std::uint64_t v = decodeU64Le(bytes_.data() + pos_);
+    pos_ += 8;
+    return v;
+}
+
+double
+BinaryReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+BinaryReader::str()
+{
+    const std::uint64_t at = pos_;
+    const std::uint64_t size = u64();
+    if (!ok())
+        return "";
+    if (size > max_string_bytes || size > remaining()) {
+        fail(format("string length %llu at offset %llu exceeds the "
+                    "%llu bytes remaining",
+                    static_cast<unsigned long long>(size),
+                    static_cast<unsigned long long>(at),
+                    static_cast<unsigned long long>(remaining())));
+        return "";
+    }
+    std::string s(bytes_.data() + pos_, size);
+    pos_ += size;
+    return s;
+}
+
+std::uint64_t
+BinaryReader::count(std::size_t element_size)
+{
+    CM_ASSERT(element_size >= 1);
+    const std::uint64_t at = pos_;
+    const std::uint64_t n = u64();
+    if (!ok())
+        return 0;
+    if (n > remaining() / element_size) {
+        fail(format("count field %llu at offset %llu exceeds the %llu "
+                    "bytes remaining (>= %zu bytes per element)",
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(at),
+                    static_cast<unsigned long long>(remaining()),
+                    element_size));
+        return 0;
+    }
+    return n;
+}
+
+std::vector<double>
+BinaryReader::f64Vec(std::uint64_t n)
+{
+    if (!ok())
+        return {};
+    if (n > remaining() / 8) {
+        fail(format("f64 array of %llu values exceeds the %llu bytes "
+                    "remaining",
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(remaining())));
+        return {};
+    }
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(f64());
+    return out;
+}
+
+std::string
+BinaryReader::beginSection()
+{
+    CM_ASSERT(!inSection_);
+    const std::string name = str();
+    const std::uint64_t at = pos_;
+    const std::uint64_t size = u64();
+    if (!ok())
+        return "";
+    if (size > remaining()) {
+        fail(format("section '%s' declares %llu payload bytes at "
+                    "offset %llu but %llu remain",
+                    name.c_str(),
+                    static_cast<unsigned long long>(size),
+                    static_cast<unsigned long long>(at),
+                    static_cast<unsigned long long>(remaining())));
+        return "";
+    }
+    bound_ = pos_ + size;
+    inSection_ = true;
+    return name;
+}
+
+void
+BinaryReader::endSection()
+{
+    CM_ASSERT(inSection_);
+    if (ok())
+        pos_ = bound_;
+    bound_ = bytes_.size();
+    inSection_ = false;
+}
+
+Status
+BinaryReader::fail(const std::string &message)
+{
+    if (status_.ok()) {
+        status_ = Status::dataError(
+            format("offset %llu: %s",
+                   static_cast<unsigned long long>(pos_),
+                   message.c_str()));
+    }
+    return status_;
+}
+
+} // namespace cminer::util

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The checkpoint container format (DESIGN.md §12): a little-endian,
+ * versioned binary layout shared by every artifact the system persists
+ * (the performance database, trained models, the MAPM artifact).
+ *
+ * Layout:
+ *
+ *   magic[8] "CMCHKPT1"
+ *   u32      container format version (currently 1)
+ *   u64      total file size in bytes (truncation tripwire)
+ *   str      artifact kind ("cminer-db", "gbrt-model", "mapm-artifact")
+ *   u32      artifact version (per-kind schema number)
+ *   u64      section count
+ *   section* { str name, u64 payload_size, payload bytes }
+ *
+ * where `str` is a u64 byte length followed by raw UTF-8 bytes and all
+ * integers are little-endian regardless of host order. Readers that do
+ * not recognize a section name skip it by its declared size (forward
+ * compatibility); writers never reorder or remove sections within an
+ * artifact version (backward compatibility).
+ *
+ * BinaryReader does only *bounded* reads: every count and length field
+ * is validated against the bytes actually remaining (in the file and in
+ * the current section) before any allocation or copy, so a truncated or
+ * corrupt file produces a Status error naming the byte offset — never a
+ * multi-GB allocation, a silent zero-fill, or undefined behavior. The
+ * reader latches its first error: subsequent reads return zero values
+ * and the caller checks status() at its convenience.
+ *
+ * BinaryWriter assembles the container in memory and writeFile() lands
+ * it with the atomic temp-file-and-rename discipline (writeFileAtomic),
+ * so a crash mid-write never destroys the previous good checkpoint.
+ */
+
+#ifndef CMINER_UTIL_BINARY_IO_H
+#define CMINER_UTIL_BINARY_IO_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cminer::util {
+
+/** First bytes of every checkpoint container. */
+inline constexpr char checkpoint_magic[8] = {'C', 'M', 'C', 'H',
+                                             'K', 'P', 'T', '1'};
+
+/** Container layout version written by BinaryWriter. */
+inline constexpr std::uint32_t checkpoint_container_version = 1;
+
+/**
+ * Read a whole file into memory.
+ * @return the bytes, or a DataError naming the path
+ */
+StatusOr<std::string> readFileBytes(const std::string &path);
+
+/**
+ * Write bytes to `path` atomically: the data lands in `path + ".tmp"`
+ * in the same directory and is renamed over the destination only after
+ * every byte was written and flushed successfully. On any failure the
+ * previous file at `path` is left untouched and the temp file is
+ * removed.
+ */
+Status writeFileAtomic(const std::string &path, std::string_view bytes);
+
+/**
+ * Serializes one artifact into the checkpoint container format.
+ *
+ * Usage: construct with the artifact kind/version, emit one or more
+ * sections (beginSection / primitive writes / endSection), then either
+ * writeFile() or finish(). Sections do not nest.
+ */
+class BinaryWriter
+{
+  public:
+    /**
+     * @param artifact_kind stable artifact identifier, e.g. "gbrt-model"
+     * @param artifact_version schema version of this kind
+     */
+    BinaryWriter(const std::string &artifact_kind,
+                 std::uint32_t artifact_version);
+
+    /** Open a named section; all writes until endSection() belong to it. */
+    void beginSection(const std::string &name);
+
+    /** Close the open section, patching its payload size. */
+    void endSection();
+
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** IEEE-754 bits, little-endian. */
+    void f64(double v);
+    /** u64 byte length followed by the raw bytes. */
+    void str(std::string_view s);
+    /** A run of f64 values (no count field; callers write their own). */
+    void f64Span(std::span<const double> values);
+
+    /** Bytes emitted so far (header + sections). */
+    std::size_t bytesWritten() const { return buffer_.size(); }
+
+    /**
+     * Finalize the container (patch file size and section count) and
+     * return the bytes. The writer is spent afterwards.
+     */
+    std::string finish();
+
+    /**
+     * finish() + writeFileAtomic(), counting `checkpoint.bytes_written`.
+     */
+    Status writeFile(const std::string &path);
+
+  private:
+    void patchU64(std::size_t offset, std::uint64_t v);
+
+    std::string buffer_;
+    std::size_t fileSizeOffset_ = 0;
+    std::size_t sectionCountOffset_ = 0;
+    std::size_t sectionSizeOffset_ = 0; ///< size field of the open section
+    std::uint64_t sectionCount_ = 0;
+    bool inSection_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Bounded deserializer over an in-memory byte buffer.
+ *
+ * Container mode (fromBytes/open) parses and validates the header and
+ * exposes sections; raw mode (raw) is a plain bounded cursor for legacy
+ * formats that predate the container (the v1 database file).
+ */
+class BinaryReader
+{
+  public:
+    /**
+     * Parse a container header from bytes.
+     *
+     * @param bytes the whole file
+     * @param expected_kind artifact kind the caller can handle; a
+     *        mismatch is a DataError
+     */
+    static StatusOr<BinaryReader> fromBytes(std::string bytes,
+                                            const std::string &expected_kind);
+
+    /** readFileBytes + fromBytes, with the path as error context. */
+    static StatusOr<BinaryReader> open(const std::string &path,
+                                       const std::string &expected_kind);
+
+    /** Bounded cursor over bytes with no container header. */
+    static BinaryReader raw(std::string bytes);
+
+    /** Artifact schema version from the header (container mode). */
+    std::uint32_t artifactVersion() const { return artifactVersion_; }
+
+    /** Declared number of sections (container mode). */
+    std::uint64_t sectionCount() const { return sectionCount_; }
+
+    /** True until the first failed or out-of-bounds read. */
+    bool ok() const { return status_.ok(); }
+
+    /** The latched error (Ok while ok()). */
+    const Status &status() const { return status_; }
+
+    /** Current byte offset from the start of the file. */
+    std::uint64_t offset() const { return pos_; }
+
+    /** Bytes left before the current bound (section end or file end). */
+    std::uint64_t remaining() const;
+
+    /** True when the cursor reached the current bound. */
+    bool atEnd() const { return remaining() == 0; }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+
+    /**
+     * A length-prefixed string; the length is validated against the
+     * bytes remaining before any allocation.
+     */
+    std::string str();
+
+    /**
+     * A count field for elements of at least `element_size` bytes each:
+     * reads a u64 and fails unless count * element_size fits in the
+     * bytes remaining. The validated count is safe to allocate for.
+     */
+    std::uint64_t count(std::size_t element_size);
+
+    /** `n` f64 values; `n` must come from count(sizeof(double)). */
+    std::vector<double> f64Vec(std::uint64_t n);
+
+    /**
+     * Open the next section: reads its name and payload size (validated
+     * against the file) and bounds all reads to the payload until
+     * endSection(). Returns the section name ("" once failed).
+     */
+    std::string beginSection();
+
+    /**
+     * Close the current section, skipping any unread payload — this is
+     * how unknown sections from newer writers are ignored.
+     */
+    void endSection();
+
+    /**
+     * Latch an error at the current offset. Returns the latched status
+     * so parse code can `return in.fail("...")`.
+     */
+    Status fail(const std::string &message);
+
+  private:
+    explicit BinaryReader(std::string bytes);
+
+    /** True when `n` more bytes may be read within the current bound. */
+    bool need(std::uint64_t n, const char *what);
+
+    std::string bytes_;
+    std::uint64_t pos_ = 0;
+    /** End of the current section payload, or bytes_.size(). */
+    std::uint64_t bound_ = 0;
+    bool inSection_ = false;
+    std::uint32_t artifactVersion_ = 0;
+    std::uint64_t sectionCount_ = 0;
+    Status status_;
+};
+
+} // namespace cminer::util
+
+#endif // CMINER_UTIL_BINARY_IO_H
