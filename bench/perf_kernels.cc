@@ -17,6 +17,7 @@
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
 #include "ml/model_io.h"
+#include "simd/simd.h"
 #include "stats/anderson_darling.h"
 #include "ts/dtw.h"
 #include "ts/lb_keogh.h"
@@ -449,6 +450,139 @@ BM_TraceGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceGeneration);
+
+// --- SIMD kernel layer: forced-scalar vs best-available twins -------------
+// Each pair runs the identical workload with the dispatch level forced
+// to scalar (range(0) == 0) and at the best level the machine supports
+// (range(0) == 1). The speedup between the two is the SIMD layer's
+// whole contribution; the differential harness (test_simd_kernels)
+// guarantees the outputs are interchangeable.
+
+/** Force the dispatch level from the benchmark arg; label the run. */
+simd::Level
+simdLevelFromArg(benchmark::State &state)
+{
+    const simd::Level level = state.range(0) == 0
+        ? simd::Level::Scalar : simd::detectedLevel();
+    simd::setLevel(level);
+    state.SetLabel(simd::levelName(level));
+    return level;
+}
+
+/**
+ * The GBRT split scan's histogram fill over one feature column. This
+ * twin pins *parity*, not speedup: the order-preserving fill is
+ * scatter-bound and every dispatch level shares the sequential kernel
+ * (a bucketed AVX2 variant measured ~2x slower; see simd.h). A future
+ * vector specialization has to beat the scalar twin here to earn its
+ * slot in the table.
+ */
+void
+BM_SplitScan(benchmark::State &state)
+{
+    simdLevelFromArg(state);
+    constexpr std::size_t kRows = 8192;
+    constexpr std::size_t kBins = 64;
+    util::Rng rng(31);
+    std::vector<std::uint8_t> bin_col(kRows);
+    std::vector<double> targets(kRows);
+    std::vector<std::size_t> rows(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        bin_col[r] = static_cast<std::uint8_t>(
+            rng.uniformInt(0, kBins - 1));
+        targets[r] = rng.gaussian();
+        rows[r] = r;
+    }
+    std::vector<double> bin_sum(kBins);
+    std::vector<std::size_t> bin_count(kBins);
+    for (auto _ : state) {
+        std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
+        std::fill(bin_count.begin(), bin_count.end(), 0);
+        simd::splitScanHistogram(bin_col, targets, rows, bin_sum,
+                                 bin_count);
+        benchmark::DoNotOptimize(bin_sum.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kRows));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_SplitScan)->Arg(0)->Arg(1);
+
+/**
+ * KNN's per-neighbor squared Euclidean distance over a feature row.
+ * The training block is sized to stay cache-resident (226 features x
+ * 64 neighbors ~ 113 KiB) so the twin measures the kernel, not DRAM
+ * bandwidth.
+ */
+void
+BM_KnnDistance(benchmark::State &state)
+{
+    simdLevelFromArg(state);
+    constexpr std::size_t kDim = 226;
+    constexpr std::size_t kNeighbors = 64;
+    util::Rng rng(32);
+    std::vector<double> query(kDim);
+    for (auto &v : query)
+        v = rng.gaussian();
+    std::vector<double> train(kDim * kNeighbors);
+    for (auto &v : train)
+        v = rng.gaussian();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (std::size_t r = 0; r < kNeighbors; ++r) {
+            total += simd::squaredDistance(
+                query, std::span<const double>(train.data() + r * kDim,
+                                               kDim));
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kNeighbors * kDim));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_KnnDistance)->Arg(0)->Arg(1);
+
+/** The LB_Keogh envelope bound (envelope precomputed, as in the scan). */
+void
+BM_LbKeogh(benchmark::State &state)
+{
+    simdLevelFromArg(state);
+    constexpr std::size_t kLength = 2048;
+    const auto query = randomSeries(kLength, 33);
+    const auto candidate = randomSeries(kLength, 34);
+    const auto envelope = ts::computeEnvelope(query, kLength / 10 + 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ts::lbKeogh(envelope, candidate));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kLength));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_LbKeogh)->Arg(0)->Arg(1);
+
+/** The cleaner/histogram equi-width bin-assignment pass. */
+void
+BM_CleanerBinning(benchmark::State &state)
+{
+    simdLevelFromArg(state);
+    constexpr std::size_t kValues = 4096;
+    const auto values = randomSeries(kValues, 35);
+    double low = 0.0;
+    double high = 0.0;
+    std::size_t finite = 0;
+    simd::minMaxFinite(values, low, high, finite);
+    constexpr std::size_t kBins = 64;
+    const double width =
+        (high - low) / static_cast<double>(kBins);
+    std::vector<std::uint32_t> bins(kValues);
+    for (auto _ : state) {
+        simd::equiWidthBins(values, low, high, width, kBins, bins);
+        benchmark::DoNotOptimize(bins.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kValues));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_CleanerBinning)->Arg(0)->Arg(1);
 
 // --- observability overhead ----------------------------------------------
 // The disabled variants are the zero-overhead contract: with no tracer

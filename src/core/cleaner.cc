@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/knn.h"
+#include "simd/simd.h"
 #include "stats/anderson_darling.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
@@ -112,17 +113,8 @@ DataCleaner::fillMissing(std::span<double> values,
     std::size_t non_finite = 0;
     double max_value = 0.0;
     double min_value = 0.0;
-    bool saw_finite = false;
-    for (double v : values) {
-        if (!std::isfinite(v))
-            continue;
-        if (!saw_finite) {
-            min_value = max_value = v;
-            saw_finite = true;
-        }
-        max_value = std::max(max_value, v);
-        min_value = std::min(min_value, v);
-    }
+    std::size_t finite_count = 0;
+    simd::minMaxFinite(values, min_value, max_value, finite_count);
     max_value = std::max(max_value, 0.0);
 
     // The paper's true-zero rule: when the series minimum is zero and

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -41,11 +43,9 @@ scanCandidate(const FeatureBinner &binner, std::size_t feature,
     std::vector<std::size_t> bin_count(bins, 0);
     const std::span<const std::uint8_t> bin_col =
         binner.binColumn(feature);
-    for (std::size_t r : rows) {
-        const std::uint8_t b = bin_col[r];
-        bin_sum[b] += targets[r];
-        ++bin_count[b];
-    }
+    // Order-preserving SIMD histogram fill: bit-identical to the naive
+    // scatter loop at every dispatch level.
+    simd::splitScanHistogram(bin_col, targets, rows, bin_sum, bin_count);
     double left_sum = 0.0;
     std::size_t left_count = 0;
     for (std::size_t b = 0; b + 1 < bins; ++b) {
@@ -107,14 +107,7 @@ FeatureBinner::FeatureBinner(const DatasetView &data, std::size_t max_bins)
         edges_[f] = std::move(edges);
 
         bins_[f].resize(values.size());
-        for (std::size_t r = 0; r < values.size(); ++r) {
-            const auto it = std::lower_bound(edges_[f].begin(),
-                                             edges_[f].end(), values[r]);
-            const std::size_t bin = std::min(
-                static_cast<std::size_t>(it - edges_[f].begin()),
-                edges_[f].size() - 1);
-            bins_[f][r] = static_cast<std::uint8_t>(bin);
-        }
+        simd::lowerBoundBins(values, edges_[f], bins_[f]);
     }
 }
 
@@ -136,7 +129,12 @@ FeatureBinner::bin(std::size_t feature, std::size_t row) const
 std::span<const std::uint8_t>
 FeatureBinner::binColumn(std::size_t feature) const
 {
-    CM_ASSERT(feature < bins_.size());
+    if (feature >= bins_.size()) {
+        cminer::util::fatal(
+            "FeatureBinner::binColumn: feature index " +
+            std::to_string(feature) + " out of range (binner holds " +
+            std::to_string(bins_.size()) + " features)");
+    }
     return bins_[feature];
 }
 

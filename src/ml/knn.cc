@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -40,12 +41,9 @@ KnnRegressor::predict(std::span<const double> features) const
     std::vector<std::pair<double, std::size_t>> dist_row;
     dist_row.reserve(trainY_.size());
     for (std::size_t r = 0; r < trainY_.size(); ++r) {
-        const double *train_row = trainX_.data() + r * dim_;
-        double d2 = 0.0;
-        for (std::size_t f = 0; f < features.size(); ++f) {
-            const double d = features[f] - train_row[f];
-            d2 += d * d;
-        }
+        const double d2 = simd::squaredDistance(
+            features, std::span<const double>(
+                          trainX_.data() + r * dim_, dim_));
         dist_row.emplace_back(d2, r);
     }
     const std::size_t k = std::min(k_, dist_row.size());

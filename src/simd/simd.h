@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the pipeline's hot loops
+ * (DESIGN.md §13).
+ *
+ * Every kernel exists at three dispatch levels — scalar, SSE2, AVX2 —
+ * selected once per process by a CPUID probe and overridable with
+ * `CMINER_SIMD=scalar|sse2|avx2` (or simd::setLevel from tests). The
+ * scalar implementation is always compiled in and is the reference the
+ * differential harness (tests/simd_kernel_test.cc) compares the wide
+ * variants against.
+ *
+ * Exactness tiers (the contract every implementation must honor):
+ *
+ *  - **sequential-exact**: bit-identical to the naive element-order
+ *    scalar loop the kernel replaced, so the hexfloat pipeline goldens
+ *    survive. Kernels: dtwRowUpdate, windowMinMax, minMaxFinite,
+ *    countLessEqual, lowerBoundBins, equiWidthBins,
+ *    splitScanHistogram. (min/max kernels are value-exact; the sign of
+ *    a zero result is unspecified when +0.0 and -0.0 are both present.)
+ *
+ *  - **blocked-reduction**: reductions use the fixed four-lane block
+ *    schedule below. The result is bit-identical *across dispatch
+ *    levels* (the schedule is a function of the length only, never of
+ *    the instruction set) but differs from a naive left-fold by
+ *    rounding. Kernels: sum, sumSquares, squaredDistance, lbKeoghSum.
+ *    These are only wired into paths outside the golden pipeline.
+ *    One carve-out for both tiers: when a reduction's result is NaN
+ *    (a NaN input, or Inf - Inf), every level returns a quiet NaN but
+ *    its payload and sign are unspecified — IEEE leaves the surviving
+ *    payload of NaN + NaN to operand order, which compilers are free
+ *    to commute per translation unit.
+ *
+ * The four-lane block schedule: lane l accumulates elements
+ * x[4i + l] in index order; lanes combine as (l0 + l1) + (l2 + l3);
+ * the n % 4 tail elements are then added sequentially. SSE2 models
+ * lanes {0,1} and {2,3} as two 128-bit registers, AVX2 as one 256-bit
+ * register, and the scalar fallback as four named accumulators — all
+ * three perform the same additions in the same order.
+ */
+
+#ifndef CMINER_SIMD_SIMD_H
+#define CMINER_SIMD_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace cminer::simd {
+
+/** Instruction-set tiers the kernel layer dispatches over. */
+enum class Level : int
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/** Stable lowercase name ("scalar", "sse2", "avx2"). */
+const char *levelName(Level level);
+
+/** Parse a level name as accepted by CMINER_SIMD; nullopt when unknown. */
+std::optional<Level> parseLevelName(std::string_view name);
+
+/**
+ * Best level this binary can run on this machine: the CPUID probe
+ * intersected with what the compiler could build. Never changes during
+ * a process lifetime.
+ */
+Level detectedLevel();
+
+/**
+ * The level kernels currently dispatch to. Resolution order: the last
+ * setLevel() call, else CMINER_SIMD (clamped to detectedLevel, with a
+ * warning on unknown names), else detectedLevel().
+ */
+Level activeLevel();
+
+/**
+ * Force a dispatch level, clamped to detectedLevel(). Intended for the
+ * differential tests and benchmarks; call only while no kernel is
+ * concurrently executing (the pipeline reads the level per call).
+ */
+void setLevel(Level level);
+
+/** Every level that can run here, ascending: Scalar .. detectedLevel(). */
+std::vector<Level> availableLevels();
+
+// --- blocked-reduction tier ----------------------------------------------
+
+/** Sum of a span under the four-lane block schedule. 0.0 when empty. */
+double sum(std::span<const double> values);
+
+/** Sum of squares under the four-lane block schedule. 0.0 when empty. */
+double sumSquares(std::span<const double> values);
+
+/**
+ * Squared Euclidean distance sum((a-b)^2) under the four-lane block
+ * schedule. Spans must be the same length.
+ */
+double squaredDistance(std::span<const double> a,
+                       std::span<const double> b);
+
+/**
+ * LB_Keogh envelope deviation: sum over i of
+ * (c[i] > upper[i] ? c[i]-upper[i] : c[i] < lower[i] ? lower[i]-c[i] : 0)
+ * under the four-lane block schedule. Spans must be the same length.
+ */
+double lbKeoghSum(std::span<const double> lower,
+                  std::span<const double> upper,
+                  std::span<const double> candidate);
+
+// --- sequential-exact tier -----------------------------------------------
+
+/**
+ * One banded-DTW row update (the dtwDistance inner loop), bit-identical
+ * to the classic three-way recurrence:
+ *   curr[j] = |a_i - b[j]| + min(prev[j], curr[j-1], prev[j-1])
+ * with out-of-range predecessors treated as +inf and cell (0, 0)
+ * seeded with 0. Cells of `curr` outside [j_lo, j_hi) must already
+ * hold +inf (the caller re-fills the row); `prev` holds row i-1 with
+ * +inf outside its band.
+ *
+ * @param a_i value of series a at row i
+ * @param b whole second series
+ * @param prev previous DP row (ignored when first_row)
+ * @param curr row being computed; written on [j_lo, j_hi)
+ * @param j_lo first band column (inclusive)
+ * @param j_hi last band column (exclusive)
+ * @param first_row true when i == 0
+ * @param scratch workspace of at least b.size() doubles
+ */
+void dtwRowUpdate(double a_i, std::span<const double> b,
+                  std::span<const double> prev, std::span<double> curr,
+                  std::size_t j_lo, std::size_t j_hi, bool first_row,
+                  std::span<double> scratch);
+
+/**
+ * Min and max of a non-empty span of finite values (value-exact;
+ * zero-sign unspecified). Used by the envelope computation.
+ */
+void windowMinMax(std::span<const double> values, double &min_out,
+                  double &max_out);
+
+/**
+ * Min/max over the finite subset of a span, plus the finite count.
+ * When no value is finite, outputs are 0.0/0.0/0. Value-exact;
+ * zero-sign unspecified. Used by the cleaner's range pass.
+ */
+void minMaxFinite(std::span<const double> values, double &min_out,
+                  double &max_out, std::size_t &finite_count);
+
+/**
+ * Number of elements <= threshold (NaN compares false, exactly like
+ * the scalar loop). Drives the cleaner's Eq.-6 coverage scan.
+ */
+std::size_t countLessEqual(std::span<const double> values,
+                           double threshold);
+
+/**
+ * Quantile-bin assignment: for each value, the index of the first edge
+ * >= value (std::lower_bound semantics over the sorted `edges`),
+ * clamped to edges.size() - 1. Exact (integer output). Requires
+ * edges.size() in [1, 255].
+ */
+void lowerBoundBins(std::span<const double> values,
+                    std::span<const double> edges,
+                    std::span<std::uint8_t> bins_out);
+
+/**
+ * Equi-width bin assignment matching stats::Histogram::binIndex:
+ * 0 when width <= 0 or value <= low; bin_count-1 when value >= high;
+ * else min(floor((value - low) / width), bin_count - 1). Exact.
+ */
+void equiWidthBins(std::span<const double> values, double low,
+                   double high, double width, std::size_t bin_count,
+                   std::span<std::uint32_t> bins_out);
+
+/**
+ * The GBRT split scan's histogram fill: for each row r (in order),
+ *   bin_sum[bin_col[r]] += targets[r]; ++bin_count[bin_col[r]].
+ * Per-bin addition order is row order, so the result is bit-identical
+ * to the naive loop at every dispatch level. Every level currently
+ * shares the sequential implementation: the fill is scatter-bound, the
+ * per-bin left-folds are inherently serial, and out-of-order execution
+ * already interleaves the independent bins — a staged/bucketed AVX2
+ * variant measured ~2x *slower* (BM_SplitScan pins the parity; see
+ * DESIGN.md §13). The kernel stays in the dispatch table so an ISA
+ * with real scatter support (AVX-512) can specialize it later. A bin
+ * whose sum is NaN carries an unspecified payload/sign (see the tier
+ * notes above).
+ *
+ * bin_sum / bin_count must be zero-initialized by the caller and at
+ * least as large as the largest bin index + 1.
+ *
+ * @param bin_col per-dataset-row bin index (one feature's bin column)
+ * @param targets per-dataset-row regression targets
+ * @param rows dataset-row indices to accumulate, in order
+ */
+void splitScanHistogram(std::span<const std::uint8_t> bin_col,
+                        std::span<const double> targets,
+                        std::span<const std::size_t> rows,
+                        std::span<double> bin_sum,
+                        std::span<std::size_t> bin_count);
+
+namespace detail {
+
+/** Function-pointer table one dispatch level exports. */
+struct KernelTable
+{
+    double (*sum)(std::span<const double>);
+    double (*sumSquares)(std::span<const double>);
+    double (*squaredDistance)(std::span<const double>,
+                              std::span<const double>);
+    double (*lbKeoghSum)(std::span<const double>,
+                         std::span<const double>,
+                         std::span<const double>);
+    void (*dtwRowUpdate)(double, std::span<const double>,
+                         std::span<const double>, std::span<double>,
+                         std::size_t, std::size_t, bool,
+                         std::span<double>);
+    void (*windowMinMax)(std::span<const double>, double &, double &);
+    void (*minMaxFinite)(std::span<const double>, double &, double &,
+                         std::size_t &);
+    std::size_t (*countLessEqual)(std::span<const double>, double);
+    void (*lowerBoundBins)(std::span<const double>,
+                           std::span<const double>,
+                           std::span<std::uint8_t>);
+    void (*equiWidthBins)(std::span<const double>, double, double,
+                          double, std::size_t, std::span<std::uint32_t>);
+    void (*splitScanHistogram)(std::span<const std::uint8_t>,
+                               std::span<const double>,
+                               std::span<const std::size_t>,
+                               std::span<double>,
+                               std::span<std::size_t>);
+};
+
+/** The scalar reference table (always available). */
+const KernelTable &scalarTable();
+/** The SSE2 table; null when this binary cannot run SSE2. */
+const KernelTable *sse2Table();
+/** The AVX2 table; null when this binary cannot run AVX2. */
+const KernelTable *avx2Table();
+
+} // namespace detail
+
+} // namespace cminer::simd
+
+#endif // CMINER_SIMD_SIMD_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace cminer::stats {
@@ -165,11 +166,7 @@ fractionWithin(std::span<const double> values, double threshold)
 {
     if (values.empty())
         return 1.0;
-    std::size_t inside = 0;
-    for (double v : values) {
-        if (v <= threshold)
-            ++inside;
-    }
+    const std::size_t inside = simd::countLessEqual(values, threshold);
     return static_cast<double>(inside) / static_cast<double>(values.size());
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace cminer::ts {
@@ -36,9 +37,13 @@ dtwDistance(std::span<const double> a, std::span<const double> b,
     const std::size_t band = bandHalfWidth(n, m, options.bandFraction);
 
     // Two-row dynamic program; rows indexed by i over a, columns by j
-    // over b. prev[j] = D(i-1, j), curr[j] = D(i, j).
+    // over b. prev[j] = D(i-1, j), curr[j] = D(i, j). The inner row
+    // update runs on the SIMD layer's dtwRowUpdate, which is
+    // bit-identical to the classic three-way recurrence at every
+    // dispatch level.
     std::vector<double> prev(m, infinity);
     std::vector<double> curr(m, infinity);
+    std::vector<double> scratch(m);
 
     for (std::size_t i = 0; i < n; ++i) {
         std::fill(curr.begin(), curr.end(), infinity);
@@ -50,22 +55,8 @@ dtwDistance(std::span<const double> a, std::span<const double> b,
             ? static_cast<std::size_t>(center) - band : 0;
         const std::size_t j_hi =
             std::min(m, static_cast<std::size_t>(center) + band + 1);
-        for (std::size_t j = j_lo; j < j_hi; ++j) {
-            const double cost = std::abs(a[i] - b[j]);
-            double best;
-            if (i == 0 && j == 0) {
-                best = 0.0;
-            } else {
-                best = infinity;
-                if (i > 0)
-                    best = std::min(best, prev[j]);          // insertion
-                if (j > 0)
-                    best = std::min(best, curr[j - 1]);      // deletion
-                if (i > 0 && j > 0)
-                    best = std::min(best, prev[j - 1]);      // match
-            }
-            curr[j] = cost + best;
-        }
+        simd::dtwRowUpdate(a[i], b, prev, curr, j_lo, j_hi, i == 0,
+                           scratch);
         std::swap(prev, curr);
     }
 

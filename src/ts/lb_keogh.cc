@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "ts/dtw.h"
 #include "ts/resample.h"
@@ -22,14 +24,8 @@ computeEnvelope(std::span<const double> values, std::size_t radius)
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t lo = i > radius ? i - radius : 0;
         const std::size_t hi = std::min(n - 1, i + radius);
-        double upper = values[lo];
-        double lower = values[lo];
-        for (std::size_t j = lo + 1; j <= hi; ++j) {
-            upper = std::max(upper, values[j]);
-            lower = std::min(lower, values[j]);
-        }
-        env.upper[i] = upper;
-        env.lower[i] = lower;
+        simd::windowMinMax(values.subspan(lo, hi - lo + 1), env.lower[i],
+                           env.upper[i]);
     }
     return env;
 }
@@ -38,14 +34,32 @@ double
 lbKeogh(const Envelope &envelope, std::span<const double> candidate)
 {
     CM_ASSERT(envelope.upper.size() == candidate.size());
-    double bound = 0.0;
-    for (std::size_t i = 0; i < candidate.size(); ++i) {
-        if (candidate[i] > envelope.upper[i])
-            bound += candidate[i] - envelope.upper[i];
-        else if (candidate[i] < envelope.lower[i])
-            bound += envelope.lower[i] - candidate[i];
+    CM_ASSERT(envelope.lower.size() == candidate.size());
+    return simd::lbKeoghSum(envelope.lower, envelope.upper, candidate);
+}
+
+util::StatusOr<double>
+lbKeoghChecked(const Envelope &envelope, std::span<const double> candidate)
+{
+    if (envelope.upper.size() != candidate.size() ||
+        envelope.lower.size() != candidate.size()) {
+        return util::Status::dataError(
+            "lbKeogh: envelope sizes (upper " +
+            std::to_string(envelope.upper.size()) + ", lower " +
+            std::to_string(envelope.lower.size()) +
+            ") do not match candidate length " +
+            std::to_string(candidate.size()));
     }
-    return bound;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+        if (!(envelope.lower[i] <= envelope.upper[i])) {
+            return util::Status::dataError(
+                "lbKeogh: envelope inverted at index " +
+                std::to_string(i) + " (lower " +
+                std::to_string(envelope.lower[i]) + " > upper " +
+                std::to_string(envelope.upper[i]) + ")");
+        }
+    }
+    return simd::lbKeoghSum(envelope.lower, envelope.upper, candidate);
 }
 
 NearestResult

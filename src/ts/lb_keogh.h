@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ts/time_series.h"
+#include "util/status.h"
 
 namespace cminer::ts {
 
@@ -50,6 +51,16 @@ Envelope computeEnvelope(std::span<const double> values,
  */
 double lbKeogh(const Envelope &envelope,
                std::span<const double> candidate);
+
+/**
+ * Validating variant of lbKeogh for untrusted envelopes: checks that
+ * both envelope sides match the candidate length and that
+ * lower[i] <= upper[i] everywhere, returning a data error instead of
+ * asserting. Use this when the envelope comes from external data
+ * rather than computeEnvelope.
+ */
+util::StatusOr<double> lbKeoghChecked(const Envelope &envelope,
+                                      std::span<const double> candidate);
 
 /**
  * Nearest-neighbor search under DTW accelerated by LB_Keogh.

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "ts/dtw.h"
+#include "ts/lb_keogh.h"
 #include "ts/resample.h"
 #include "ts/time_series.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace {
 
@@ -225,6 +227,104 @@ TEST_P(DtwStretchProperty, StretchInvariance)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DtwStretchProperty,
                          ::testing::Values(1, 2, 3, 5));
+
+// --- DTW / LB_Keogh edge cases ---------------------------------------
+
+TEST(DtwEdge, EmptySeriesPanics)
+{
+    const std::vector<double> empty;
+    const std::vector<double> some = {1.0, 2.0};
+    EXPECT_DEATH(dtwDistance(empty, some), "assertion failed");
+    EXPECT_DEATH(dtwDistance(some, empty), "assertion failed");
+}
+
+TEST(DtwEdge, LengthOneBothSeries)
+{
+    const std::vector<double> a = {5.0};
+    const std::vector<double> b = {3.0};
+    EXPECT_DOUBLE_EQ(dtwDistance(a, b), 2.0);
+    const DtwResult aligned = dtwAlign(a, b);
+    ASSERT_EQ(aligned.path.size(), 1u);
+    EXPECT_DOUBLE_EQ(aligned.distance, 2.0);
+}
+
+TEST(DtwEdge, BandNarrowerThanLengthDifferenceStillAdmitsAPath)
+{
+    // The requested band (ceil(0.01 * 60) = 1) is far narrower than the
+    // length difference of 56; bandHalfWidth must widen it or no
+    // monotone path exists and the DP would end at +inf.
+    std::vector<double> a(4, 2.0);
+    std::vector<double> b(60, 2.0);
+    DtwOptions narrow;
+    narrow.bandFraction = 0.01;
+    const double d = dtwDistance(a, b, narrow);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(LbKeoghEdge, ConstantSeriesHasZeroVarianceEnvelope)
+{
+    const std::vector<double> flat(16, 3.5);
+    const Envelope env = computeEnvelope(flat, 4);
+    ASSERT_EQ(env.lower.size(), flat.size());
+    ASSERT_EQ(env.upper.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        EXPECT_DOUBLE_EQ(env.lower[i], 3.5);
+        EXPECT_DOUBLE_EQ(env.upper[i], 3.5);
+    }
+    // A degenerate envelope still bounds correctly: the deviation of a
+    // shifted constant is per-point distance, matching DTW exactly.
+    const std::vector<double> shifted(16, 5.0);
+    EXPECT_DOUBLE_EQ(lbKeogh(env, flat), 0.0);
+    EXPECT_DOUBLE_EQ(lbKeogh(env, shifted), 16 * 1.5);
+    EXPECT_LE(lbKeogh(env, shifted), dtwDistance(flat, shifted));
+}
+
+TEST(LbKeoghEdge, LengthOneSeries)
+{
+    const std::vector<double> point = {2.0};
+    const Envelope env = computeEnvelope(point, 3);
+    ASSERT_EQ(env.lower.size(), 1u);
+    EXPECT_DOUBLE_EQ(env.lower[0], 2.0);
+    EXPECT_DOUBLE_EQ(env.upper[0], 2.0);
+    const std::vector<double> candidate = {-1.0};
+    EXPECT_DOUBLE_EQ(lbKeogh(env, candidate), 3.0);
+}
+
+TEST(LbKeoghEdge, CheckedRejectsSizeMismatch)
+{
+    const std::vector<double> query = {1.0, 2.0, 3.0};
+    const Envelope env = computeEnvelope(query, 1);
+    const std::vector<double> shorter = {1.0, 2.0};
+    const auto result = lbKeoghChecked(env, shorter);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), cminer::util::StatusCode::DataError);
+}
+
+TEST(LbKeoghEdge, CheckedRejectsInvertedEnvelope)
+{
+    Envelope env;
+    env.lower = {0.0, 5.0};
+    env.upper = {1.0, 4.0}; // inverted at index 1
+    const std::vector<double> candidate = {0.5, 4.5};
+    const auto result = lbKeoghChecked(env, candidate);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), cminer::util::StatusCode::DataError);
+}
+
+TEST(LbKeoghEdge, CheckedMatchesUncheckedOnValidInput)
+{
+    Rng rng(7);
+    std::vector<double> query, candidate;
+    for (int i = 0; i < 64; ++i) {
+        query.push_back(rng.gaussian());
+        candidate.push_back(rng.gaussian());
+    }
+    const Envelope env = computeEnvelope(query, 5);
+    const auto checked = lbKeoghChecked(env, candidate);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_DOUBLE_EQ(checked.value(), lbKeogh(env, candidate));
+}
 
 // --- resample ---------------------------------------------------------
 
