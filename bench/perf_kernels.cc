@@ -14,9 +14,12 @@
 
 #include "common.h"
 #include "ml/dataset_view.h"
+#include "core/checkpoint.h"
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
 #include "ml/model_io.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "simd/simd.h"
 #include "stats/anderson_darling.h"
 #include "ts/dtw.h"
@@ -635,5 +638,119 @@ BM_CounterEnabled(benchmark::State &state)
     util::setGlobalMetrics(nullptr);
 }
 BENCHMARK(BM_CounterEnabled);
+
+// --- serving wire protocol -----------------------------------------------
+// The serve daemon decodes one frame per request on the accept loop
+// thread; encode/decode cost bounds per-connection throughput before
+// batching even starts (DESIGN.md §14).
+
+/** A predict payload with `rows` rows over 16 events. */
+std::string
+makePredictPayload(std::size_t rows)
+{
+    serve::PredictRequest request;
+    request.id = 1;
+    request.model = "bench";
+    for (int e = 0; e < 16; ++e)
+        request.events.push_back("EVT_" + std::to_string(e));
+    request.rowCount = rows;
+    request.values.resize(rows * request.events.size());
+    util::Rng rng(11);
+    for (auto &v : request.values)
+        v = rng.uniform();
+    return serve::encodeRequest(serve::Request(std::move(request)));
+}
+
+void
+BM_ServeEncodePredict(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    serve::PredictRequest request;
+    request.id = 1;
+    request.model = "bench";
+    for (int e = 0; e < 16; ++e)
+        request.events.push_back("EVT_" + std::to_string(e));
+    request.rowCount = rows;
+    request.values.assign(rows * request.events.size(), 1.5);
+    const serve::Request wrapped(std::move(request));
+    for (auto _ : state) {
+        auto payload = serve::encodeRequest(wrapped);
+        benchmark::DoNotOptimize(payload.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * rows * 16 *
+                                  sizeof(double)));
+}
+BENCHMARK(BM_ServeEncodePredict)->Arg(1)->Arg(64)->Arg(1024);
+
+void
+BM_ServeDecodePredict(benchmark::State &state)
+{
+    const auto payload =
+        makePredictPayload(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto decoded = serve::decodeRequest(payload);
+        benchmark::DoNotOptimize(decoded.ok());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * payload.size()));
+}
+BENCHMARK(BM_ServeDecodePredict)->Arg(1)->Arg(64)->Arg(1024);
+
+// Admission -> batch -> score -> respond for single-row requests, the
+// worst case for batching overhead: how much daemon machinery costs on
+// top of the bare Gbrt::predictAll the CLI path uses.
+void
+BM_ServeBatchPipeline(benchmark::State &state)
+{
+    const std::size_t burst = static_cast<std::size_t>(state.range(0));
+    ml::Dataset data = gbrtBenchData(16, 256);
+    ml::GbrtParams params;
+    params.treeCount = 50;
+    ml::Gbrt model(params);
+    util::Rng rng(21);
+    model.fit(data, rng);
+
+    core::MapmArtifact artifact;
+    artifact.benchmark = "bench";
+    artifact.microarch = "haswell-e";
+    artifact.events = data.featureNames();
+    artifact.model = std::move(model);
+
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    options.queueCap = burst;
+    options.maxBatchRows = burst;
+    serve::Server server(options);
+    server.registerModel("bench", std::move(artifact));
+
+    std::vector<std::string> payloads;
+    for (std::size_t i = 0; i < burst; ++i) {
+        serve::PredictRequest request;
+        request.id = i + 1;
+        request.model = "bench";
+        request.events = data.featureNames();
+        request.rowCount = 1;
+        request.values = ml::DatasetView(data).row(i % data.rowCount());
+        payloads.push_back(
+            serve::encodeRequest(serve::Request(std::move(request))));
+    }
+
+    std::size_t responses = 0;
+    for (auto _ : state) {
+        for (const auto &payload : payloads)
+            server.submitFrame(payload, [&responses](std::string r) {
+                ++responses;
+                benchmark::DoNotOptimize(r.data());
+            });
+        while (server.runBatchOnce() > 0) {
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * burst));
+    if (responses != state.iterations() * burst)
+        state.SkipWithError("response count mismatch");
+}
+BENCHMARK(BM_ServeBatchPipeline)->Arg(16)->Arg(256)->UseRealTime();
 
 } // namespace

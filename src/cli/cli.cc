@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -13,6 +14,9 @@
 #include "core/perf_text.h"
 #include "core/report_export.h"
 #include "ml/metrics.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
 #include "pmu/event.h"
 #include "store/database.h"
 #include "store/query.h"
@@ -81,7 +85,7 @@ bool
 isBooleanFlag(const std::string &name)
 {
     return name == "skip-cleaning" || name == "lenient" ||
-           name == "help";
+           name == "pipe" || name == "help";
 }
 
 Flags
@@ -631,6 +635,121 @@ cmdStats(const Flags &flags, std::string &output)
     return 0;
 }
 
+int
+cmdServe(const Flags &flags, std::string &output)
+{
+    serve::ServerOptions options;
+    options.queueCap =
+        static_cast<std::size_t>(flags.getInt("queue-cap", 64));
+    options.maxBatchRows =
+        static_cast<std::size_t>(flags.getInt("batch-rows", 256));
+    options.batchWindowMs = flags.getDouble("batch-window-ms", 0.5);
+    options.defaultDeadlineMs = flags.getDouble("deadline-ms", 0.0);
+    options.mineQueueCap =
+        static_cast<std::size_t>(flags.getInt("mine-queue-cap", 1));
+
+    serve::Server server(options);
+
+    // Checkpoints load once, up front; the request path never touches
+    // disk. --model takes a comma-separated list of `path` or
+    // `name=path` entries.
+    for (const auto &entry :
+         util::split(flags.get("model", ""), ',')) {
+        if (entry.empty())
+            continue;
+        std::string name;
+        std::string path = entry;
+        const auto eq = entry.find('=');
+        if (eq != std::string::npos) {
+            name = entry.substr(0, eq);
+            path = entry.substr(eq + 1);
+        }
+        server.loadModel(name, path).throwIfError();
+    }
+    if (server.modelNames().empty() && !flags.has("allow-empty"))
+        util::fatal("serve requires --model FILE[,NAME=FILE...] (a "
+                    "checkpoint written by 'mapm --model-out'); pass "
+                    "--allow-empty to start with mining only");
+
+    if (flags.has("socket")) {
+        serve::SocketServer listener(server,
+                                     flags.get("socket", ""));
+        listener.listen().throwIfError();
+        listener.serveForever().throwIfError();
+        const auto counts = server.counters();
+        output += util::format(
+            "served %zu connections: %llu ok, %llu shed, %llu "
+            "deadline-missed\n",
+            listener.connectionCount(),
+            static_cast<unsigned long long>(counts.completed),
+            static_cast<unsigned long long>(counts.shed),
+            static_cast<unsigned long long>(counts.deadlineMissed));
+        return 0;
+    }
+
+    // Pipe mode: frames in on stdin (or --in FILE), frames out on
+    // stdout (or --out FILE). One connection, then exit — the
+    // deterministic transport the tests and load generator drive.
+    if (!flags.has("pipe") && !flags.has("in"))
+        util::fatal("serve expects --socket PATH, --pipe, or "
+                    "--in FILE --out FILE");
+    std::ifstream file_in;
+    std::ofstream file_out;
+    if (flags.has("in")) {
+        file_in.open(flags.get("in", ""), std::ios::binary);
+        if (!file_in)
+            util::fatal("cannot read " + flags.get("in", ""));
+    }
+    if (flags.has("out")) {
+        file_out.open(flags.get("out", ""), std::ios::binary);
+        if (!file_out)
+            util::fatal("cannot write " + flags.get("out", ""));
+    }
+    std::istream &in = flags.has("in") ? file_in : std::cin;
+    std::ostream &out = flags.has("out")
+                            ? static_cast<std::ostream &>(file_out)
+                            : std::cout;
+
+    serve::StreamFrameSource plain_source(in);
+    serve::StreamFrameSink plain_sink(out);
+    serve::FrameSource *source = &plain_source;
+    serve::FrameSink *sink = &plain_sink;
+
+    // Deterministic transport damage for hardening runs: the same
+    // seeded injector that corrupts perf text deals torn frames,
+    // hangups, and latency here.
+    std::optional<util::FaultInjector> injector;
+    std::optional<serve::FaultyFrameSource> faulty_source;
+    std::optional<serve::FaultyStreamFrameSink> faulty_sink;
+    util::SleepingClock sleeper;
+    if (flags.has("inject-faults")) {
+        auto spec = util::parseFaultSpec(flags.get("inject-faults", ""));
+        spec.status().throwIfError();
+        injector.emplace(spec.value());
+        faulty_source.emplace(plain_source, *injector, &sleeper);
+        faulty_sink.emplace(out, *injector, &sleeper);
+        source = &*faulty_source;
+        sink = &*faulty_sink;
+    }
+
+    const auto result = serveConnection(server, *source, *sink);
+    server.drain();
+
+    const auto counts = server.counters();
+    output += util::format(
+        "served %zu frames: %llu ok, %llu shed, %llu deadline-missed, "
+        "%llu failed\n",
+        result.framesRead,
+        static_cast<unsigned long long>(counts.completed),
+        static_cast<unsigned long long>(counts.shed),
+        static_cast<unsigned long long>(counts.deadlineMissed),
+        static_cast<unsigned long long>(counts.failed));
+    if (!result.transportStatus.ok())
+        output += "transport: " + result.transportStatus.toString() +
+                  "\n";
+    return 0;
+}
+
 } // namespace
 
 std::string
@@ -658,6 +777,15 @@ usage()
            "  error <benchmark> [--seed S]    quick MLPX-error check\n"
            "  stats [metrics.json]            pretty-print an exported\n"
            "                metrics file (default: cminer-metrics.json)\n"
+           "  serve --model FILE[,NAME=FILE...]\n"
+           "        (--socket PATH | --pipe | --in FILE --out FILE)\n"
+           "        [--queue-cap N] [--batch-rows N] [--deadline-ms D]\n"
+           "        [--batch-window-ms D] [--mine-queue-cap N]\n"
+           "        [--inject-faults SPEC]\n"
+           "                                  deadline-aware serving\n"
+           "                daemon: batches concurrent predicts, sheds\n"
+           "                with CapacityError when the admission queue\n"
+           "                is full, drains cleanly on a shutdown frame\n"
            "\n"
            "global options:\n"
            "  --threads N   worker threads for the mining pipeline\n"
@@ -730,6 +858,8 @@ run(const std::vector<std::string> &args, std::string &output)
             return finish(cmdError(flags, output));
         if (command == "stats")
             return finish(cmdStats(flags, output));
+        if (command == "serve")
+            return finish(cmdServe(flags, output));
         output += "unknown command '" + command + "'\n" + usage();
         return 1;
     } catch (const util::FatalError &e) {

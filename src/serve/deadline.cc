@@ -1,0 +1,39 @@
+#include "serve/deadline.h"
+
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace cminer::serve {
+
+Deadline
+Deadline::after(cminer::util::TraceClock &clock, double budget_ms)
+{
+    return Deadline(&clock, clock.nowMs() + budget_ms);
+}
+
+double
+Deadline::remainingMs() const
+{
+    if (clock_ == nullptr)
+        return std::numeric_limits<double>::infinity();
+    return deadlineMs_ - clock_->nowMs();
+}
+
+bool
+Deadline::expired() const
+{
+    return remainingMs() <= 0.0;
+}
+
+cminer::util::Status
+Deadline::check(const char *stage) const
+{
+    const double remaining = remainingMs();
+    if (remaining > 0.0)
+        return cminer::util::Status::okStatus();
+    return cminer::util::Status::deadlineExceeded(cminer::util::format(
+        "%s: deadline exceeded by %.3fms", stage, -remaining));
+}
+
+} // namespace cminer::serve

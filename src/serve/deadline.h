@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-request deadline propagation for the serving layer.
+ *
+ * A Deadline is a cheap copyable handle on "this work is worthless
+ * after instant T". The serving pipeline threads one handle through
+ * every stage a request crosses — admission, dequeue, scoring,
+ * response — and each stage calls check() before spending effort, so a
+ * request that can no longer make its deadline is dropped at the
+ * earliest stage that notices instead of consuming batch capacity and
+ * then being thrown away (DESIGN.md §14).
+ *
+ * The time source is an injectable util::TraceClock, the same pattern
+ * as the tracer and the retry clock: tests drive a ManualClock and
+ * assert exact expiry behavior with zero wall-clock dependence.
+ */
+
+#ifndef CMINER_SERVE_DEADLINE_H
+#define CMINER_SERVE_DEADLINE_H
+
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace cminer::serve {
+
+/**
+ * An absolute expiry instant against an injectable clock, or the
+ * unlimited deadline (default), which never expires.
+ */
+class Deadline
+{
+  public:
+    /** The unlimited deadline: never expires, remaining is +inf. */
+    Deadline() = default;
+
+    /**
+     * A deadline `budget_ms` from now on `clock`. The clock must
+     * outlive every copy of the handle (the server owns its clock for
+     * exactly this reason). A non-positive budget is already expired.
+     */
+    static Deadline after(cminer::util::TraceClock &clock,
+                          double budget_ms);
+
+    /** Same as default construction; reads as intent at call sites. */
+    static Deadline unlimited() { return Deadline(); }
+
+    /** True when this handle can never expire. */
+    bool isUnlimited() const { return clock_ == nullptr; }
+
+    /** Milliseconds until expiry (negative once past; +inf unlimited). */
+    double remainingMs() const;
+
+    /** True once the clock has reached the expiry instant. */
+    bool expired() const;
+
+    /**
+     * Gate one pipeline stage: Ok while time remains, else a
+     * DeadlineExceeded status naming the stage and the overshoot —
+     * `check("dequeue")` -> "dequeue: deadline exceeded by 12.5ms".
+     */
+    cminer::util::Status check(const char *stage) const;
+
+  private:
+    Deadline(cminer::util::TraceClock *clock, double deadline_ms)
+        : clock_(clock), deadlineMs_(deadline_ms)
+    {}
+
+    /** Null for the unlimited deadline. */
+    cminer::util::TraceClock *clock_ = nullptr;
+    /** Expiry instant in the clock's epoch. */
+    double deadlineMs_ = 0.0;
+};
+
+} // namespace cminer::serve
+
+#endif // CMINER_SERVE_DEADLINE_H

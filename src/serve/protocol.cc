@@ -1,0 +1,400 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace cminer::serve {
+
+namespace util = cminer::util;
+
+namespace {
+
+// ---- little-endian append helpers (the writer side of the bounded
+// reader in util/binary_io.h, without the container header) ----------
+
+void
+appendU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int b = 0; b < 4; ++b)
+        out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int b = 0; b < 8; ++b)
+        out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+
+void
+appendF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(out, bits);
+}
+
+void
+appendStr(std::string &out, std::string_view s)
+{
+    appendU64(out, s.size());
+    out.append(s.data(), s.size());
+}
+
+/** Wire value of a status code (stable; never reorder). */
+std::uint8_t
+wireCode(util::StatusCode code)
+{
+    return static_cast<std::uint8_t>(code);
+}
+
+/** Highest valid wire status code. */
+constexpr std::uint8_t max_wire_code =
+    static_cast<std::uint8_t>(util::StatusCode::DeadlineExceeded);
+
+} // namespace
+
+std::uint64_t
+requestId(const Request &request)
+{
+    return std::visit([](const auto &r) { return r.id; }, request);
+}
+
+MessageType
+requestType(const Request &request)
+{
+    struct Visitor
+    {
+        MessageType operator()(const PredictRequest &) const
+        {
+            return MessageType::Predict;
+        }
+        MessageType operator()(const StatsRequest &) const
+        {
+            return MessageType::Stats;
+        }
+        MessageType operator()(const MineRequest &) const
+        {
+            return MessageType::Mine;
+        }
+        MessageType operator()(const ShutdownRequest &) const
+        {
+            return MessageType::Shutdown;
+        }
+    };
+    return std::visit(Visitor{}, request);
+}
+
+Response
+Response::failure(MessageType type, std::uint64_t id,
+                  const util::Status &status)
+{
+    CM_ASSERT(!status.ok());
+    Response response;
+    response.type = type;
+    response.id = id;
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+}
+
+util::Status
+Response::status() const
+{
+    switch (code) {
+      case util::StatusCode::Ok:
+        return util::Status::okStatus();
+      case util::StatusCode::ParseError:
+        return util::Status::parseError(message);
+      case util::StatusCode::DataError:
+        return util::Status::dataError(message);
+      case util::StatusCode::CapacityError:
+        return util::Status::capacityError(message);
+      case util::StatusCode::Transient:
+        return util::Status::transient(message);
+      case util::StatusCode::DeadlineExceeded:
+        return util::Status::deadlineExceeded(message);
+    }
+    return util::Status::dataError("unknown status code");
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    std::string out;
+    appendU8(out, static_cast<std::uint8_t>(requestType(request)));
+    struct Visitor
+    {
+        std::string &out;
+
+        void operator()(const PredictRequest &r) const
+        {
+            appendU64(out, r.id);
+            appendF64(out, r.deadlineMs);
+            appendStr(out, r.model);
+            appendU64(out, r.events.size());
+            for (const auto &event : r.events)
+                appendStr(out, event);
+            appendU64(out, r.rowCount);
+            appendU64(out, r.values.size());
+            for (double v : r.values)
+                appendF64(out, v);
+        }
+
+        void operator()(const StatsRequest &r) const
+        {
+            appendU64(out, r.id);
+        }
+
+        void operator()(const MineRequest &r) const
+        {
+            appendU64(out, r.id);
+            appendF64(out, r.deadlineMs);
+            appendStr(out, r.benchmark);
+            appendStr(out, r.modelName);
+            appendU64(out, r.runs);
+            appendU64(out, r.minEvents);
+            appendU64(out, r.seed);
+        }
+
+        void operator()(const ShutdownRequest &r) const
+        {
+            appendU64(out, r.id);
+        }
+    };
+    std::visit(Visitor{out}, request);
+    return out;
+}
+
+util::StatusOr<Request>
+decodeRequest(std::string payload)
+{
+    auto in = util::BinaryReader::raw(std::move(payload));
+    const std::uint8_t type = in.u8();
+    const std::uint64_t id = in.u64();
+    if (!in.ok())
+        return in.status().withContext("request header");
+
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::Predict: {
+        PredictRequest r;
+        r.id = id;
+        r.deadlineMs = in.f64();
+        r.model = in.str();
+        // Each event is at least a u64 length prefix, so the declared
+        // event count is bounded by remaining/8 before any allocation.
+        const std::uint64_t event_count = in.count(8);
+        if (!in.ok())
+            return in.status().withContext("predict request");
+        if (event_count == 0)
+            return in.fail("predict request carries no events");
+        if (event_count > max_events_per_request)
+            return in.fail(util::format(
+                "predict request declares %llu events (max %zu)",
+                static_cast<unsigned long long>(event_count),
+                max_events_per_request));
+        r.events.reserve(event_count);
+        for (std::uint64_t e = 0; e < event_count; ++e)
+            r.events.push_back(in.str());
+        r.rowCount = in.u64();
+        if (!in.ok())
+            return in.status().withContext("predict request");
+        if (r.rowCount == 0)
+            return in.fail("predict request carries no rows");
+        if (r.rowCount > max_rows_per_request)
+            return in.fail(util::format(
+                "predict request declares %llu rows (max %zu)",
+                static_cast<unsigned long long>(r.rowCount),
+                max_rows_per_request));
+        const std::uint64_t value_count = in.count(sizeof(double));
+        if (!in.ok())
+            return in.status().withContext("predict request");
+        // Both factors are bounded above, so the product cannot
+        // overflow; equality pins the matrix shape to the header.
+        if (value_count != r.rowCount * event_count)
+            return in.fail(util::format(
+                "predict request value count %llu != rows %llu x "
+                "events %llu",
+                static_cast<unsigned long long>(value_count),
+                static_cast<unsigned long long>(r.rowCount),
+                static_cast<unsigned long long>(event_count)));
+        r.values = in.f64Vec(value_count);
+        if (!in.ok())
+            return in.status().withContext("predict request");
+        if (!in.atEnd())
+            return in.fail("trailing bytes after predict request");
+        return Request(std::move(r));
+      }
+      case MessageType::Stats: {
+        if (!in.atEnd())
+            return in.fail("trailing bytes after stats request");
+        return Request(StatsRequest{id});
+      }
+      case MessageType::Mine: {
+        MineRequest r;
+        r.id = id;
+        r.deadlineMs = in.f64();
+        r.benchmark = in.str();
+        r.modelName = in.str();
+        r.runs = in.u64();
+        r.minEvents = in.u64();
+        r.seed = in.u64();
+        if (!in.ok())
+            return in.status().withContext("mine request");
+        if (!in.atEnd())
+            return in.fail("trailing bytes after mine request");
+        return Request(std::move(r));
+      }
+      case MessageType::Shutdown: {
+        if (!in.atEnd())
+            return in.fail("trailing bytes after shutdown request");
+        return Request(ShutdownRequest{id});
+      }
+      case MessageType::Unknown:
+        break;
+    }
+    return util::Status::parseError(util::format(
+        "unknown request type %u", static_cast<unsigned>(type)));
+}
+
+std::string
+encodeResponse(const Response &response)
+{
+    std::string out;
+    appendU8(out, static_cast<std::uint8_t>(response.type));
+    appendU64(out, response.id);
+    appendU8(out, wireCode(response.code));
+    appendStr(out, response.message);
+    if (response.code != util::StatusCode::Ok)
+        return out;
+    switch (response.type) {
+      case MessageType::Predict:
+        appendU64(out, response.predictions.size());
+        for (double v : response.predictions)
+            appendF64(out, v);
+        break;
+      case MessageType::Stats:
+      case MessageType::Mine:
+        appendStr(out, response.text);
+        break;
+      case MessageType::Shutdown:
+      case MessageType::Unknown:
+        break;
+    }
+    return out;
+}
+
+util::StatusOr<Response>
+decodeResponse(std::string payload)
+{
+    auto in = util::BinaryReader::raw(std::move(payload));
+    Response r;
+    const std::uint8_t type = in.u8();
+    r.id = in.u64();
+    const std::uint8_t code = in.u8();
+    r.message = in.str();
+    if (!in.ok())
+        return in.status().withContext("response header");
+    if (type > static_cast<std::uint8_t>(MessageType::Shutdown))
+        return in.fail(util::format("unknown response type %u",
+                                    static_cast<unsigned>(type)));
+    if (code > max_wire_code)
+        return in.fail(util::format("unknown status code %u",
+                                    static_cast<unsigned>(code)));
+    r.type = static_cast<MessageType>(type);
+    r.code = static_cast<util::StatusCode>(code);
+    if (r.code == util::StatusCode::Ok) {
+        switch (r.type) {
+          case MessageType::Predict: {
+            const std::uint64_t n = in.count(sizeof(double));
+            if (!in.ok())
+                return in.status().withContext("predict response");
+            r.predictions = in.f64Vec(n);
+            break;
+          }
+          case MessageType::Stats:
+          case MessageType::Mine:
+            r.text = in.str();
+            break;
+          case MessageType::Shutdown:
+          case MessageType::Unknown:
+            break;
+        }
+    }
+    if (!in.ok())
+        return in.status().withContext("response body");
+    if (!in.atEnd())
+        return in.fail("trailing bytes after response");
+    return r;
+}
+
+MessageType
+peekType(std::string_view payload)
+{
+    if (payload.empty())
+        return MessageType::Unknown;
+    const auto type = static_cast<std::uint8_t>(payload.front());
+    if (type == 0 ||
+        type > static_cast<std::uint8_t>(MessageType::Shutdown))
+        return MessageType::Unknown;
+    return static_cast<MessageType>(type);
+}
+
+util::Status
+appendFrame(std::string &out, std::string_view payload)
+{
+    if (payload.size() > max_frame_bytes)
+        return util::Status::capacityError(util::format(
+            "frame payload of %zu bytes exceeds the %zu-byte frame "
+            "ceiling",
+            payload.size(), max_frame_bytes));
+    appendU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload.data(), payload.size());
+    return util::Status::okStatus();
+}
+
+util::Status
+nextFrame(std::string_view bytes, std::size_t &pos, std::string &payload,
+          bool &eof)
+{
+    payload.clear();
+    eof = false;
+    if (pos >= bytes.size()) {
+        eof = true;
+        return util::Status::okStatus();
+    }
+    if (bytes.size() - pos < 4)
+        return util::Status::dataError(util::format(
+            "torn frame header at offset %zu: %zu of 4 length bytes",
+            pos, bytes.size() - pos));
+    std::uint32_t length = 0;
+    for (int b = 0; b < 4; ++b)
+        length |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(bytes[pos + b]))
+                  << (8 * b);
+    // Validate the declared length against both the ceiling and the
+    // bytes actually present before touching payload storage.
+    if (length > max_frame_bytes)
+        return util::Status::dataError(util::format(
+            "frame at offset %zu declares %u bytes (max %zu)", pos,
+            length, max_frame_bytes));
+    if (bytes.size() - pos - 4 < length)
+        return util::Status::dataError(util::format(
+            "torn frame at offset %zu: %zu of %u payload bytes", pos,
+            bytes.size() - pos - 4, length));
+    payload.assign(bytes.data() + pos + 4, length);
+    pos += 4 + static_cast<std::size_t>(length);
+    return util::Status::okStatus();
+}
+
+} // namespace cminer::serve

@@ -1,0 +1,758 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "core/counterminer.h"
+#include "ml/dataset.h"
+#include "ml/dataset_view.h"
+#include "pmu/event.h"
+#include "store/database.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "workload/suites.h"
+
+namespace cminer::serve {
+
+namespace util = cminer::util;
+
+// ---- LatencyHistogram -----------------------------------------------
+
+double
+LatencyHistogram::edge(std::size_t index)
+{
+    // Bucket 0 tops out at 1/16 ms; each bucket doubles.
+    return std::ldexp(1.0, static_cast<int>(index) - 4);
+}
+
+void
+LatencyHistogram::record(double ms)
+{
+    if (ms < 0.0)
+        ms = 0.0;
+    std::size_t bucket = 0;
+    while (bucket + 1 < bucket_count && ms > edge(bucket))
+        ++bucket;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[bucket];
+    ++count_;
+    maxMs_ = std::max(maxMs_, ms);
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+        seen += buckets_[b];
+        if (seen >= target)
+            return edge(b);
+    }
+    return edge(bucket_count - 1);
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+LatencyHistogram::maxMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return maxMs_;
+}
+
+// ---- Server ---------------------------------------------------------
+
+Server::Server(ServerOptions options)
+    : options_(options), minePool_(1)
+{
+    if (options_.startBatcher)
+        batcher_.emplace([this] { batcherLoop(); });
+}
+
+Server::~Server()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    batchWake_.notify_all();
+    if (batcher_ && batcher_->joinable())
+        batcher_->join();
+}
+
+util::TraceClock &
+Server::clock()
+{
+    return options_.clock != nullptr ? *options_.clock : steadyClock_;
+}
+
+Deadline
+Server::makeDeadline(double request_deadline_ms)
+{
+    const double budget = request_deadline_ms > 0.0
+                              ? request_deadline_ms
+                              : options_.defaultDeadlineMs;
+    if (budget <= 0.0)
+        return Deadline::unlimited();
+    return Deadline::after(clock(), budget);
+}
+
+util::Status
+Server::loadModel(const std::string &name, const std::string &path)
+{
+    auto loaded = core::loadMapmArtifact(path);
+    if (!loaded.ok())
+        return loaded.status().withContext("serve: load model " + path);
+    auto artifact = std::move(loaded).value();
+    registerModel(name.empty() ? artifact.benchmark : name,
+                  std::move(artifact));
+    return util::Status::okStatus();
+}
+
+void
+Server::registerModel(const std::string &name, core::MapmArtifact artifact)
+{
+    auto shared = std::make_shared<const core::MapmArtifact>(
+        std::move(artifact));
+    std::lock_guard<std::mutex> lock(modelsMutex_);
+    models_[name] = std::move(shared);
+}
+
+std::vector<std::string>
+Server::modelNames() const
+{
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        names.reserve(models_.size());
+        for (const auto &[name, artifact] : models_)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+Server::respond(const std::function<void(std::string)> &done,
+                const Response &response)
+{
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        switch (response.code) {
+          case util::StatusCode::Ok:
+            if (response.type == MessageType::Predict)
+                ++counters_.completed;
+            break;
+          case util::StatusCode::DeadlineExceeded:
+            ++counters_.deadlineMissed;
+            break;
+          case util::StatusCode::CapacityError:
+            if (response.type == MessageType::Mine)
+                ++counters_.minesRefused;
+            else
+                ++counters_.shed;
+            break;
+          default:
+            ++counters_.failed;
+            break;
+        }
+    }
+    switch (response.code) {
+      case util::StatusCode::Ok:
+        if (response.type == MessageType::Predict)
+            util::count("serve.requests_ok");
+        break;
+      case util::StatusCode::DeadlineExceeded:
+        util::count("serve.deadline_missed");
+        break;
+      case util::StatusCode::CapacityError:
+        util::count(response.type == MessageType::Mine
+                        ? "serve.mines_refused"
+                        : "serve.requests_shed");
+        break;
+      default:
+        util::count("serve.requests_failed");
+        break;
+    }
+    done(encodeResponse(response));
+}
+
+void
+Server::respondFailure(const std::function<void(std::string)> &done,
+                       MessageType type, std::uint64_t id,
+                       const util::Status &status)
+{
+    respond(done, Response::failure(type, id, status));
+}
+
+void
+Server::submitFrame(std::string payload,
+                    std::function<void(std::string)> done)
+{
+    auto decoded = decodeRequest(std::move(payload));
+    if (!decoded.ok()) {
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.decodeErrors;
+        }
+        util::count("serve.decode_errors");
+        // The id is unrecoverable from a frame that failed to decode;
+        // the client matches this response by its Unknown type.
+        respondFailure(done, MessageType::Unknown, 0, decoded.status());
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.framesDecoded;
+    }
+
+    auto request = std::move(decoded).value();
+    if (auto *predict = std::get_if<PredictRequest>(&request)) {
+        handlePredict(std::move(*predict), std::move(done));
+    } else if (auto *mine = std::get_if<MineRequest>(&request)) {
+        handleMine(std::move(*mine), std::move(done));
+    } else if (auto *stats = std::get_if<StatsRequest>(&request)) {
+        handleStats(*stats, done);
+    } else {
+        const auto &shutdown = std::get<ShutdownRequest>(request);
+        beginDrain();
+        Response ok;
+        ok.type = MessageType::Shutdown;
+        ok.id = shutdown.id;
+        respond(done, ok);
+    }
+}
+
+void
+Server::handlePredict(PredictRequest request,
+                      std::function<void(std::string)> done)
+{
+    util::Span span("serve.admit");
+    span.number("rows", static_cast<double>(request.rowCount));
+
+    const Deadline deadline = makeDeadline(request.deadlineMs);
+    if (auto gate = deadline.check("admit"); !gate.ok()) {
+        respondFailure(done, MessageType::Predict, request.id, gate);
+        return;
+    }
+
+    std::shared_ptr<const core::MapmArtifact> artifact;
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        auto it = models_.find(request.model);
+        if (it != models_.end())
+            artifact = it->second;
+    }
+    if (artifact == nullptr) {
+        respondFailure(done, MessageType::Predict, request.id,
+                       util::Status::dataError(
+                           "unknown model '" + request.model + "'"));
+        return;
+    }
+    // The batcher coalesces rows from many requests into one columnar
+    // block, which is only sound when every request's columns are the
+    // model's kept-event list exactly — names and order.
+    if (request.events != artifact->events) {
+        respondFailure(
+            done, MessageType::Predict, request.id,
+            util::Status::dataError(util::format(
+                "event list mismatch for model '%s': expected the "
+                "artifact's %zu kept events in model order, got %zu "
+                "columns",
+                request.model.c_str(), artifact->events.size(),
+                request.events.size())));
+        return;
+    }
+
+    const std::uint64_t id = request.id;
+    bool admitted = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!draining_ && queue_.size() < options_.queueCap) {
+            PendingPredict pending;
+            pending.request = std::move(request);
+            pending.artifact = std::move(artifact);
+            pending.deadline = deadline;
+            pending.done = std::move(done);
+            pending.admittedMs = clock().nowMs();
+            queue_.push_back(std::move(pending));
+            ++outstanding_;
+            admitted = true;
+            util::gaugeSet("serve.queue_depth",
+                           static_cast<double>(queue_.size()));
+        }
+    }
+    if (admitted) {
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.admitted;
+        }
+        util::count("serve.requests_admitted");
+        batchWake_.notify_all();
+        return;
+    }
+    if (draining()) {
+        // Shutdown semantics: admitted work finishes, new work is
+        // turned away with a retriable error, not silently dropped.
+        respondFailure(done, MessageType::Predict, id,
+                       util::Status::transient(
+                           "server is draining; predict refused"));
+        return;
+    }
+    // Shed, never block: the admission queue is full and the accept
+    // loop must stay responsive, so the request is rejected now.
+    respondFailure(done, MessageType::Predict, id,
+                   util::Status::capacityError(util::format(
+                       "admission queue full (cap %zu); request shed",
+                       options_.queueCap)));
+}
+
+void
+Server::handleMine(MineRequest request,
+                   std::function<void(std::string)> done)
+{
+    if (draining()) {
+        respondFailure(done, MessageType::Mine, request.id,
+                       util::Status::capacityError(
+                           "server is draining; mining refused"));
+        return;
+    }
+    {
+        // Degradation ordering: mining is the expensive, deferrable
+        // workload, so it is refused while predict capacity remains.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (underPressureLocked()) {
+            respondFailure(
+                done, MessageType::Mine, request.id,
+                util::Status::capacityError(util::format(
+                    "predict backlog at %zu of %zu; mining refused "
+                    "under load",
+                    queue_.size(), options_.queueCap)));
+            return;
+        }
+        ++outstanding_;
+    }
+
+    const Deadline deadline = makeDeadline(request.deadlineMs);
+    const std::uint64_t id = request.id;
+    // Shared so the refusal path below can still respond after the
+    // task lambda (and its captured copy) died inside a shed
+    // trySubmit.
+    auto done_shared =
+        std::make_shared<std::function<void(std::string)>>(
+            std::move(done));
+    auto task = [this, request = std::move(request), deadline,
+                 done_shared] {
+        runMine(request, deadline, *done_shared);
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+        drained_.notify_all();
+    };
+    auto submitted =
+        minePool_.trySubmit(std::move(task), options_.mineQueueCap);
+    if (!submitted.has_value()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --outstanding_;
+        }
+        drained_.notify_all();
+        respondFailure(*done_shared, MessageType::Mine, id,
+                       util::Status::capacityError(util::format(
+                           "mining queue full (cap %zu); job refused",
+                           options_.mineQueueCap)));
+    }
+}
+
+void
+Server::runMine(const MineRequest &request, const Deadline &deadline,
+                const std::function<void(std::string)> &done)
+{
+    util::Span span("serve.mine");
+    span.label("benchmark", request.benchmark);
+
+    if (auto gate = deadline.check("mine start"); !gate.ok()) {
+        respondFailure(done, MessageType::Mine, request.id, gate);
+        return;
+    }
+    const auto &suite = workload::BenchmarkSuite::instance();
+    if (!suite.has(request.benchmark)) {
+        respondFailure(done, MessageType::Mine, request.id,
+                       util::Status::dataError("unknown benchmark '" +
+                                               request.benchmark + "'"));
+        return;
+    }
+
+    try {
+        core::ProfileOptions options;
+        options.mlpxRuns = std::max<std::uint64_t>(1, request.runs);
+        options.importance.minEvents = request.minEvents;
+        // Tie the request deadline into the collection layer: retries
+        // stop once the remaining budget is spent instead of backing
+        // off past the point anyone cares about the answer.
+        if (!deadline.isUnlimited())
+            options.retry.deadlineMs =
+                std::max(0.0, deadline.remainingMs());
+
+        store::Database db("haswell-e");
+        core::CounterMiner miner(db, pmu::EventCatalog::instance(),
+                                 options);
+        util::Rng rng(request.seed);
+        auto report = miner.profile(suite.byName(request.benchmark), rng);
+
+        if (auto gate = deadline.check("mine finish"); !gate.ok()) {
+            respondFailure(done, MessageType::Mine, request.id, gate);
+            return;
+        }
+
+        core::MapmArtifact artifact;
+        artifact.benchmark = report.benchmark;
+        artifact.microarch = db.microarch();
+        artifact.events = report.importance.mapmFeatures;
+        artifact.ranking = report.importance.ranking;
+        artifact.cvErrorPercent = report.importance.mapmErrorPercent;
+        artifact.model = std::move(report.mapmModel);
+        const std::string name = request.modelName.empty()
+                                     ? report.benchmark
+                                     : request.modelName;
+        const std::size_t kept = artifact.events.size();
+        const double error = artifact.cvErrorPercent;
+        registerModel(name, std::move(artifact));
+
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.minesCompleted;
+        }
+        util::count("serve.mines_completed");
+        Response ok;
+        ok.type = MessageType::Mine;
+        ok.id = request.id;
+        ok.text = util::format(
+            "mined %s: MAPM with %zu events, cv error %.2f%%; serving "
+            "as '%s'",
+            request.benchmark.c_str(), kept, error, name.c_str());
+        respond(done, ok);
+    } catch (const std::exception &e) {
+        // Mining failures (bad options, degradation bounds) must come
+        // back as a response, never escape onto the worker thread.
+        respondFailure(done, MessageType::Mine, request.id,
+                       util::Status::dataError(
+                           std::string("mining failed: ") + e.what()));
+    }
+}
+
+void
+Server::handleStats(const StatsRequest &request,
+                    const std::function<void(std::string)> &done)
+{
+    Response ok;
+    ok.type = MessageType::Stats;
+    ok.id = request.id;
+    ok.text = statsJson();
+    respond(done, ok);
+}
+
+bool
+Server::underPressureLocked() const
+{
+    return queue_.size() * 2 >= options_.queueCap;
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+void
+Server::beginDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    batchWake_.notify_all();
+}
+
+void
+Server::drain()
+{
+    beginDrain();
+    if (!batcher_.has_value()) {
+        // Manual mode: nothing else will pump the queue.
+        while (runBatchOnce() > 0) {
+        }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] {
+        return queue_.empty() && outstanding_ == 0;
+    });
+}
+
+ServeCounters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
+}
+
+std::string
+Server::statsJson() const
+{
+    const ServeCounters c = counters();
+    const auto models = modelNames();
+    util::JsonWriter json;
+    json.beginObject();
+    json.key("serve");
+    json.beginObject();
+    json.key("queueDepth");
+    json.value(queueDepth());
+    json.key("draining");
+    json.value(draining());
+    json.key("models");
+    json.beginArray();
+    for (const auto &name : models)
+        json.value(name);
+    json.endArray();
+    json.key("counters");
+    json.beginObject();
+    json.key("framesDecoded");
+    json.value(static_cast<std::size_t>(c.framesDecoded));
+    json.key("decodeErrors");
+    json.value(static_cast<std::size_t>(c.decodeErrors));
+    json.key("admitted");
+    json.value(static_cast<std::size_t>(c.admitted));
+    json.key("shed");
+    json.value(static_cast<std::size_t>(c.shed));
+    json.key("completed");
+    json.value(static_cast<std::size_t>(c.completed));
+    json.key("failed");
+    json.value(static_cast<std::size_t>(c.failed));
+    json.key("deadlineMissed");
+    json.value(static_cast<std::size_t>(c.deadlineMissed));
+    json.key("batches");
+    json.value(static_cast<std::size_t>(c.batches));
+    json.key("rowsScored");
+    json.value(static_cast<std::size_t>(c.rowsScored));
+    json.key("minesCompleted");
+    json.value(static_cast<std::size_t>(c.minesCompleted));
+    json.key("minesRefused");
+    json.value(static_cast<std::size_t>(c.minesRefused));
+    json.endObject();
+    json.key("latencyMs");
+    json.beginObject();
+    json.key("count");
+    json.value(static_cast<std::size_t>(latency_.count()));
+    json.key("p50");
+    json.value(latency_.percentile(0.50));
+    json.key("p99");
+    json.value(latency_.percentile(0.99));
+    json.key("max");
+    json.value(latency_.maxMs());
+    json.endObject();
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+std::vector<Server::PendingPredict>
+Server::takeBatchLocked()
+{
+    std::vector<PendingPredict> batch;
+    std::deque<PendingPredict> rest;
+    const std::string model = queue_.front().request.model;
+    std::size_t rows = 0;
+    for (auto &pending : queue_) {
+        if (pending.request.model == model &&
+            (batch.empty() || rows < options_.maxBatchRows)) {
+            rows += pending.request.rowCount;
+            batch.push_back(std::move(pending));
+        } else {
+            rest.push_back(std::move(pending));
+        }
+    }
+    queue_ = std::move(rest);
+    util::gaugeSet("serve.queue_depth",
+                   static_cast<double>(queue_.size()));
+    return batch;
+}
+
+std::size_t
+Server::runBatchOnce()
+{
+    std::vector<PendingPredict> batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return 0;
+        batch = takeBatchLocked();
+    }
+    return processBatch(std::move(batch));
+}
+
+std::size_t
+Server::processBatch(std::vector<PendingPredict> batch)
+{
+    util::Span span("serve.batch");
+    span.number("requests", static_cast<double>(batch.size()));
+
+    // Stage gate: a request whose budget expired while queued is
+    // answered DeadlineExceeded here, before it costs batch capacity.
+    std::vector<PendingPredict> live;
+    live.reserve(batch.size());
+    for (auto &pending : batch) {
+        auto gate = pending.deadline.check("dequeue");
+        if (!gate.ok())
+            respondFailure(pending.done, MessageType::Predict,
+                           pending.request.id, gate);
+        else
+            live.push_back(std::move(pending));
+    }
+
+    if (!live.empty()) {
+        const auto &artifact = *live.front().artifact;
+        const std::size_t event_count = artifact.events.size();
+        std::size_t total_rows = 0;
+        for (const auto &pending : live)
+            total_rows += pending.request.rowCount;
+        span.number("rows", static_cast<double>(total_rows));
+
+        try {
+            // One columnar block for the whole group: requests'
+            // row-major matrices transpose into shared columns, scored
+            // through the same DatasetView path as the predict CLI.
+            // predictAll is per-row independent and deterministic for
+            // any thread count, so slicing the block back per request
+            // returns bitwise the same values a lone request would get.
+            std::vector<std::vector<double>> columns(
+                event_count, std::vector<double>(total_rows));
+            std::size_t offset = 0;
+            for (const auto &pending : live) {
+                const auto &r = pending.request;
+                for (std::size_t row = 0; row < r.rowCount; ++row)
+                    for (std::size_t e = 0; e < event_count; ++e)
+                        columns[e][offset + row] =
+                            r.values[row * event_count + e];
+                offset += r.rowCount;
+            }
+            const ml::Dataset data = ml::Dataset::fromColumns(
+                artifact.events, std::move(columns),
+                std::vector<double>(total_rows, 0.0));
+            const std::vector<double> predictions =
+                artifact.model.predictAll(data);
+
+            offset = 0;
+            for (auto &pending : live) {
+                const auto &r = pending.request;
+                // Last gate: the work is done, but a blown budget
+                // still reports DeadlineExceeded — a late success is
+                // indistinguishable from a stale one to the caller.
+                auto gate = pending.deadline.check("respond");
+                if (!gate.ok()) {
+                    respondFailure(pending.done, MessageType::Predict,
+                                   r.id, gate);
+                } else {
+                    Response ok;
+                    ok.type = MessageType::Predict;
+                    ok.id = r.id;
+                    ok.predictions.assign(
+                        predictions.begin() +
+                            static_cast<std::ptrdiff_t>(offset),
+                        predictions.begin() +
+                            static_cast<std::ptrdiff_t>(offset +
+                                                        r.rowCount));
+                    const double waited =
+                        clock().nowMs() - pending.admittedMs;
+                    latency_.record(waited);
+                    util::recordDuration("serve.latency_ms", waited);
+                    respond(pending.done, ok);
+                }
+                offset += r.rowCount;
+            }
+
+            {
+                std::lock_guard<std::mutex> lock(countersMutex_);
+                ++counters_.batches;
+                counters_.rowsScored += total_rows;
+            }
+            util::count("serve.batches");
+            util::count("serve.rows_scored", total_rows);
+        } catch (const std::exception &e) {
+            // Scoring must never take the daemon down; every request
+            // in the doomed batch still gets its response.
+            for (auto &pending : live)
+                respondFailure(
+                    pending.done, MessageType::Predict,
+                    pending.request.id,
+                    util::Status::dataError(
+                        std::string("batch scoring failed: ") +
+                        e.what()));
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        outstanding_ -= batch.size();
+    }
+    drained_.notify_all();
+    return batch.size();
+}
+
+void
+Server::batcherLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        batchWake_.wait(lock, [this] {
+            return stopping_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        if (options_.batchWindowMs > 0.0 && !stopping_ && !draining_ &&
+            !underPressureLocked()) {
+            // Linger briefly so concurrent small requests coalesce;
+            // pressure or a drain cuts the wait short (degradation:
+            // smaller batches beat shed requests).
+            batchWake_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    options_.batchWindowMs),
+                [this] {
+                    return stopping_ || draining_ ||
+                           underPressureLocked();
+                });
+        }
+        auto batch = takeBatchLocked();
+        lock.unlock();
+        processBatch(std::move(batch));
+        lock.lock();
+    }
+}
+
+} // namespace cminer::serve

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The `cminer serve` core: a long-lived, deadline-aware,
+ * overload-shedding mining/serving daemon (DESIGN.md §14).
+ *
+ * Transport-agnostic by construction: the server consumes decoded
+ * request frames through submitFrame() and delivers encoded response
+ * frames through a completion callback, so the same core sits behind
+ * pipe mode (deterministic tests drive it with in-memory frames) and
+ * the AF_UNIX listener.
+ *
+ * Robustness posture, in priority order:
+ *  1. **Never block admission.** Predict requests land in a bounded
+ *     queue; when it is full they are shed *immediately* with a
+ *     CapacityError response — the accept loop never waits on the
+ *     pipeline. Mining jobs go through ThreadPool::trySubmit with
+ *     their own small bound.
+ *  2. **Deadlines are enforced at every stage.** Each request carries
+ *     a Deadline handle (client budget, else the server default)
+ *     checked at admission, at dequeue, and before the response is
+ *     written; a blown budget yields DeadlineExceeded, never a stale
+ *     success.
+ *  3. **Degrade before failing.** Under queue pressure the batcher
+ *     stops waiting for fuller batches (smaller batches, lower
+ *     latency, same results — scoring is per-row deterministic), and
+ *     mining requests are refused while predict capacity remains.
+ *  4. **Drain cleanly.** A shutdown request (or drain()) stops
+ *     admissions, finishes every admitted request, and waits for the
+ *     mining worker to go idle; nothing admitted is dropped.
+ *
+ * Batching: concurrent predict rows for the same model are coalesced
+ * into one columnar block (ml::Dataset::fromColumns) and scored
+ * through the zero-copy DatasetView path on the shared thread pool.
+ * Gbrt::predictAll is per-row independent and deterministic for any
+ * thread count, so batch composition can never change a prediction —
+ * the property the byte-identity acceptance test pins down.
+ */
+
+#ifndef CMINER_SERVE_SERVER_H
+#define CMINER_SERVE_SERVER_H
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "serve/deadline.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace cminer::serve {
+
+/** Serving configuration. */
+struct ServerOptions
+{
+    /**
+     * Admission queue bound: predict requests waiting to be batched.
+     * Requests arriving when the queue is full are shed with a
+     * CapacityError — the robustness contract of the daemon.
+     */
+    std::size_t queueCap = 64;
+    /** Row budget per columnar scoring batch. */
+    std::size_t maxBatchRows = 256;
+    /**
+     * How long the batcher waits for more same-model rows after the
+     * first request arrives, in wall milliseconds. Skipped entirely
+     * under queue pressure (degradation: smaller batches beat shed
+     * requests). 0 disables the wait.
+     */
+    double batchWindowMs = 0.5;
+    /**
+     * Deadline applied to requests that carry none, in ms. 0 = no
+     * default (such requests never expire).
+     */
+    double defaultDeadlineMs = 0.0;
+    /** Bound on mining jobs waiting behind the in-flight one. */
+    std::size_t mineQueueCap = 1;
+    /**
+     * Spawn the background batcher thread. Tests set this false and
+     * pump the pipeline by hand with runBatchOnce(), which together
+     * with an injected ManualClock makes every schedule and deadline
+     * decision deterministic.
+     */
+    bool startBatcher = true;
+    /**
+     * Time source for deadlines and latency accounting; null uses an
+     * internal steady clock. Injected by tests (ManualClock).
+     */
+    cminer::util::TraceClock *clock = nullptr;
+};
+
+/** Monotonic serving counters (a consistent snapshot). */
+struct ServeCounters
+{
+    /** Frames decoded into requests. */
+    std::uint64_t framesDecoded = 0;
+    /** Frames rejected by the protocol decoder. */
+    std::uint64_t decodeErrors = 0;
+    /** Predict requests accepted into the queue. */
+    std::uint64_t admitted = 0;
+    /** Predict requests shed with CapacityError (queue full). */
+    std::uint64_t shed = 0;
+    /** Predict requests answered Ok. */
+    std::uint64_t completed = 0;
+    /** Requests answered with a non-Ok, non-shed, non-deadline code. */
+    std::uint64_t failed = 0;
+    /** Requests answered DeadlineExceeded at any stage. */
+    std::uint64_t deadlineMissed = 0;
+    /** Columnar scoring batches run. */
+    std::uint64_t batches = 0;
+    /** Rows scored across all batches. */
+    std::uint64_t rowsScored = 0;
+    /** Mining jobs finished successfully. */
+    std::uint64_t minesCompleted = 0;
+    /** Mining jobs refused (drain, pressure, or mine queue full). */
+    std::uint64_t minesRefused = 0;
+};
+
+/**
+ * Fixed-bucket latency histogram with power-of-two bucket edges from
+ * 1/16 ms up; record() and percentile() take an internal mutex
+ * (request granularity, never a hot loop). Percentiles report the
+ * bucket's upper edge — a deterministic upper bound.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double ms);
+
+    /** Upper edge of the bucket holding the q-quantile (q in (0,1]). */
+    double percentile(double q) const;
+
+    std::uint64_t count() const;
+    double maxMs() const;
+
+  private:
+    static constexpr std::size_t bucket_count = 28;
+
+    /** Upper edge of bucket `index` in ms: 2^(index-4). */
+    static double edge(std::size_t index);
+
+    mutable std::mutex mutex_;
+    std::array<std::uint64_t, bucket_count> buckets_{};
+    std::uint64_t count_ = 0;
+    double maxMs_ = 0.0;
+};
+
+/**
+ * The serving daemon core. Thread-safe: submitFrame may be called from
+ * any number of connection threads; responses are delivered through
+ * the per-request callback from whichever thread finished the work
+ * (the caller for shed/stats/errors, the batcher for predicts, the
+ * mining worker for mines). Every submitted frame gets exactly one
+ * response.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+
+    /** Drains admitted work, then joins the batcher and mine worker. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Options in effect. */
+    const ServerOptions &options() const { return options_; }
+
+    /**
+     * Load a MAPM checkpoint and register it under `name` (empty =
+     * the artifact's benchmark). Models load once, up front — the
+     * request path never touches disk.
+     */
+    cminer::util::Status loadModel(const std::string &name,
+                                   const std::string &path);
+
+    /** Register an in-memory artifact under `name`. */
+    void registerModel(const std::string &name,
+                       core::MapmArtifact artifact);
+
+    /** Registered model names, sorted. */
+    std::vector<std::string> modelNames() const;
+
+    /**
+     * Submit one raw request payload. `done` is invoked exactly once
+     * with the encoded response payload — possibly before submitFrame
+     * returns (decode errors, shed requests, stats) or later from a
+     * worker thread. Never blocks on the pipeline.
+     */
+    void submitFrame(std::string payload,
+                     std::function<void(std::string)> done);
+
+    /**
+     * Manual batcher pump (startBatcher=false): run one batching
+     * round over the current queue.
+     * @return requests responded to in this round
+     */
+    std::size_t runBatchOnce();
+
+    /** Predict requests currently queued. */
+    std::size_t queueDepth() const;
+
+    /** True once a drain began (shutdown frame or beginDrain). */
+    bool draining() const;
+
+    /** Stop admitting; already-admitted work still completes. */
+    void beginDrain();
+
+    /**
+     * beginDrain, then block until every admitted request has been
+     * responded to and the mining worker is idle. With no batcher
+     * thread the caller's thread pumps the remaining queue itself.
+     */
+    void drain();
+
+    /** Counter snapshot (internally consistent). */
+    ServeCounters counters() const;
+
+    /** End-to-end predict latency histogram. */
+    const LatencyHistogram &latency() const { return latency_; }
+
+    /** The stats dashboard as one JSON object. */
+    std::string statsJson() const;
+
+  private:
+    /** One admitted predict request waiting to be batched. */
+    struct PendingPredict
+    {
+        PredictRequest request;
+        std::shared_ptr<const core::MapmArtifact> artifact;
+        Deadline deadline;
+        std::function<void(std::string)> done;
+        /** Clock time at admission, for latency accounting. */
+        double admittedMs = 0.0;
+    };
+
+    cminer::util::TraceClock &clock();
+
+    /** Build the Deadline for a request-supplied budget. */
+    Deadline makeDeadline(double request_deadline_ms);
+
+    void handlePredict(PredictRequest request,
+                       std::function<void(std::string)> done);
+    void handleMine(MineRequest request,
+                    std::function<void(std::string)> done);
+    void handleStats(const StatsRequest &request,
+                     const std::function<void(std::string)> &done);
+
+    /** Encode, count, and deliver one response. */
+    void respond(const std::function<void(std::string)> &done,
+                 const Response &response);
+
+    /** Shorthand for respond(failure(...)). */
+    void respondFailure(const std::function<void(std::string)> &done,
+                        MessageType type, std::uint64_t id,
+                        const cminer::util::Status &status);
+
+    /** The mining job body; runs on the mine worker. */
+    void runMine(const MineRequest &request, const Deadline &deadline,
+                 const std::function<void(std::string)> &done);
+
+    void batcherLoop();
+
+    /**
+     * Pop one same-model group (up to maxBatchRows rows) off the
+     * queue. Called with mutex_ held; returns the group.
+     */
+    std::vector<PendingPredict> takeBatchLocked();
+
+    /** Score and respond to one group (no locks held). */
+    std::size_t processBatch(std::vector<PendingPredict> batch);
+
+    /** True when queue pressure warrants skipping the batch window. */
+    bool underPressureLocked() const;
+
+    ServerOptions options_;
+    cminer::util::SteadyClock steadyClock_;
+
+    mutable std::mutex modelsMutex_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const core::MapmArtifact>>
+        models_;
+
+    mutable std::mutex mutex_;
+    std::deque<PendingPredict> queue_;
+    std::condition_variable batchWake_;
+    std::condition_variable drained_;
+    /** Admitted-but-unanswered requests + in-flight mines. */
+    std::size_t outstanding_ = 0;
+    bool draining_ = false;
+    /** Set by the destructor: batcher exits once the queue is empty. */
+    bool stopping_ = false;
+
+    mutable std::mutex countersMutex_;
+    ServeCounters counters_;
+    LatencyHistogram latency_;
+
+    /** One worker: mining is serialized, bounded by mineQueueCap. */
+    cminer::util::ThreadPool minePool_;
+    std::optional<std::thread> batcher_;
+};
+
+} // namespace cminer::serve
+
+#endif // CMINER_SERVE_SERVER_H

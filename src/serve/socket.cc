@@ -1,0 +1,165 @@
+#include "serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "util/string_util.h"
+
+namespace cminer::serve {
+
+namespace util = cminer::util;
+
+namespace {
+
+/** Fill a sockaddr_un; paths beyond its fixed buffer are rejected. */
+util::Status
+makeAddress(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return util::Status::dataError(util::format(
+            "socket path of %zu bytes exceeds the %zu-byte sun_path "
+            "limit",
+            path.size(), sizeof(addr.sun_path) - 1));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return util::Status::okStatus();
+}
+
+} // namespace
+
+SocketServer::SocketServer(Server &server, std::string path)
+    : server_(server), path_(std::move(path))
+{}
+
+SocketServer::~SocketServer()
+{
+    stop();
+    joinWorkers();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+util::Status
+SocketServer::listen()
+{
+    sockaddr_un addr{};
+    auto status = makeAddress(path_, addr);
+    if (!status.ok())
+        return status;
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return util::Status::transient(
+            std::string("socket() failed: ") + std::strerror(errno));
+    // A stale socket file from a crashed predecessor blocks bind.
+    ::unlink(path_.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return util::Status::transient(
+            util::format("bind(%s) failed: %s", path_.c_str(),
+                         std::strerror(err)));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(path_.c_str());
+        return util::Status::transient(
+            util::format("listen(%s) failed: %s", path_.c_str(),
+                         std::strerror(err)));
+    }
+    listenFd_ = fd;
+    return util::Status::okStatus();
+}
+
+util::Status
+SocketServer::serveForever()
+{
+    if (listenFd_ < 0)
+        return util::Status::dataError(
+            "serveForever called before listen()");
+    for (;;) {
+        const int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            // stop() closes the listening fd to unblock accept; any
+            // other failure while stopping is equally final.
+            if (stopping_.load())
+                break;
+            const int err = errno;
+            stop();
+            joinWorkers();
+            ::unlink(path_.c_str());
+            return util::Status::transient(
+                std::string("accept failed: ") + std::strerror(err));
+        }
+        connections_.fetch_add(1);
+        workers_.emplace_back([this, conn] {
+            FdFrameSource source(conn);
+            FdFrameSink sink(conn);
+            const auto result =
+                serveConnection(server_, source, sink);
+            ::close(conn);
+            if (result.shutdownRequested)
+                stop();
+        });
+    }
+    joinWorkers();
+    server_.drain();
+    ::unlink(path_.c_str());
+    return util::Status::okStatus();
+}
+
+void
+SocketServer::stop()
+{
+    if (!stopping_.exchange(true) && listenFd_ >= 0) {
+        // shutdown() unblocks a thread parked in accept(); the fd
+        // itself is closed by the destructor.
+        ::shutdown(listenFd_, SHUT_RDWR);
+    }
+}
+
+void
+SocketServer::joinWorkers()
+{
+    for (auto &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+}
+
+util::StatusOr<int>
+connectUnixSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    auto status = makeAddress(path, addr);
+    if (!status.ok())
+        return status;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return util::Status::transient(
+            std::string("socket() failed: ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return util::Status::transient(
+            util::format("connect(%s) failed: %s", path.c_str(),
+                         std::strerror(err)));
+    }
+    return fd;
+}
+
+} // namespace cminer::serve

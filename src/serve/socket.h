@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AF_UNIX transport for `cminer serve` (DESIGN.md §14).
+ *
+ * A SocketServer owns the listening socket; each accepted connection
+ * runs the shared serveConnection loop (serve/transport.h) on its own
+ * thread against Fd frame endpoints, so the wire behavior — pipelined
+ * requests, out-of-order responses, connection-fatal framing errors —
+ * is identical to pipe mode, which is where the deterministic tests
+ * live. A shutdown frame on any connection stops the accept loop,
+ * drains the server, and removes the socket file.
+ */
+
+#ifndef CMINER_SERVE_SOCKET_H
+#define CMINER_SERVE_SOCKET_H
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cminer::serve {
+
+class Server;
+
+/** Listens on a unix-domain socket and serves connections. */
+class SocketServer
+{
+  public:
+    /** @param path socket filesystem path; replaced if it exists */
+    SocketServer(Server &server, std::string path);
+
+    /** Closes the listening socket and joins connection threads. */
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind and listen. Must succeed before serveForever. */
+    cminer::util::Status listen();
+
+    /**
+     * Accept and serve connections until a shutdown frame arrives (or
+     * stop() is called from another thread), then drain the server
+     * and unlink the socket path. Connection-fatal transport errors
+     * end their connection only, never the listener.
+     */
+    cminer::util::Status serveForever();
+
+    /** Unblock the accept loop from another thread. */
+    void stop();
+
+    /** Connections accepted so far. */
+    std::size_t connectionCount() const { return connections_; }
+
+  private:
+    void joinWorkers();
+
+    Server &server_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> connections_{0};
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Connect to a serve socket.
+ * @return the connected fd (caller closes), or a Transient status
+ */
+cminer::util::StatusOr<int> connectUnixSocket(const std::string &path);
+
+} // namespace cminer::serve
+
+#endif // CMINER_SERVE_SOCKET_H

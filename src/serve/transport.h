@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Byte transports for the serving protocol: frame sources/sinks over
+ * iostreams and file descriptors, deterministic fault-injecting
+ * wrappers, and the connection serve loop shared by pipe mode and the
+ * socket listener.
+ *
+ * The loop is deliberately asynchronous: it reads and admits frames as
+ * fast as the source yields them and lets the server deliver responses
+ * through a callback, so one pipelined connection can keep hundreds of
+ * requests in flight — the shape the batching and admission layers are
+ * built to absorb. Responses are written under a per-connection lock
+ * (frames are never interleaved) and may arrive out of request order;
+ * clients match them by the echoed id.
+ *
+ * Fault injection (DESIGN.md §9, extended in §14): FaultyFrameSource
+ * and FaultyFrameSink deal deterministic transport damage — torn
+ * frames, hangups, injected latency — from the same seeded injector
+ * that damages perf text, so the serve loop is drivable by the
+ * existing harness with bitwise-reproducible fault sequences.
+ */
+
+#ifndef CMINER_SERVE_TRANSPORT_H
+#define CMINER_SERVE_TRANSPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace cminer::serve {
+
+class Server;
+
+/** Yields one frame payload per call until EOF or a framing error. */
+class FrameSource
+{
+  public:
+    virtual ~FrameSource() = default;
+
+    /**
+     * Read the next frame. Sets `eof` (and returns Ok) at a clean end
+     * of stream. Any non-Ok status means framing is lost and the
+     * connection is unusable — callers must stop reading.
+     */
+    virtual cminer::util::Status next(std::string &payload,
+                                      bool &eof) = 0;
+};
+
+/** Writes one framed payload per call. */
+class FrameSink
+{
+  public:
+    virtual ~FrameSink() = default;
+
+    /**
+     * Frame and write one payload. A non-Ok status means the
+     * connection is gone; callers must stop writing.
+     */
+    virtual cminer::util::Status write(std::string_view payload) = 0;
+};
+
+/** Frames read from a std::istream (pipe mode's input side). */
+class StreamFrameSource : public FrameSource
+{
+  public:
+    explicit StreamFrameSource(std::istream &in)
+        : in_(in)
+    {}
+
+    cminer::util::Status next(std::string &payload, bool &eof) override;
+
+  private:
+    std::istream &in_;
+};
+
+/** Frames written to a std::ostream (pipe mode's output side). */
+class StreamFrameSink : public FrameSink
+{
+  public:
+    explicit StreamFrameSink(std::ostream &out)
+        : out_(out)
+    {}
+
+    cminer::util::Status write(std::string_view payload) override;
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Wraps a FrameSource with deterministic ingress faults. Per frame the
+ * injector draws once: a torn frame surfaces as a DataError (framing
+ * lost, source dead afterwards), a hangup as a premature EOF, a delay
+ * as a sleep on the injected clock (a RecordingClock by default, so
+ * tests stay wall-clock-free) before delivery.
+ */
+class FaultyFrameSource : public FrameSource
+{
+  public:
+    /**
+     * @param inner the real source; must outlive this wrapper
+     * @param injector fault dealer; must outlive this wrapper
+     * @param clock sleeps for injected latency; nullptr records
+     *        nothing and sleeps nowhere
+     */
+    FaultyFrameSource(FrameSource &inner,
+                      cminer::util::FaultInjector &injector,
+                      cminer::util::RetryClock *clock = nullptr)
+        : inner_(inner), injector_(injector), clock_(clock)
+    {}
+
+    cminer::util::Status next(std::string &payload, bool &eof) override;
+
+  private:
+    FrameSource &inner_;
+    cminer::util::FaultInjector &injector_;
+    cminer::util::RetryClock *clock_;
+    /** Set once a torn frame or hangup killed the connection. */
+    bool dead_ = false;
+};
+
+/**
+ * Wraps a FrameSink with deterministic egress faults against a raw
+ * byte stream: a torn frame writes only a prefix of the framed bytes
+ * and kills the connection, a hangup drops the frame and everything
+ * after it, a delay sleeps on the injected clock before writing.
+ */
+class FaultyStreamFrameSink : public FrameSink
+{
+  public:
+    FaultyStreamFrameSink(std::ostream &out,
+                          cminer::util::FaultInjector &injector,
+                          cminer::util::RetryClock *clock = nullptr)
+        : out_(out), injector_(injector), clock_(clock)
+    {}
+
+    cminer::util::Status write(std::string_view payload) override;
+
+  private:
+    std::ostream &out_;
+    cminer::util::FaultInjector &injector_;
+    cminer::util::RetryClock *clock_;
+    bool dead_ = false;
+};
+
+/** Frames read from a file descriptor (socket connections). */
+class FdFrameSource : public FrameSource
+{
+  public:
+    /** Does not own the fd. */
+    explicit FdFrameSource(int fd)
+        : fd_(fd)
+    {}
+
+    cminer::util::Status next(std::string &payload, bool &eof) override;
+
+  private:
+    int fd_;
+};
+
+/** Frames written to a file descriptor (socket connections). */
+class FdFrameSink : public FrameSink
+{
+  public:
+    /** Does not own the fd. */
+    explicit FdFrameSink(int fd)
+        : fd_(fd)
+    {}
+
+    cminer::util::Status write(std::string_view payload) override;
+
+  private:
+    int fd_;
+};
+
+/** What one connection's serve loop did before returning. */
+struct ServeLoopResult
+{
+    /** Frames successfully read and submitted. */
+    std::size_t framesRead = 0;
+    /** A shutdown request arrived on this connection. */
+    bool shutdownRequested = false;
+    /**
+     * Ok after a clean EOF; otherwise the framing error that killed
+     * the connection (already counted in serve.transport_errors).
+     */
+    cminer::util::Status transportStatus;
+};
+
+/**
+ * Serve one connection: read frames from `source`, submit each to the
+ * server, write responses to `sink` as they complete (out of order,
+ * under an internal lock). Returns after EOF, a framing error, or a
+ * shutdown frame — always after every in-flight response for this
+ * connection has been delivered or dropped. Never throws; injected
+ * transport faults and malformed frames surface as counted statuses.
+ */
+ServeLoopResult serveConnection(Server &server, FrameSource &source,
+                                FrameSink &sink);
+
+} // namespace cminer::serve
+
+#endif // CMINER_SERVE_TRANSPORT_H

@@ -12,15 +12,18 @@ bool
 FaultSpec::any() const
 {
     return corruptRate > 0.0 || dropRate > 0.0 || duplicateRate > 0.0 ||
-           nanRate > 0.0 || transientRate > 0.0;
+           nanRate > 0.0 || transientRate > 0.0 || tornFrameRate > 0.0 ||
+           hangupRate > 0.0 || delayRate > 0.0;
 }
 
 std::string
 FaultSpec::toString() const
 {
-    return format("corrupt=%g,drop=%g,dup=%g,nan=%g,transient=%g,seed=%llu",
+    return format("corrupt=%g,drop=%g,dup=%g,nan=%g,transient=%g,"
+                  "torn=%g,hangup=%g,delay=%g,delayms=%g,seed=%llu",
                   corruptRate, dropRate, duplicateRate, nanRate,
-                  transientRate,
+                  transientRate, tornFrameRate, hangupRate, delayRate,
+                  delayMs,
                   static_cast<unsigned long long>(seed));
 }
 
@@ -47,6 +50,13 @@ parseFaultSpec(const std::string &text)
             spec.seed = static_cast<std::uint64_t>(value);
             continue;
         }
+        if (key == "delayms") {
+            if (value < 0.0)
+                return Status::parseError(
+                    "fault spec delayms must be >= 0");
+            spec.delayMs = value;
+            continue;
+        }
         if (value < 0.0 || value > 1.0)
             return Status::parseError("fault rate '" + key +
                                       "' must be in [0, 1], got " + kv[1]);
@@ -60,31 +70,46 @@ parseFaultSpec(const std::string &text)
             spec.nanRate = value;
         else if (key == "transient")
             spec.transientRate = value;
+        else if (key == "torn")
+            spec.tornFrameRate = value;
+        else if (key == "hangup")
+            spec.hangupRate = value;
+        else if (key == "delay")
+            spec.delayRate = value;
         else
             return Status::parseError(
                 "unknown fault spec key '" + key +
-                "' (known: corrupt drop dup nan transient seed)");
+                "' (known: corrupt drop dup nan transient torn hangup "
+                "delay delayms seed)");
     }
     const double sum = spec.corruptRate + spec.dropRate +
                        spec.duplicateRate + spec.nanRate;
     if (sum > 1.0)
         return Status::parseError(
             "per-sample fault rates sum to more than 1");
+    const double transport = spec.tornFrameRate + spec.hangupRate +
+                             spec.delayRate;
+    if (transport > 1.0)
+        return Status::parseError(
+            "per-frame transport fault rates sum to more than 1");
     return spec;
 }
 
 std::size_t
 FaultCounts::total() const
 {
-    return corrupted + dropped + duplicated + nans + transients;
+    return corrupted + dropped + duplicated + nans + transients +
+           tornFrames + hangups + delays;
 }
 
 std::string
 FaultCounts::toString() const
 {
     return format("corrupted=%zu dropped=%zu duplicated=%zu nans=%zu "
-                  "transients=%zu",
-                  corrupted, dropped, duplicated, nans, transients);
+                  "transients=%zu torn_frames=%zu hangups=%zu "
+                  "delays=%zu",
+                  corrupted, dropped, duplicated, nans, transients,
+                  tornFrames, hangups, delays);
 }
 
 FaultInjector::FaultInjector(FaultSpec spec)
@@ -221,6 +246,45 @@ FaultInjector::corruptSeries(std::vector<cminer::ts::TimeSeries> &series)
             }
         }
     }
+}
+
+TransportFault
+FaultInjector::transportFault(std::size_t frame_bytes)
+{
+    TransportFault fault;
+    if (spec_.tornFrameRate <= 0.0 && spec_.hangupRate <= 0.0 &&
+        spec_.delayRate <= 0.0)
+        return fault; // rate-free: leave the RNG stream untouched
+    // One draw per frame against cumulative bands, mirroring
+    // drawDamage() so transport damage is a pure function of
+    // (spec, seed, call order).
+    const double u = rng_.uniform();
+    double edge = spec_.tornFrameRate;
+    if (u < edge) {
+        fault.kind = TransportFault::Kind::TornFrame;
+        // Tear strictly inside the frame: at least the first byte is
+        // lost, at least zero survive — the shapes a crashed peer or a
+        // cut wire actually produces.
+        fault.tearAt = frame_bytes == 0 ? 0
+            : static_cast<std::size_t>(rng_.uniformInt(
+                  0, static_cast<std::int64_t>(frame_bytes) - 1));
+        ++counts_.tornFrames;
+        return fault;
+    }
+    edge += spec_.hangupRate;
+    if (u < edge) {
+        fault.kind = TransportFault::Kind::Hangup;
+        ++counts_.hangups;
+        return fault;
+    }
+    edge += spec_.delayRate;
+    if (u < edge) {
+        fault.kind = TransportFault::Kind::Delay;
+        fault.delayMs = spec_.delayMs;
+        ++counts_.delays;
+        return fault;
+    }
+    return fault;
 }
 
 Status

@@ -43,6 +43,14 @@ struct FaultSpec
     double nanRate = 0.0;
     /** Transient failure per transientFault() call. */
     double transientRate = 0.0;
+    /** Torn (truncated mid-bytes) protocol frame, per frame. */
+    double tornFrameRate = 0.0;
+    /** Connection hangup (stream cut, nothing more flows), per frame. */
+    double hangupRate = 0.0;
+    /** Injected transport latency, per frame. */
+    double delayRate = 0.0;
+    /** Latency dealt per delay fault, in milliseconds. */
+    double delayMs = 5.0;
     /** Injector RNG seed. */
     std::uint64_t seed = 1;
 
@@ -54,8 +62,10 @@ struct FaultSpec
 
 /**
  * Parse a `--inject-faults` spec: comma-separated `key=value` pairs with
- * keys corrupt, drop, dup, nan, transient (rates in [0,1]) and seed.
- * Example: "corrupt=0.02,drop=0.02,nan=0.01,transient=0.1,seed=7".
+ * keys corrupt, drop, dup, nan, transient, torn, hangup, delay (rates in
+ * [0,1]), delayms (milliseconds per delay fault), and seed.
+ * Example: "corrupt=0.02,drop=0.02,nan=0.01,transient=0.1,seed=7" or,
+ * for the serving transport, "torn=0.05,hangup=0.01,delay=0.1,seed=3".
  */
 StatusOr<FaultSpec> parseFaultSpec(const std::string &text);
 
@@ -67,6 +77,9 @@ struct FaultCounts
     std::size_t duplicated = 0;
     std::size_t nans = 0;
     std::size_t transients = 0;
+    std::size_t tornFrames = 0;
+    std::size_t hangups = 0;
+    std::size_t delays = 0;
 
     /** All classes summed. */
     std::size_t total() const;
@@ -74,6 +87,30 @@ struct FaultCounts
     std::string toString() const;
 
     bool operator==(const FaultCounts &) const = default;
+};
+
+/**
+ * One fault dealt at the transport (framed-protocol) boundary.
+ */
+struct TransportFault
+{
+    enum class Kind
+    {
+        /** Frame passes untouched. */
+        None,
+        /** Frame truncated after `tearAt` bytes (a half-flushed write). */
+        TornFrame,
+        /** Connection cut: this frame and everything after it is lost. */
+        Hangup,
+        /** Frame delivered whole but `delayMs` late. */
+        Delay,
+    };
+
+    Kind kind = Kind::None;
+    /** Bytes of the frame that survive (TornFrame only). */
+    std::size_t tearAt = 0;
+    /** Injected latency in milliseconds (Delay only). */
+    double delayMs = 0.0;
 };
 
 /**
@@ -114,6 +151,15 @@ class FaultInjector
      * "store"). The site is recorded in the returned status message.
      */
     Status transientFault(const char *site);
+
+    /**
+     * One transport fault drawn against a frame of `frame_bytes` bytes
+     * (the serving boundary, DESIGN.md §14). Exactly one uniform draw
+     * per frame resolves the kind; a torn frame costs one extra
+     * uniformInt draw for the tear offset. Same (spec, seed) + same
+     * frame sizes in call order => bitwise-identical fault sequence.
+     */
+    TransportFault transportFault(std::size_t frame_bytes);
 
   private:
     /** Damage classes a single uniform draw resolves to. */

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "util/error.h"
+#include "util/string_util.h"
 
 namespace cminer::util {
 
@@ -47,6 +48,18 @@ retryWithBackoff(const RetryOptions &options, RetryClock &clock, Rng &rng,
         if (a + 1 == options.maxAttempts)
             break; // out of attempts: report the transient failure
         const double delay = backoffDelayMs(options, a, rng);
+        // Deadline budget: sleeping past it would hold a deadlined
+        // caller hostage to a dependency that may never recover, so the
+        // loop stops *before* the offending sleep and reports the last
+        // transient error with the budget spelled out.
+        if (options.deadlineMs > 0.0 &&
+            result.totalDelayMs + delay > options.deadlineMs) {
+            result.deadlineExhausted = true;
+            result.status = result.status.withContext(format(
+                "retry deadline %gms exhausted after %zu attempts",
+                options.deadlineMs, result.attempts));
+            return result;
+        }
         clock.sleepMs(delay);
         result.totalDelayMs += delay;
     }

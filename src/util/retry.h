@@ -38,6 +38,15 @@ struct RetryOptions
      * disables jitter (and leaves the Rng untouched).
      */
     double jitterFraction = 0.0;
+    /**
+     * Total backoff budget in milliseconds; 0 disables the budget.
+     * When the next backoff sleep would push the cumulative delay past
+     * this deadline, retrying stops *before* the sleep and the last
+     * transient error is returned wrapped with the budget context —
+     * a caller under deadline pressure (the serving layer's per-request
+     * Deadline) never blocks past its budget inside a retry loop.
+     */
+    double deadlineMs = 0.0;
 };
 
 /**
@@ -94,8 +103,12 @@ class SleepingClock : public RetryClock
 struct RetryResult
 {
     /** Final status: Ok, the first non-transient error, or the last
-     * transient error when attempts ran out. */
+     * transient error when attempts or the deadline budget ran out
+     * (budget exhaustion is recorded as message context; the code
+     * stays Transient so quarantine policies treat it uniformly). */
     Status status;
+    /** True when the deadline budget stopped the retry loop. */
+    bool deadlineExhausted = false;
     /** Attempts actually made (>= 1). */
     std::size_t attempts = 0;
     /** Total backoff delay requested from the clock. */

@@ -16,6 +16,8 @@ statusCodeName(StatusCode code)
         return "CapacityError";
       case StatusCode::Transient:
         return "Transient";
+      case StatusCode::DeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
 }
@@ -42,6 +44,12 @@ Status
 Status::transient(std::string message)
 {
     return Status(StatusCode::Transient, std::move(message));
+}
+
+Status
+Status::deadlineExceeded(std::string message)
+{
+    return Status(StatusCode::DeadlineExceeded, std::move(message));
 }
 
 Status

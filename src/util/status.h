@@ -39,6 +39,12 @@ enum class StatusCode
     CapacityError,
     /** A dependency failed in a way a retry may fix. */
     Transient,
+    /**
+     * The caller's time budget ran out before the work finished. Unlike
+     * Transient, retrying inside the same budget cannot help; the
+     * serving layer reports it and moves on (DESIGN.md §14).
+     */
+    DeadlineExceeded,
 };
 
 /** Stable name of a status code ("ParseError", ...). */
@@ -63,6 +69,8 @@ class Status
     static Status capacityError(std::string message);
     /** Transient failure with the given message. */
     static Status transient(std::string message);
+    /** DeadlineExceeded with the given message. */
+    static Status deadlineExceeded(std::string message);
 
     /** True when no error is carried. */
     bool ok() const { return code_ == StatusCode::Ok; }
@@ -70,6 +78,12 @@ class Status
     StatusCode code() const { return code_; }
     /** True when a retry may fix the failure. */
     bool isTransient() const { return code_ == StatusCode::Transient; }
+    /** True when the failure was a blown time budget. */
+    bool
+    isDeadlineExceeded() const
+    {
+        return code_ == StatusCode::DeadlineExceeded;
+    }
     /** The error message (empty when ok()). */
     const std::string &message() const { return message_; }
 

@@ -155,6 +155,38 @@ ThreadPool::submit(std::function<void()> task)
     return future;
 }
 
+std::optional<std::future<void>>
+ThreadPool::trySubmit(std::function<void()> task, std::size_t max_queued)
+{
+    CM_ASSERT(task != nullptr);
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    if (workers_.empty()) {
+        // No workers: the caller is the pool's only execution resource,
+        // exactly like submit(). There is no queue to overflow.
+        (*packaged)();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CM_ASSERT(!stopping_);
+        if (queue_.size() >= max_queued)
+            return std::nullopt; // shed: never block the caller
+        queue_.emplace_back(
+            instrumentTask([packaged] { (*packaged)(); }));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
 void
 ThreadPool::parallelFor(
     std::size_t begin, std::size_t end, std::size_t grain,

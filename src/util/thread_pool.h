@@ -29,6 +29,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -87,6 +88,27 @@ class ThreadPool
     std::future<void> submit(std::function<void()> task);
 
     /**
+     * Bounded, non-blocking submit: enqueue the task only when fewer
+     * than `max_queued` tasks are already waiting, else return nullopt
+     * *immediately* — the overload-shedding primitive for servers that
+     * must never block their accept loop behind a saturated pool
+     * (DESIGN.md §14). Never waits on the queue or on workers.
+     *
+     * With no workers there is no queue to bound; the task runs inline
+     * (matching submit) and the returned future is already ready. A
+     * `max_queued` of 0 on a worker-backed pool sheds every task.
+     */
+    std::optional<std::future<void>> trySubmit(std::function<void()> task,
+                                               std::size_t max_queued);
+
+    /**
+     * Tasks currently waiting in the queue (not yet claimed by a
+     * worker). A snapshot: stale the moment it returns; meant for
+     * pressure gauges, not synchronization.
+     */
+    std::size_t queueDepth() const;
+
+    /**
      * Run fn over [begin, end) in chunks of `grain` elements.
      *
      * Chunk k covers [begin + k*grain, min(begin + (k+1)*grain, end));
@@ -116,7 +138,7 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
 };

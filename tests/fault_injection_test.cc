@@ -433,4 +433,165 @@ TEST(FaultInjectionEndToEnd, QuarantineAndContinuePastBadRuns)
     EXPECT_EQ(report.topEvents.size(), 10u);
 }
 
+// --- transport faults (the serving layer's damage classes) ---------------
+
+TEST(FaultSpec, ParsesTransportKeysAndRoundTrips)
+{
+    const auto result = parseFaultSpec(
+        "torn=0.05,hangup=0.01,delay=0.1,delayms=3.5,seed=9");
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    const FaultSpec spec = result.value();
+    EXPECT_DOUBLE_EQ(spec.tornFrameRate, 0.05);
+    EXPECT_DOUBLE_EQ(spec.hangupRate, 0.01);
+    EXPECT_DOUBLE_EQ(spec.delayRate, 0.1);
+    EXPECT_DOUBLE_EQ(spec.delayMs, 3.5);
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_TRUE(spec.any());
+
+    const auto again = parseFaultSpec(spec.toString());
+    ASSERT_TRUE(again.ok()) << again.status().toString();
+    EXPECT_DOUBLE_EQ(again.value().tornFrameRate, spec.tornFrameRate);
+    EXPECT_DOUBLE_EQ(again.value().hangupRate, spec.hangupRate);
+    EXPECT_DOUBLE_EQ(again.value().delayRate, spec.delayRate);
+    EXPECT_DOUBLE_EQ(again.value().delayMs, spec.delayMs);
+    EXPECT_EQ(again.value().seed, spec.seed);
+}
+
+TEST(FaultInjector, TransportFaultsAreDeterministicPerSeed)
+{
+    FaultSpec spec;
+    spec.tornFrameRate = 0.1;
+    spec.hangupRate = 0.05;
+    spec.delayRate = 0.2;
+    spec.delayMs = 2.0;
+    spec.seed = 21;
+
+    FaultInjector first(spec);
+    FaultInjector second(spec);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = first.transportFault(128);
+        const auto b = second.transportFault(128);
+        EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+        EXPECT_EQ(a.tearAt, b.tearAt);
+        EXPECT_EQ(a.delayMs, b.delayMs);
+        if (a.kind == TransportFault::Kind::TornFrame) {
+            EXPECT_LT(a.tearAt, 128u); // tears strictly inside
+        }
+        if (a.kind == TransportFault::Kind::Delay) {
+            EXPECT_EQ(a.delayMs, 2.0);
+        }
+    }
+    EXPECT_EQ(first.counts(), second.counts());
+    EXPECT_GT(first.counts().tornFrames + first.counts().hangups +
+                  first.counts().delays,
+              0u);
+}
+
+TEST(FaultInjector, ZeroTransportRatesLeaveTheDamageStreamUntouched)
+{
+    // transportFault() must not consume randomness when every
+    // transport rate is zero, so a spec that only damages samples
+    // produces identical series damage whether or not the serving
+    // transport polls the injector in between.
+    FaultSpec spec;
+    spec.corruptRate = 0.05;
+    spec.nanRate = 0.05;
+    spec.seed = 4;
+
+    const std::vector<TimeSeries> original = {
+        TimeSeries("a", std::vector<double>(300, 100.0), 10.0)};
+
+    auto plain = original;
+    auto interleaved = original;
+    FaultInjector first(spec);
+    FaultInjector second(spec);
+    first.corruptSeries(plain);
+    for (int i = 0; i < 100; ++i) {
+        const auto fault = second.transportFault(64);
+        EXPECT_EQ(static_cast<int>(fault.kind),
+                  static_cast<int>(TransportFault::Kind::None));
+    }
+    second.corruptSeries(interleaved);
+
+    EXPECT_EQ(first.counts(), second.counts());
+    for (std::size_t i = 0; i < plain[0].size(); ++i) {
+        const double va = plain[0].at(i);
+        const double vb = interleaved[0].at(i);
+        EXPECT_TRUE(va == vb || (std::isnan(va) && std::isnan(vb)))
+            << "sample " << i;
+    }
+}
+
+// --- retry deadline budget ----------------------------------------------
+
+TEST(Retry, DeadlineBudgetStopsBeforeSleepingPastIt)
+{
+    RetryOptions options;
+    options.maxAttempts = 10;
+    options.baseDelayMs = 40.0;
+    options.multiplier = 2.0;
+    options.jitterFraction = 0.0;
+    options.deadlineMs = 100.0;
+
+    RecordingClock clock;
+    Rng rng(1);
+    std::size_t calls = 0;
+    const auto result = retryWithBackoff(options, clock, rng, [&] {
+        ++calls;
+        return Status::transient("flaky");
+    });
+
+    // Delays would be 40, 80, ...: sleeping 80 after 40 blows the
+    // 100ms budget, so the loop stops *before* that sleep.
+    EXPECT_FALSE(result.status.ok());
+    EXPECT_EQ(result.status.code(), StatusCode::Transient);
+    EXPECT_TRUE(result.deadlineExhausted);
+    EXPECT_EQ(result.attempts, 2u);
+    EXPECT_EQ(calls, 2u);
+    ASSERT_EQ(clock.delays().size(), 1u);
+    EXPECT_DOUBLE_EQ(clock.delays()[0], 40.0);
+    EXPECT_LE(clock.totalMs(), options.deadlineMs);
+    EXPECT_NE(result.status.message().find("deadline"),
+              std::string::npos);
+}
+
+TEST(Retry, DeadlineZeroDisablesTheBudget)
+{
+    RetryOptions options;
+    options.maxAttempts = 5;
+    options.baseDelayMs = 1000.0;
+    options.multiplier = 1.0;
+    options.jitterFraction = 0.0;
+    options.deadlineMs = 0.0;
+
+    RecordingClock clock;
+    Rng rng(1);
+    const auto result = retryWithBackoff(options, clock, rng, [&] {
+        return Status::transient("flaky");
+    });
+    EXPECT_FALSE(result.deadlineExhausted);
+    EXPECT_EQ(result.attempts, 5u);
+    EXPECT_EQ(clock.delays().size(), 4u);
+}
+
+TEST(Retry, SuccessWithinTheBudgetIsNotExhausted)
+{
+    RetryOptions options;
+    options.maxAttempts = 5;
+    options.baseDelayMs = 10.0;
+    options.jitterFraction = 0.0;
+    options.deadlineMs = 100.0;
+
+    RecordingClock clock;
+    Rng rng(1);
+    std::size_t calls = 0;
+    const auto result = retryWithBackoff(options, clock, rng, [&] {
+        return ++calls < 3 ? Status::transient("flaky")
+                           : Status::okStatus();
+    });
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_FALSE(result.deadlineExhausted);
+    EXPECT_EQ(result.attempts, 3u);
+}
+
 } // namespace

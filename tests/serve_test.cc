@@ -1,0 +1,1274 @@
+/**
+ * @file
+ * Tests for the `cminer serve` daemon (DESIGN.md §14): wire-protocol
+ * round-trips and bounded decoding (truncation sweep at every byte,
+ * oversized frames rejected before allocation, malformed-frame fuzz),
+ * deadline handles under a ManualClock, exact overload-shedding
+ * accounting, graceful drain and degradation ordering, the
+ * fault-injected transport drive, a socket smoke test, and the
+ * load-generator acceptance test: predictions served through the pipe
+ * path are byte-identical to the `predict` CLI at 1, 2, and 8 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.h"
+#include "core/checkpoint.h"
+#include "core/importance.h"
+#include "ml/dataset.h"
+#include "ml/gbrt.h"
+#include "pmu/event.h"
+#include "serve/deadline.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
+#include "store/database.h"
+#include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace cminer;
+namespace util = cminer::util;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// --- in-memory transports ------------------------------------------------
+
+/** Serves frames from a byte string (what a client would have sent). */
+struct BytesFrameSource : serve::FrameSource
+{
+    explicit BytesFrameSource(std::string b)
+        : bytes(std::move(b))
+    {}
+
+    util::Status
+    next(std::string &payload, bool &eof) override
+    {
+        return serve::nextFrame(bytes, pos, payload, eof);
+    }
+
+    std::string bytes;
+    std::size_t pos = 0;
+};
+
+/** Collects response payloads (already encoded, not framed). */
+struct CollectFrameSink : serve::FrameSink
+{
+    util::Status
+    write(std::string_view payload) override
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        payloads.emplace_back(payload);
+        return util::Status::okStatus();
+    }
+
+    std::mutex mutex;
+    std::vector<std::string> payloads;
+};
+
+/** Decode every collected response, keyed by id. */
+std::map<std::uint64_t, serve::Response>
+decodeAll(const CollectFrameSink &sink)
+{
+    std::map<std::uint64_t, serve::Response> byId;
+    for (const auto &payload : sink.payloads) {
+        auto decoded = serve::decodeResponse(payload);
+        EXPECT_TRUE(decoded.ok()) << decoded.status().toString();
+        if (decoded.ok()) {
+            auto response = std::move(decoded).value();
+            byId[response.id] = std::move(response);
+        }
+    }
+    return byId;
+}
+
+// --- toy model -----------------------------------------------------------
+
+/** A small fitted MAPM artifact: 3 events, 64 rows, deterministic. */
+core::MapmArtifact
+toyArtifact()
+{
+    const std::vector<std::string> events = {"CYC", "INS", "LLC"};
+    const std::size_t rows = 64;
+    std::vector<std::vector<double>> columns(
+        events.size(), std::vector<double>(rows));
+    std::vector<double> targets(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double x = static_cast<double>(r);
+        columns[0][r] = 100.0 + 3.0 * x;
+        columns[1][r] = 50.0 + x * x * 0.25;
+        columns[2][r] = 10.0 + (r % 7);
+        targets[r] = 1.5 + 0.01 * x + 0.002 * columns[2][r];
+    }
+    ml::Dataset data =
+        ml::Dataset::fromColumns(events, std::move(columns),
+                                 std::move(targets));
+    ml::GbrtParams params;
+    params.treeCount = 12;
+    ml::Gbrt model(params);
+    util::Rng rng(7);
+    model.fit(data, rng);
+
+    core::MapmArtifact artifact;
+    artifact.benchmark = "toy";
+    artifact.microarch = "haswell-e";
+    artifact.events = events;
+    artifact.cvErrorPercent = 1.0;
+    artifact.model = std::move(model);
+    return artifact;
+}
+
+/** One single-row predict request against the toy model. */
+serve::PredictRequest
+toyPredict(std::uint64_t id, double seed_value,
+           const core::MapmArtifact &artifact, double deadline_ms = 0.0)
+{
+    serve::PredictRequest request;
+    request.id = id;
+    request.deadlineMs = deadline_ms;
+    request.model = "toy";
+    request.events = artifact.events;
+    request.rowCount = 1;
+    request.values = {100.0 + seed_value, 50.0 + seed_value,
+                      10.0 + seed_value};
+    return request;
+}
+
+/** Installs a metrics registry for one test scope. */
+struct MetricsGuard
+{
+    MetricsGuard() { util::setGlobalMetrics(&registry); }
+    ~MetricsGuard() { util::setGlobalMetrics(nullptr); }
+    util::MetricsRegistry registry;
+};
+
+std::uint64_t
+counterValue(util::MetricsRegistry &registry, const std::string &name)
+{
+    for (const auto &[n, v] : registry.counters())
+        if (n == name)
+            return v;
+    return 0;
+}
+
+double
+gaugeValue(util::MetricsRegistry &registry, const std::string &name)
+{
+    for (const auto &[n, v] : registry.gauges())
+        if (n == name)
+            return v;
+    return -1.0;
+}
+
+// --- protocol round-trips ------------------------------------------------
+
+TEST(ServeProtocol, PredictRequestRoundTrips)
+{
+    serve::PredictRequest request;
+    request.id = 42;
+    request.deadlineMs = 12.5;
+    request.model = "sort";
+    request.events = {"CYC", "INS"};
+    request.rowCount = 2;
+    request.values = {1.0, 2.0, 3.5, -4.25};
+
+    auto decoded =
+        serve::decodeRequest(serve::encodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    const auto &round =
+        std::get<serve::PredictRequest>(decoded.value());
+    EXPECT_EQ(round.id, 42u);
+    EXPECT_EQ(round.deadlineMs, 12.5);
+    EXPECT_EQ(round.model, "sort");
+    EXPECT_EQ(round.events, request.events);
+    EXPECT_EQ(round.rowCount, 2u);
+    EXPECT_EQ(round.values, request.values);
+}
+
+TEST(ServeProtocol, ControlRequestsRoundTrip)
+{
+    {
+        auto decoded = serve::decodeRequest(
+            serve::encodeRequest(serve::StatsRequest{9}));
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(std::get<serve::StatsRequest>(decoded.value()).id, 9u);
+    }
+    {
+        serve::MineRequest mine;
+        mine.id = 11;
+        mine.deadlineMs = 500.0;
+        mine.benchmark = "sort";
+        mine.modelName = "fresh";
+        mine.runs = 3;
+        mine.minEvents = 120;
+        mine.seed = 99;
+        auto decoded =
+            serve::decodeRequest(serve::encodeRequest(mine));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+        const auto &round = std::get<serve::MineRequest>(decoded.value());
+        EXPECT_EQ(round.benchmark, "sort");
+        EXPECT_EQ(round.modelName, "fresh");
+        EXPECT_EQ(round.runs, 3u);
+        EXPECT_EQ(round.minEvents, 120u);
+        EXPECT_EQ(round.seed, 99u);
+    }
+    {
+        auto decoded = serve::decodeRequest(
+            serve::encodeRequest(serve::ShutdownRequest{13}));
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(std::get<serve::ShutdownRequest>(decoded.value()).id,
+                  13u);
+    }
+}
+
+TEST(ServeProtocol, ResponsesRoundTripEveryCode)
+{
+    {
+        serve::Response ok;
+        ok.type = serve::MessageType::Predict;
+        ok.id = 7;
+        ok.predictions = {1.5, -2.25, 1e-300};
+        auto decoded =
+            serve::decodeResponse(serve::encodeResponse(ok));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+        EXPECT_EQ(decoded.value().predictions, ok.predictions);
+    }
+    {
+        serve::Response stats;
+        stats.type = serve::MessageType::Stats;
+        stats.id = 8;
+        stats.text = "{\"serve\":{}}";
+        auto decoded =
+            serve::decodeResponse(serve::encodeResponse(stats));
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded.value().text, stats.text);
+    }
+    const util::Status errors[] = {
+        util::Status::parseError("p"),
+        util::Status::dataError("d"),
+        util::Status::capacityError("shed"),
+        util::Status::transient("t"),
+        util::Status::deadlineExceeded("late"),
+    };
+    for (const auto &status : errors) {
+        const auto failure = serve::Response::failure(
+            serve::MessageType::Predict, 21, status);
+        auto decoded =
+            serve::decodeResponse(serve::encodeResponse(failure));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+        EXPECT_EQ(decoded.value().code, status.code());
+        EXPECT_EQ(decoded.value().message, status.message());
+        EXPECT_EQ(decoded.value().status().code(), status.code());
+    }
+}
+
+TEST(ServeProtocol, RejectsTrailingBytesAndUnknownType)
+{
+    auto payload =
+        serve::encodeRequest(serve::Request(serve::StatsRequest{1}));
+    payload.push_back('x');
+    EXPECT_FALSE(serve::decodeRequest(payload).ok());
+
+    std::string unknown(9, '\0');
+    unknown[0] = '\x7f';
+    EXPECT_FALSE(serve::decodeRequest(unknown).ok());
+    EXPECT_EQ(serve::peekType(unknown), serve::MessageType::Unknown);
+    EXPECT_EQ(serve::peekType(""), serve::MessageType::Unknown);
+}
+
+TEST(ServeProtocol, RejectsOversizedDeclaredCountsBeforeAllocation)
+{
+    // A predict request declaring an absurd event count must be
+    // rejected by the bounded reader (remaining/8) without allocating.
+    serve::PredictRequest request;
+    request.id = 1;
+    request.model = "m";
+    request.events = {"A"};
+    request.rowCount = 1;
+    request.values = {1.0};
+    auto payload = serve::encodeRequest(serve::Request(request));
+    // The event-count u64 sits after: type(1) id(8) deadline(8)
+    // model-len(8) model(1). Overwrite it with 2^60.
+    const std::size_t count_at = 1 + 8 + 8 + 8 + 1;
+    for (int b = 0; b < 8; ++b)
+        payload[count_at + b] = 0;
+    payload[count_at + 7] = 0x10;
+    auto decoded = serve::decodeRequest(payload);
+    EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ServeProtocol, TruncationSweepEveryByteNeverCrashes)
+{
+    serve::PredictRequest request;
+    request.id = 3;
+    request.deadlineMs = 4.0;
+    request.model = "toy";
+    request.events = {"CYC", "INS", "LLC"};
+    request.rowCount = 2;
+    request.values = {1, 2, 3, 4, 5, 6};
+    const auto payload =
+        serve::encodeRequest(serve::Request(request));
+
+    // Every strict prefix of the payload must decode to an error.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        auto decoded =
+            serve::decodeRequest(payload.substr(0, len));
+        EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes";
+    }
+    ASSERT_TRUE(serve::decodeRequest(payload).ok());
+
+    // Every strict prefix of the framed bytes is a clean EOF (empty)
+    // or a torn-frame DataError — never a crash, never a bogus frame.
+    std::string framed;
+    ASSERT_TRUE(serve::appendFrame(framed, payload).ok());
+    for (std::size_t len = 0; len < framed.size(); ++len) {
+        std::size_t pos = 0;
+        std::string out;
+        bool eof = false;
+        auto status =
+            serve::nextFrame(framed.substr(0, len), pos, out, eof);
+        if (len == 0) {
+            EXPECT_TRUE(status.ok());
+            EXPECT_TRUE(eof);
+        } else {
+            EXPECT_FALSE(status.ok()) << "prefix of " << len;
+            EXPECT_EQ(status.code(), util::StatusCode::DataError);
+        }
+    }
+    std::size_t pos = 0;
+    std::string out;
+    bool eof = false;
+    ASSERT_TRUE(serve::nextFrame(framed, pos, out, eof).ok());
+    EXPECT_FALSE(eof);
+    EXPECT_EQ(out, payload);
+}
+
+TEST(ServeProtocol, OversizedFrameLengthRejectedBeforeAllocation)
+{
+    // Header declares 0xffffffff bytes; nextFrame must reject from the
+    // 4 header bytes alone instead of trying to copy 4 GiB.
+    const std::string header("\xff\xff\xff\xff", 4);
+    std::size_t pos = 0;
+    std::string payload;
+    bool eof = false;
+    auto status = serve::nextFrame(header, pos, payload, eof);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("max"), std::string::npos);
+
+    std::istringstream in(header);
+    serve::StreamFrameSource source(in);
+    EXPECT_FALSE(source.next(payload, eof).ok());
+
+    // And the sink refuses to build such a frame in the first place.
+    std::string big(serve::max_frame_bytes + 1, 'x');
+    std::string framed;
+    EXPECT_EQ(serve::appendFrame(framed, big).code(),
+              util::StatusCode::CapacityError);
+}
+
+TEST(ServeProtocol, MalformedFrameFuzzNeverCrashes)
+{
+    util::Rng rng(1234);
+    // Random garbage payloads of every small size.
+    for (int iter = 0; iter < 300; ++iter) {
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniformInt(0, 63));
+        std::string garbage(len, '\0');
+        for (auto &c : garbage)
+            c = static_cast<char>(rng.uniformInt(0, 255));
+        (void)serve::decodeRequest(garbage);
+        (void)serve::decodeResponse(garbage);
+        (void)serve::peekType(garbage);
+    }
+    // Single-byte mutations of a valid request payload: decode must
+    // either succeed or fail cleanly, never read out of bounds.
+    serve::PredictRequest request;
+    request.id = 5;
+    request.model = "toy";
+    request.events = {"CYC", "INS"};
+    request.rowCount = 2;
+    request.values = {1, 2, 3, 4};
+    const auto payload =
+        serve::encodeRequest(serve::Request(request));
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string mutated = payload;
+        const std::size_t at = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(mutated.size()) - 1));
+        mutated[at] = static_cast<char>(rng.uniformInt(0, 255));
+        (void)serve::decodeRequest(std::move(mutated));
+    }
+}
+
+// --- deadlines -----------------------------------------------------------
+
+TEST(ServeDeadline, UnlimitedNeverExpires)
+{
+    const serve::Deadline unlimited;
+    EXPECT_TRUE(unlimited.isUnlimited());
+    EXPECT_FALSE(unlimited.expired());
+    EXPECT_TRUE(unlimited.check("any").ok());
+    EXPECT_GT(unlimited.remainingMs(), 1e300);
+}
+
+TEST(ServeDeadline, ExpiresExactlyOnTheManualClock)
+{
+    util::ManualClock clock;
+    const auto deadline = serve::Deadline::after(clock, 10.0);
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_EQ(deadline.remainingMs(), 10.0);
+
+    clock.advance(9.0);
+    EXPECT_TRUE(deadline.check("stage").ok());
+    clock.advance(1.0);
+    EXPECT_TRUE(deadline.expired());
+    const auto status = deadline.check("dequeue");
+    EXPECT_EQ(status.code(), util::StatusCode::DeadlineExceeded);
+    EXPECT_NE(status.message().find("dequeue"), std::string::npos);
+
+    clock.advance(2.5);
+    EXPECT_NE(deadline.check("late").message().find("2.5"),
+              std::string::npos);
+}
+
+// --- latency histogram ---------------------------------------------------
+
+TEST(ServeLatency, PercentilesAreMonotoneUpperBounds)
+{
+    serve::LatencyHistogram histogram;
+    EXPECT_EQ(histogram.percentile(0.99), 0.0);
+    for (int i = 0; i < 99; ++i)
+        histogram.record(0.05);
+    histogram.record(100.0);
+    EXPECT_EQ(histogram.count(), 100u);
+    EXPECT_EQ(histogram.maxMs(), 100.0);
+    const double p50 = histogram.percentile(0.50);
+    const double p99 = histogram.percentile(0.99);
+    EXPECT_GE(p50, 0.05);
+    EXPECT_LE(p50, 0.0625);
+    EXPECT_LE(p99, 128.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_GE(histogram.percentile(1.0), 100.0 / 2.0);
+}
+
+// --- server: predict pipeline -------------------------------------------
+
+TEST(ServeServer, PredictRoundTripMatchesDirectModelCall)
+{
+    auto artifact = toyArtifact();
+    const auto expected =
+        artifact.model.predict({105.0, 55.0, 15.0});
+
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+    server.registerModel("toy", std::move(artifact));
+    EXPECT_EQ(server.modelNames(),
+              std::vector<std::string>{"toy"});
+
+    CollectFrameSink sink;
+    auto reloaded = toyArtifact();
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(1, 5.0, reloaded))),
+        [&sink](std::string payload) {
+            (void)sink.write(payload);
+        });
+    EXPECT_EQ(server.queueDepth(), 1u);
+    EXPECT_EQ(server.runBatchOnce(), 1u);
+    EXPECT_EQ(server.queueDepth(), 0u);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 1u);
+    const auto &response = responses.at(1);
+    ASSERT_EQ(response.code, util::StatusCode::Ok);
+    ASSERT_EQ(response.predictions.size(), 1u);
+    EXPECT_EQ(response.predictions[0], expected);
+
+    const auto counts = server.counters();
+    EXPECT_EQ(counts.admitted, 1u);
+    EXPECT_EQ(counts.completed, 1u);
+    EXPECT_EQ(counts.batches, 1u);
+    EXPECT_EQ(counts.rowsScored, 1u);
+}
+
+TEST(ServeServer, RejectsUnknownModelAndEventMismatch)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+    auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    auto collect = [&sink](std::string payload) {
+        (void)sink.write(payload);
+    };
+
+    auto wrong_model = toyPredict(1, 1.0, artifact);
+    wrong_model.model = "nope";
+    server.submitFrame(
+        serve::encodeRequest(serve::Request(wrong_model)), collect);
+
+    auto wrong_events = toyPredict(2, 1.0, artifact);
+    wrong_events.events = {"CYC", "LLC", "INS"}; // wrong order
+    server.submitFrame(
+        serve::encodeRequest(serve::Request(wrong_events)), collect);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses.at(1).code, util::StatusCode::DataError);
+    EXPECT_EQ(responses.at(2).code, util::StatusCode::DataError);
+    EXPECT_NE(responses.at(2).message.find("event list mismatch"),
+              std::string::npos);
+    EXPECT_EQ(server.queueDepth(), 0u);
+    EXPECT_EQ(server.counters().failed, 2u);
+}
+
+TEST(ServeServer, UndecodableFrameStillGetsExactlyOneResponse)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+
+    CollectFrameSink sink;
+    server.submitFrame("\x01garbage",
+                       [&sink](std::string payload) {
+                           (void)sink.write(payload);
+                       });
+    ASSERT_EQ(sink.payloads.size(), 1u);
+    auto decoded = serve::decodeResponse(sink.payloads.front());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().type, serve::MessageType::Unknown);
+    EXPECT_NE(decoded.value().code, util::StatusCode::Ok);
+    EXPECT_EQ(server.counters().decodeErrors, 1u);
+}
+
+TEST(ServeServer, OverloadShedsExactlyAndGaugeReconciles)
+{
+    MetricsGuard metrics;
+    constexpr std::size_t cap = 8;
+    constexpr std::size_t burst = 4 * cap;
+
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    options.queueCap = cap;
+    options.maxBatchRows = 4; // several batches to drain the backlog
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    for (std::size_t i = 0; i < burst; ++i) {
+        server.submitFrame(
+            serve::encodeRequest(serve::Request(
+                toyPredict(i + 1, static_cast<double>(i), artifact))),
+            [&sink](std::string payload) {
+                (void)sink.write(payload);
+            });
+    }
+
+    // Exactly the first `cap` requests were admitted; the remaining
+    // 3*cap were shed immediately with CapacityError.
+    EXPECT_EQ(server.queueDepth(), cap);
+    {
+        const auto counts = server.counters();
+        EXPECT_EQ(counts.admitted, cap);
+        EXPECT_EQ(counts.shed, burst - cap);
+    }
+    EXPECT_EQ(gaugeValue(metrics.registry, "serve.queue_depth"),
+              static_cast<double>(cap));
+    EXPECT_EQ(counterValue(metrics.registry, "serve.requests_shed"),
+              burst - cap);
+    EXPECT_EQ(counterValue(metrics.registry,
+                           "serve.requests_admitted"),
+              cap);
+
+    // Drain the admitted backlog; every admitted request succeeds.
+    std::size_t drained = 0;
+    while (std::size_t n = server.runBatchOnce())
+        drained += n;
+    EXPECT_EQ(drained, cap);
+    EXPECT_EQ(gaugeValue(metrics.registry, "serve.queue_depth"), 0.0);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), burst);
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    for (const auto &[id, response] : responses) {
+        if (response.code == util::StatusCode::Ok) {
+            ++ok;
+            EXPECT_LE(id, cap); // FIFO admission: the first `cap` ids
+        } else {
+            EXPECT_EQ(response.code, util::StatusCode::CapacityError);
+            ++shed;
+        }
+    }
+    EXPECT_EQ(ok, cap);
+    EXPECT_EQ(shed, burst - cap);
+
+    const auto counts = server.counters();
+    EXPECT_EQ(counts.completed, cap);
+    EXPECT_EQ(counts.admitted + counts.shed, burst);
+}
+
+TEST(ServeServer, QueuedRequestPastDeadlineReportsDeadlineExceeded)
+{
+    util::ManualClock clock;
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    options.clock = &clock;
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    auto collect = [&sink](std::string payload) {
+        (void)sink.write(payload);
+    };
+    // Request 1 has 10ms of budget, request 2 has 1000ms.
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(1, 1.0, artifact, 10.0))),
+        collect);
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(2, 2.0, artifact, 1000.0))),
+        collect);
+    EXPECT_EQ(server.queueDepth(), 2u);
+
+    // 20ms pass while the requests sit in the queue.
+    clock.advance(20.0);
+    EXPECT_EQ(server.runBatchOnce(), 2u);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses.at(1).code,
+              util::StatusCode::DeadlineExceeded);
+    EXPECT_NE(responses.at(1).message.find("dequeue"),
+              std::string::npos);
+    EXPECT_EQ(responses.at(2).code, util::StatusCode::Ok);
+
+    const auto counts = server.counters();
+    EXPECT_EQ(counts.deadlineMissed, 1u);
+    EXPECT_EQ(counts.completed, 1u);
+}
+
+TEST(ServeServer, DefaultDeadlineAppliesToBudgetlessRequests)
+{
+    util::ManualClock clock;
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    options.clock = &clock;
+    options.defaultDeadlineMs = 5.0;
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(1, 1.0, artifact))),
+        [&sink](std::string payload) {
+            (void)sink.write(payload);
+        });
+    clock.advance(6.0);
+    EXPECT_EQ(server.runBatchOnce(), 1u);
+    const auto responses = decodeAll(sink);
+    EXPECT_EQ(responses.at(1).code,
+              util::StatusCode::DeadlineExceeded);
+}
+
+TEST(ServeServer, DrainFinishesAdmittedWorkAndRefusesNewWork)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    auto collect = [&sink](std::string payload) {
+        (void)sink.write(payload);
+    };
+    server.submitFrame(serve::encodeRequest(serve::Request(
+                           toyPredict(1, 1.0, artifact))),
+                       collect);
+    server.submitFrame(serve::encodeRequest(serve::Request(
+                           toyPredict(2, 2.0, artifact))),
+                       collect);
+
+    // A shutdown frame begins the drain and is acknowledged.
+    server.submitFrame(serve::encodeRequest(
+                           serve::Request(serve::ShutdownRequest{3})),
+                       collect);
+    EXPECT_TRUE(server.draining());
+
+    // New work after the drain began is refused, not queued.
+    server.submitFrame(serve::encodeRequest(serve::Request(
+                           toyPredict(4, 4.0, artifact))),
+                       collect);
+
+    server.drain();
+    EXPECT_EQ(server.queueDepth(), 0u);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 4u);
+    EXPECT_EQ(responses.at(1).code, util::StatusCode::Ok);
+    EXPECT_EQ(responses.at(2).code, util::StatusCode::Ok);
+    EXPECT_EQ(responses.at(3).code, util::StatusCode::Ok);
+    EXPECT_EQ(responses.at(3).type, serve::MessageType::Shutdown);
+    EXPECT_EQ(responses.at(4).code, util::StatusCode::Transient);
+    EXPECT_NE(responses.at(4).message.find("draining"),
+              std::string::npos);
+}
+
+TEST(ServeServer, MiningRefusedUnderPressureWhilePredictsStillAdmitted)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    options.queueCap = 8;
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    auto collect = [&sink](std::string payload) {
+        (void)sink.write(payload);
+    };
+    // Half-fill the queue: pressure threshold reached.
+    for (std::size_t i = 0; i < 4; ++i)
+        server.submitFrame(
+            serve::encodeRequest(serve::Request(toyPredict(
+                i + 1, static_cast<double>(i), artifact))),
+            collect);
+
+    serve::MineRequest mine;
+    mine.id = 100;
+    mine.benchmark = "sort";
+    server.submitFrame(
+        serve::encodeRequest(serve::Request(mine)), collect);
+
+    // Degradation ordering: the mine was refused, but a further
+    // predict still fits in the remaining queue capacity.
+    server.submitFrame(serve::encodeRequest(serve::Request(
+                           toyPredict(5, 5.0, artifact))),
+                       collect);
+    EXPECT_EQ(server.queueDepth(), 5u);
+    {
+        const auto counts = server.counters();
+        EXPECT_EQ(counts.minesRefused, 1u);
+        EXPECT_EQ(counts.shed, 0u);
+        EXPECT_EQ(counts.admitted, 5u);
+    }
+
+    while (server.runBatchOnce() > 0) {
+    }
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 6u);
+    EXPECT_EQ(responses.at(100).code,
+              util::StatusCode::CapacityError);
+    EXPECT_NE(responses.at(100).message.find("mining refused"),
+              std::string::npos);
+}
+
+TEST(ServeServer, MineOfUnknownBenchmarkFailsCleanly)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+
+    CollectFrameSink sink;
+    serve::MineRequest mine;
+    mine.id = 1;
+    mine.benchmark = "no-such-benchmark";
+    server.submitFrame(serve::encodeRequest(serve::Request(mine)),
+                       [&sink](std::string payload) {
+                           (void)sink.write(payload);
+                       });
+    server.drain();
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses.at(1).code, util::StatusCode::DataError);
+    EXPECT_NE(responses.at(1).message.find("unknown benchmark"),
+              std::string::npos);
+}
+
+TEST(ServeServer, StatsResponseCarriesTheDashboard)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    server.submitFrame(serve::encodeRequest(
+                           serve::Request(serve::StatsRequest{1})),
+                       [&sink](std::string payload) {
+                           (void)sink.write(payload);
+                       });
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 1u);
+    const auto &text = responses.at(1).text;
+    EXPECT_NE(text.find("\"queueDepth\""), std::string::npos);
+    EXPECT_NE(text.find("\"shed\""), std::string::npos);
+    EXPECT_NE(text.find("\"latencyMs\""), std::string::npos);
+    EXPECT_NE(text.find("\"toy\""), std::string::npos);
+}
+
+// --- fault-injected transport -------------------------------------------
+
+/** One deterministic fault-drive pass; returns what happened. */
+struct FaultDriveResult
+{
+    std::size_t framesRead = 0;
+    std::size_t responses = 0;
+    util::FaultCounts injected;
+    std::vector<std::string> sortedPayloads;
+    std::vector<double> delays;
+};
+
+FaultDriveResult
+runFaultDrive(std::uint64_t seed)
+{
+    const auto artifact = toyArtifact();
+    std::string bytes;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        serve::Request request(
+            toyPredict(i + 1, static_cast<double>(i % 17), artifact));
+        std::string payload = serve::encodeRequest(request);
+        EXPECT_TRUE(serve::appendFrame(bytes, payload).ok());
+    }
+
+    util::FaultSpec spec;
+    spec.tornFrameRate = 0.01;
+    spec.hangupRate = 0.005;
+    spec.delayRate = 0.05;
+    spec.delayMs = 3.0;
+    spec.seed = seed;
+    util::FaultInjector injector(spec);
+    util::RecordingClock recorder;
+
+    serve::ServerOptions options;
+    options.batchWindowMs = 0.05;
+    serve::Server server(options);
+    server.registerModel("toy", toyArtifact());
+
+    BytesFrameSource inner(std::move(bytes));
+    serve::FaultyFrameSource source(inner, injector, &recorder);
+    CollectFrameSink sink;
+    const auto result = serveConnection(server, source, sink);
+    server.drain();
+
+    FaultDriveResult out;
+    out.framesRead = result.framesRead;
+    out.injected = injector.counts();
+    out.delays = recorder.delays();
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        out.responses = sink.payloads.size();
+        out.sortedPayloads = sink.payloads;
+    }
+    std::sort(out.sortedPayloads.begin(), out.sortedPayloads.end());
+    return out;
+}
+
+TEST(ServeFaults, TransportFaultDriveNeverAbortsAndAnswersEveryFrame)
+{
+    const auto run = runFaultDrive(11);
+    // Every frame that made it through the faulty transport got
+    // exactly one response; a torn frame or hangup ends the
+    // connection but corrupts nothing.
+    EXPECT_EQ(run.responses, run.framesRead);
+    EXPECT_LE(run.framesRead, 200u);
+    EXPECT_EQ(run.delays.size(), run.injected.delays);
+    for (const double d : run.delays)
+        EXPECT_EQ(d, 3.0);
+    // At most one connection-fatal fault can fire.
+    EXPECT_LE(run.injected.tornFrames + run.injected.hangups, 1u);
+}
+
+TEST(ServeFaults, FaultDriveIsDeterministicPerSeed)
+{
+    const auto first = runFaultDrive(11);
+    const auto second = runFaultDrive(11);
+    EXPECT_EQ(first.framesRead, second.framesRead);
+    EXPECT_TRUE(first.injected == second.injected);
+    EXPECT_EQ(first.delays, second.delays);
+    EXPECT_EQ(first.sortedPayloads, second.sortedPayloads);
+
+    const auto other = runFaultDrive(12);
+    // A different seed is allowed to produce the same fault pattern,
+    // but the drive must still answer everything it read.
+    EXPECT_EQ(other.responses, other.framesRead);
+}
+
+TEST(ServeFaults, FaultySinkTearsFramesDeterministically)
+{
+    util::FaultSpec spec;
+    spec.tornFrameRate = 1.0; // first write always tears
+    spec.seed = 3;
+    util::FaultInjector injector(spec);
+    std::ostringstream out;
+    serve::FaultyStreamFrameSink sink(out, injector);
+
+    auto first = sink.write("hello-world-payload");
+    EXPECT_FALSE(first.ok());
+    EXPECT_EQ(injector.counts().tornFrames, 1u);
+    // The torn prefix landed, and nothing more ever will.
+    const std::size_t torn_size = out.str().size();
+    EXPECT_LT(torn_size, 4 + std::string("hello-world-payload")
+                                 .size());
+    auto second = sink.write("more");
+    EXPECT_FALSE(second.ok());
+    EXPECT_EQ(out.str().size(), torn_size);
+}
+
+// --- the mined-model acceptance fixtures --------------------------------
+
+/** Paths produced by one shared `mapm sort` run (mined once). */
+struct MinedSort
+{
+    std::string model;
+    std::string db;
+    std::string csv;
+    /** Predicted IPC per database row, parsed from the predict CSV. */
+    std::vector<double> predictions;
+};
+
+const MinedSort &
+minedSort()
+{
+    static const MinedSort fixture = [] {
+        MinedSort m;
+        m.model = tmpPath("serve_test_model.ckpt");
+        m.db = tmpPath("serve_test_runs.cmdb");
+        m.csv = tmpPath("serve_test_pred.csv");
+        std::string out;
+        if (cli::run({"mapm", "sort", "--min-events", "150", "--seed",
+                      "5", "--model-out", m.model, "--db", m.db,
+                      "--threads", "1"},
+                     out) != 0)
+            throw std::runtime_error("mapm failed: " + out);
+        std::string pout;
+        if (cli::run({"predict", m.db, "--model", m.model, "--out",
+                      m.csv, "--threads", "1"},
+                     pout) != 0)
+            throw std::runtime_error("predict failed: " + pout);
+        // CSV rows: row,predicted_ipc,measured_ipc with %.17g values
+        // (shortest-round-trip: strtod returns the identical bits).
+        std::ifstream in(m.csv);
+        std::string line;
+        std::getline(in, line); // header
+        while (std::getline(in, line)) {
+            const auto first = line.find(',');
+            const auto second = line.find(',', first + 1);
+            if (first == std::string::npos ||
+                second == std::string::npos)
+                continue;
+            m.predictions.push_back(std::strtod(
+                line.substr(first + 1, second - first - 1).c_str(),
+                nullptr));
+        }
+        if (m.predictions.empty())
+            throw std::runtime_error("no predictions parsed");
+        return m;
+    }();
+    return fixture;
+}
+
+/** The database rows projected onto the artifact's kept events. */
+std::vector<std::vector<double>>
+scorableRows(const core::MapmArtifact &artifact)
+{
+    const auto db = store::Database::load(minedSort().db);
+    std::vector<store::RunId> ids;
+    for (const auto &program : db.programs())
+        for (const auto id : db.findRuns(program, "mlpx"))
+            ids.push_back(id);
+    const auto data = core::ImportanceRanker::buildDatasetFromStore(
+        db, ids, pmu::EventCatalog::instance());
+    const auto view =
+        ml::DatasetView(data).withFeatures(artifact.events);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(view.rowCount());
+    for (std::size_t r = 0; r < view.rowCount(); ++r)
+        rows.push_back(view.row(r));
+    return rows;
+}
+
+// --- the load-generator acceptance test ---------------------------------
+
+TEST(ServeLoadGen, PipelinedPredictsAreByteIdenticalToPredictCli)
+{
+    const auto &mined = minedSort();
+    auto loaded = core::loadMapmArtifact(mined.model);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    const core::MapmArtifact artifact = std::move(loaded).value();
+    const auto rows = scorableRows(artifact);
+    ASSERT_EQ(rows.size(), mined.predictions.size());
+
+    // >= 1000 single-row predict requests cycling over the database
+    // rows, all pipelined on one connection, closed by a shutdown.
+    constexpr std::size_t request_count = 1000;
+    std::string bytes;
+    for (std::size_t i = 0; i < request_count; ++i) {
+        serve::PredictRequest request;
+        request.id = i + 1;
+        request.model = "sort";
+        request.events = artifact.events;
+        request.rowCount = 1;
+        request.values = rows[i % rows.size()];
+        ASSERT_TRUE(serve::appendFrame(
+                        bytes,
+                        serve::encodeRequest(serve::Request(
+                            std::move(request))))
+                        .ok());
+    }
+    ASSERT_TRUE(serve::appendFrame(
+                    bytes, serve::encodeRequest(serve::Request(
+                               serve::ShutdownRequest{9999})))
+                    .ok());
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        util::Parallelism::setThreadCount(threads);
+        serve::ServerOptions options;
+        options.queueCap = 2048; // admit the whole burst
+        options.maxBatchRows = 64;
+        options.batchWindowMs = 0.05;
+        serve::Server server(options);
+        ASSERT_TRUE(server.loadModel("sort", mined.model).ok());
+
+        BytesFrameSource source(bytes);
+        CollectFrameSink sink;
+        const auto result = serveConnection(server, source, sink);
+        EXPECT_TRUE(result.shutdownRequested);
+        EXPECT_EQ(result.framesRead, request_count + 1);
+        server.drain();
+
+        const auto responses = decodeAll(sink);
+        ASSERT_EQ(responses.size(), request_count + 1)
+            << "threads=" << threads;
+        std::size_t verified = 0;
+        for (std::size_t i = 0; i < request_count; ++i) {
+            const auto &response = responses.at(i + 1);
+            ASSERT_EQ(response.code, util::StatusCode::Ok)
+                << "id " << i + 1 << ": " << response.message;
+            ASSERT_EQ(response.predictions.size(), 1u);
+            // Byte-identity with the predict CLI's CSV: the served
+            // prediction must be the same double, bit for bit.
+            EXPECT_EQ(response.predictions[0],
+                      mined.predictions[i % rows.size()])
+                << "id " << i + 1 << " threads " << threads;
+            ++verified;
+        }
+        EXPECT_EQ(verified, request_count);
+
+        const auto counts = server.counters();
+        EXPECT_EQ(counts.admitted, request_count);
+        EXPECT_EQ(counts.completed, request_count);
+        EXPECT_EQ(counts.shed, 0u);
+        EXPECT_GE(counts.batches, 1u);
+        EXPECT_EQ(counts.rowsScored, request_count);
+    }
+    util::Parallelism::setThreadCount(1);
+}
+
+// --- cminer serve CLI (file mode) ---------------------------------------
+
+TEST(ServeCli, FileModeServesFramesByteIdenticalToPredict)
+{
+    const auto &mined = minedSort();
+    auto loaded = core::loadMapmArtifact(mined.model);
+    ASSERT_TRUE(loaded.ok());
+    const core::MapmArtifact artifact = std::move(loaded).value();
+    const auto rows = scorableRows(artifact);
+
+    // One multi-row predict covering every database row + stats +
+    // shutdown, written as a request file.
+    serve::PredictRequest request;
+    request.id = 1;
+    request.model = "sort";
+    request.events = artifact.events;
+    request.rowCount = rows.size();
+    for (const auto &row : rows)
+        request.values.insert(request.values.end(), row.begin(),
+                              row.end());
+    std::string bytes;
+    ASSERT_TRUE(serve::appendFrame(bytes,
+                                   serve::encodeRequest(serve::Request(
+                                       std::move(request))))
+                    .ok());
+    ASSERT_TRUE(
+        serve::appendFrame(bytes, serve::encodeRequest(serve::Request(
+                                      serve::StatsRequest{2})))
+            .ok());
+    ASSERT_TRUE(serve::appendFrame(
+                    bytes, serve::encodeRequest(serve::Request(
+                               serve::ShutdownRequest{3})))
+                    .ok());
+
+    const std::string in_path = tmpPath("serve_cli_in.bin");
+    const std::string out_path = tmpPath("serve_cli_out.bin");
+    {
+        std::ofstream out(in_path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string output;
+    ASSERT_EQ(cli::run({"serve", "--model",
+                        "sort=" + mined.model, "--in", in_path,
+                        "--out", out_path, "--threads", "1"},
+                       output),
+              0)
+        << output;
+    EXPECT_NE(output.find("served 3 frames"), std::string::npos);
+
+    // Decode the response file: three frames, matched by id.
+    const std::string response_bytes = readBytes(out_path);
+    std::map<std::uint64_t, serve::Response> responses;
+    std::size_t pos = 0;
+    for (;;) {
+        std::string payload;
+        bool eof = false;
+        ASSERT_TRUE(
+            serve::nextFrame(response_bytes, pos, payload, eof).ok());
+        if (eof)
+            break;
+        auto decoded = serve::decodeResponse(std::move(payload));
+        ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+        responses[decoded.value().id] = std::move(decoded).value();
+    }
+    ASSERT_EQ(responses.size(), 3u);
+
+    const auto &predict = responses.at(1);
+    ASSERT_EQ(predict.code, util::StatusCode::Ok);
+    ASSERT_EQ(predict.predictions.size(), mined.predictions.size());
+    for (std::size_t r = 0; r < predict.predictions.size(); ++r)
+        EXPECT_EQ(predict.predictions[r], mined.predictions[r])
+            << "row " << r;
+
+    EXPECT_EQ(responses.at(2).code, util::StatusCode::Ok);
+    EXPECT_NE(responses.at(2).text.find("\"queueDepth\""),
+              std::string::npos);
+    EXPECT_EQ(responses.at(3).type, serve::MessageType::Shutdown);
+
+    std::filesystem::remove(in_path);
+    std::filesystem::remove(out_path);
+}
+
+TEST(ServeCli, RequiresAModelAndATransport)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"serve", "--pipe"}, output), 1);
+    EXPECT_NE(output.find("error:"), std::string::npos);
+
+    std::string output2;
+    EXPECT_EQ(cli::run({"serve", "--model", "/nonexistent.ckpt",
+                        "--pipe"},
+                       output2),
+              1);
+
+    std::string help;
+    EXPECT_EQ(cli::run({"help"}, help), 0);
+    EXPECT_NE(help.find("serve"), std::string::npos);
+}
+
+// --- socket smoke --------------------------------------------------------
+
+TEST(ServeSocket, ServesPredictStatsAndShutdownOverAfUnix)
+{
+    const std::string path = tmpPath("cminer_serve_test.sock");
+    const auto artifact = toyArtifact();
+    const auto expected =
+        artifact.model.predict({103.0, 53.0, 13.0});
+
+    serve::ServerOptions options;
+    options.batchWindowMs = 0.05;
+    serve::Server server(options);
+    server.registerModel("toy", toyArtifact());
+
+    serve::SocketServer listener(server, path);
+    ASSERT_TRUE(listener.listen().ok());
+    std::thread accept_thread([&listener] {
+        EXPECT_TRUE(listener.serveForever().ok());
+    });
+
+    auto connected = serve::connectUnixSocket(path);
+    ASSERT_TRUE(connected.ok()) << connected.status().toString();
+    const int fd = connected.value();
+
+    {
+        serve::FdFrameSink client_out(fd);
+        ASSERT_TRUE(client_out
+                        .write(serve::encodeRequest(serve::Request(
+                            toyPredict(1, 3.0, artifact))))
+                        .ok());
+        ASSERT_TRUE(client_out
+                        .write(serve::encodeRequest(serve::Request(
+                            serve::StatsRequest{2})))
+                        .ok());
+        ASSERT_TRUE(client_out
+                        .write(serve::encodeRequest(serve::Request(
+                            serve::ShutdownRequest{3})))
+                        .ok());
+
+        serve::FdFrameSource client_in(fd);
+        std::map<std::uint64_t, serve::Response> responses;
+        for (int i = 0; i < 3; ++i) {
+            std::string payload;
+            bool eof = false;
+            ASSERT_TRUE(client_in.next(payload, eof).ok());
+            ASSERT_FALSE(eof);
+            auto decoded = serve::decodeResponse(std::move(payload));
+            ASSERT_TRUE(decoded.ok());
+            responses[decoded.value().id] =
+                std::move(decoded).value();
+        }
+        ASSERT_EQ(responses.size(), 3u);
+        ASSERT_EQ(responses.at(1).code, util::StatusCode::Ok);
+        ASSERT_EQ(responses.at(1).predictions.size(), 1u);
+        EXPECT_EQ(responses.at(1).predictions[0], expected);
+        EXPECT_NE(responses.at(2).text.find("\"serve\""),
+                  std::string::npos);
+        EXPECT_EQ(responses.at(3).type, serve::MessageType::Shutdown);
+    }
+    ::close(fd);
+    accept_thread.join();
+    EXPECT_EQ(listener.connectionCount(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+} // namespace

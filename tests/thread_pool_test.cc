@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -314,6 +316,90 @@ TEST(Parallelism, GlobalPoolResizesWithTheOverride)
     EXPECT_EQ(cminer::util::globalPool().workerCount(), 2u);
     Parallelism::setThreadCount(5);
     EXPECT_EQ(cminer::util::globalPool().workerCount(), 4u);
+}
+
+// --- trySubmit: bounded, non-blocking admission --------------------------
+
+TEST(TrySubmit, ShedsImmediatelyWhenTheQueueIsFull)
+{
+    ThreadPool pool(1);
+
+    // Park the only worker so every further task stays queued.
+    std::promise<void> release;
+    auto release_future = release.get_future().share();
+    std::promise<void> started;
+    auto blocker = pool.submit([&] {
+        started.set_value();
+        release_future.wait();
+    });
+    started.get_future().wait();
+
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> accepted;
+    for (int i = 0; i < 4; ++i) {
+        auto handle = pool.trySubmit([&ran] { ++ran; }, 4);
+        ASSERT_TRUE(handle.has_value()) << "task " << i;
+        accepted.push_back(std::move(*handle));
+    }
+    EXPECT_EQ(pool.queueDepth(), 4u);
+
+    // The bound is reached: the next submit is shed, and the caller
+    // learns it without ever blocking on the full queue.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto shed = pool.trySubmit([&ran] { ++ran; }, 4);
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_FALSE(shed.has_value());
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  waited)
+                  .count(),
+              1000);
+
+    release.set_value();
+    blocker.wait();
+    for (auto &handle : accepted)
+        handle.wait();
+    // Every accepted task ran; the shed one never did.
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(TrySubmit, BoundZeroShedsWhileTheWorkerIsBusy)
+{
+    ThreadPool pool(1);
+    std::promise<void> release;
+    auto release_future = release.get_future().share();
+    std::promise<void> started;
+    auto blocker = pool.submit([&] {
+        started.set_value();
+        release_future.wait();
+    });
+    started.get_future().wait();
+
+    EXPECT_FALSE(pool.trySubmit([] {}, 0).has_value());
+
+    release.set_value();
+    blocker.wait();
+}
+
+TEST(TrySubmit, ZeroWorkersRunInlineWithAReadyFuture)
+{
+    ThreadPool pool(0);
+    bool ran = false;
+    auto handle = pool.trySubmit([&ran] { ran = true; }, 0);
+    ASSERT_TRUE(handle.has_value());
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(handle->wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(TrySubmit, AcceptedTasksPropagateExceptionsThroughTheFuture)
+{
+    ThreadPool pool(2);
+    auto handle = pool.trySubmit(
+        [] { throw std::runtime_error("boom"); }, 8);
+    ASSERT_TRUE(handle.has_value());
+    EXPECT_THROW(handle->get(), std::runtime_error);
 }
 
 } // namespace
