@@ -583,10 +583,16 @@ Server::takeBatchLocked()
 {
     std::vector<PendingPredict> batch;
     std::deque<PendingPredict> rest;
-    const std::string model = queue_.front().request.model;
+    // Group by artifact identity, not model name: each request was
+    // validated (event list, value layout) against the artifact
+    // snapshot taken at its own admission, and a mine job can swap the
+    // artifact under the same name while requests sit queued. Batching
+    // across snapshots would index rows with the wrong column count.
+    const std::shared_ptr<const core::MapmArtifact> artifact =
+        queue_.front().artifact;
     std::size_t rows = 0;
     for (auto &pending : queue_) {
-        if (pending.request.model == model &&
+        if (pending.artifact == artifact &&
             (batch.empty() || rows < options_.maxBatchRows)) {
             rows += pending.request.rowCount;
             batch.push_back(std::move(pending));
@@ -674,6 +680,7 @@ Server::processBatch(std::vector<PendingPredict> batch)
                 if (!gate.ok()) {
                     respondFailure(pending.done, MessageType::Predict,
                                    r.id, gate);
+                    pending.done = nullptr;
                 } else {
                     Response ok;
                     ok.type = MessageType::Predict;
@@ -689,6 +696,7 @@ Server::processBatch(std::vector<PendingPredict> batch)
                     latency_.record(waited);
                     util::recordDuration("serve.latency_ms", waited);
                     respond(pending.done, ok);
+                    pending.done = nullptr;
                 }
                 offset += r.rowCount;
             }
@@ -702,14 +710,19 @@ Server::processBatch(std::vector<PendingPredict> batch)
             util::count("serve.rows_scored", total_rows);
         } catch (const std::exception &e) {
             // Scoring must never take the daemon down; every request
-            // in the doomed batch still gets its response.
+            // in the doomed batch still gets its response — but only
+            // one. Requests already answered above cleared their done
+            // callback, so an exception escaping mid-loop cannot
+            // re-respond to them (a second done() would double-count
+            // the connection's in-flight drain).
             for (auto &pending : live)
-                respondFailure(
-                    pending.done, MessageType::Predict,
-                    pending.request.id,
-                    util::Status::dataError(
-                        std::string("batch scoring failed: ") +
-                        e.what()));
+                if (pending.done)
+                    respondFailure(
+                        pending.done, MessageType::Predict,
+                        pending.request.id,
+                        util::Status::dataError(
+                            std::string("batch scoring failed: ") +
+                            e.what()));
         }
     }
 

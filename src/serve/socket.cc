@@ -105,7 +105,12 @@ SocketServer::serveForever()
                 std::string("accept failed: ") + std::strerror(err));
         }
         connections_.fetch_add(1);
-        workers_.emplace_back([this, conn] {
+        // Reclaim handles of connections that have since ended, so a
+        // long-lived daemon's worker list tracks open connections, not
+        // its lifetime connection count.
+        reapFinishedWorkers();
+        auto finished = std::make_shared<std::atomic<bool>>(false);
+        std::thread worker([this, conn, finished] {
             FdFrameSource source(conn);
             FdFrameSink sink(conn);
             const auto result =
@@ -113,7 +118,10 @@ SocketServer::serveForever()
             ::close(conn);
             if (result.shutdownRequested)
                 stop();
+            finished->store(true);
         });
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        workers_.push_back({std::move(worker), std::move(finished)});
     }
     joinWorkers();
     server_.drain();
@@ -131,12 +139,39 @@ SocketServer::stop()
     }
 }
 
+std::size_t
+SocketServer::trackedWorkerCount() const
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    return workers_.size();
+}
+
+void
+SocketServer::reapFinishedWorkers()
+{
+    // Only threads that flagged themselves done are joined, so this
+    // never blocks the accept loop behind a slow connection; a join
+    // here waits at most for the flag-setting thread to return.
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    auto it = workers_.begin();
+    while (it != workers_.end()) {
+        if (it->finished->load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = workers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
 void
 SocketServer::joinWorkers()
 {
+    std::lock_guard<std::mutex> lock(workersMutex_);
     for (auto &worker : workers_)
-        if (worker.joinable())
-            worker.join();
+        if (worker.thread.joinable())
+            worker.thread.join();
     workers_.clear();
 }
 

@@ -15,6 +15,8 @@
 #define CMINER_SERVE_SOCKET_H
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,7 +57,24 @@ class SocketServer
     /** Connections accepted so far. */
     std::size_t connectionCount() const { return connections_; }
 
+    /**
+     * Connection threads still tracked (live plus finished-but-not-yet
+     *-reaped). Finished workers are reaped on every accept, so this
+     * stays near the number of concurrently open connections rather
+     * than growing with the daemon's lifetime connection count.
+     */
+    std::size_t trackedWorkerCount() const;
+
   private:
+    /** A connection thread plus the flag its body sets on exit. */
+    struct ConnectionWorker
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> finished;
+    };
+
+    /** Join and drop workers whose connections have ended. */
+    void reapFinishedWorkers();
     void joinWorkers();
 
     Server &server_;
@@ -63,7 +82,8 @@ class SocketServer
     int listenFd_ = -1;
     std::atomic<bool> stopping_{false};
     std::atomic<std::size_t> connections_{0};
-    std::vector<std::thread> workers_;
+    mutable std::mutex workersMutex_;
+    std::vector<ConnectionWorker> workers_;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "serve/server.h"
@@ -223,8 +224,16 @@ FdFrameSink::write(std::string_view payload)
         return framed;
     std::size_t written = 0;
     while (written < frame.size()) {
-        const ssize_t n = ::write(fd_, frame.data() + written,
-                                  frame.size() - written);
+        // MSG_NOSIGNAL: a client that hangs up before its response — an
+        // ordinary event for a long-lived daemon — must surface as an
+        // EPIPE status on this connection, never as a SIGPIPE that
+        // takes down the whole server. Non-socket fds report ENOTSOCK
+        // and fall back to plain write().
+        ssize_t n = ::send(fd_, frame.data() + written,
+                           frame.size() - written, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd_, frame.data() + written,
+                        frame.size() - written);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

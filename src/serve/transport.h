@@ -163,7 +163,12 @@ class FdFrameSource : public FrameSource
     int fd_;
 };
 
-/** Frames written to a file descriptor (socket connections). */
+/**
+ * Frames written to a file descriptor (socket connections). A peer
+ * that hung up surfaces as a Transient EPIPE status, never a SIGPIPE:
+ * writes go through send(MSG_NOSIGNAL), with a write() fallback for
+ * non-socket fds.
+ */
 class FdFrameSink : public FrameSink
 {
   public:

@@ -24,6 +24,9 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "cli/cli.h"
 #include "core/checkpoint.h"
 #include "core/importance.h"
@@ -143,6 +146,42 @@ toyArtifact()
 
     core::MapmArtifact artifact;
     artifact.benchmark = "toy";
+    artifact.microarch = "haswell-e";
+    artifact.events = events;
+    artifact.cvErrorPercent = 1.0;
+    artifact.model = std::move(model);
+    return artifact;
+}
+
+/**
+ * A second deterministic artifact with a different event count, for
+ * tests that swap the artifact under a model name mid-flight.
+ */
+core::MapmArtifact
+twoEventArtifact()
+{
+    const std::vector<std::string> events = {"CYC", "INS"};
+    const std::size_t rows = 48;
+    std::vector<std::vector<double>> columns(
+        events.size(), std::vector<double>(rows));
+    std::vector<double> targets(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double x = static_cast<double>(r);
+        columns[0][r] = 200.0 + 2.0 * x;
+        columns[1][r] = 30.0 + 0.5 * x;
+        targets[r] = 2.0 + 0.03 * x;
+    }
+    ml::Dataset data =
+        ml::Dataset::fromColumns(events, std::move(columns),
+                                 std::move(targets));
+    ml::GbrtParams params;
+    params.treeCount = 8;
+    ml::Gbrt model(params);
+    util::Rng rng(11);
+    model.fit(data, rng);
+
+    core::MapmArtifact artifact;
+    artifact.benchmark = "toy2";
     artifact.microarch = "haswell-e";
     artifact.events = events;
     artifact.cvErrorPercent = 1.0;
@@ -641,6 +680,106 @@ TEST(ServeServer, OverloadShedsExactlyAndGaugeReconciles)
     const auto counts = server.counters();
     EXPECT_EQ(counts.completed, cap);
     EXPECT_EQ(counts.admitted + counts.shed, burst);
+}
+
+TEST(ServeServer, BatchesGroupByArtifactSnapshotNotModelName)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+
+    const auto first = toyArtifact();
+    const auto second = twoEventArtifact();
+    const double expected_first =
+        first.model.predict({101.0, 51.0, 11.0});
+    const double expected_second = second.model.predict({210.0, 35.0});
+
+    server.registerModel("toy", toyArtifact());
+    CollectFrameSink sink;
+    auto collect = [&sink](std::string payload) {
+        (void)sink.write(payload);
+    };
+    server.submitFrame(
+        serve::encodeRequest(serve::Request(toyPredict(1, 1.0, first))),
+        collect);
+
+    // A mine job swaps the artifact under the same name while request
+    // 1 sits queued; request 2 is validated against the new snapshot,
+    // which has a different event count.
+    server.registerModel("toy", twoEventArtifact());
+    serve::PredictRequest request2;
+    request2.id = 2;
+    request2.model = "toy";
+    request2.events = second.events;
+    request2.rowCount = 1;
+    request2.values = {210.0, 35.0};
+    server.submitFrame(serve::encodeRequest(serve::Request(request2)),
+                       collect);
+
+    ASSERT_EQ(server.queueDepth(), 2u);
+    // Each artifact snapshot must score in its own batch: mixing them
+    // would index request 2's two values with request 1's three-column
+    // layout (out-of-bounds reads or silently wrong predictions).
+    EXPECT_EQ(server.runBatchOnce(), 1u);
+    EXPECT_EQ(server.runBatchOnce(), 1u);
+    EXPECT_EQ(server.runBatchOnce(), 0u);
+
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.size(), 2u);
+    ASSERT_EQ(responses.at(1).code, util::StatusCode::Ok);
+    ASSERT_EQ(responses.at(1).predictions.size(), 1u);
+    EXPECT_EQ(responses.at(1).predictions[0], expected_first);
+    ASSERT_EQ(responses.at(2).code, util::StatusCode::Ok);
+    ASSERT_EQ(responses.at(2).predictions.size(), 1u);
+    EXPECT_EQ(responses.at(2).predictions[0], expected_second);
+}
+
+TEST(ServeServer, ThrowingDeliveryDoesNotReRespondAnsweredRequests)
+{
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+    const auto artifact = toyArtifact();
+    server.registerModel("toy", toyArtifact());
+
+    CollectFrameSink sink;
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(1, 1.0, artifact))),
+        [&sink](std::string payload) { (void)sink.write(payload); });
+    // Request 2's delivery throws once (modeling an allocation failure
+    // mid-respond-loop), then delivers normally.
+    int failures_left = 1;
+    server.submitFrame(
+        serve::encodeRequest(
+            serve::Request(toyPredict(2, 2.0, artifact))),
+        [&sink, &failures_left](std::string payload) {
+            if (failures_left > 0) {
+                --failures_left;
+                throw std::runtime_error("injected delivery failure");
+            }
+            (void)sink.write(payload);
+        });
+
+    EXPECT_EQ(server.runBatchOnce(), 2u);
+
+    // Request 1 was answered before the exception; the recovery path
+    // must not answer it a second time (a duplicate done() would
+    // double-decrement the connection's in-flight count).
+    std::size_t responses_for_1 = 0;
+    for (const auto &payload : sink.payloads) {
+        auto decoded = serve::decodeResponse(payload);
+        ASSERT_TRUE(decoded.ok());
+        if (decoded.value().id == 1) {
+            ++responses_for_1;
+            EXPECT_EQ(decoded.value().code, util::StatusCode::Ok);
+        }
+    }
+    EXPECT_EQ(responses_for_1, 1u);
+    // Request 2 still gets exactly one (failure) response.
+    const auto responses = decodeAll(sink);
+    ASSERT_EQ(responses.count(2), 1u);
+    EXPECT_EQ(responses.at(2).code, util::StatusCode::DataError);
 }
 
 TEST(ServeServer, QueuedRequestPastDeadlineReportsDeadlineExceeded)
@@ -1268,6 +1407,77 @@ TEST(ServeSocket, ServesPredictStatsAndShutdownOverAfUnix)
     ::close(fd);
     accept_thread.join();
     EXPECT_EQ(listener.connectionCount(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ServeSocket, HungUpPeerYieldsEpipeStatusNotSigpipe)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_EQ(::close(fds[1]), 0);
+
+    // A client hanging up before its response is an ordinary event for
+    // a long-lived daemon. Without MSG_NOSIGNAL this write raises
+    // SIGPIPE and the default action kills the whole process; it must
+    // instead come back as a transient transport error (EPIPE).
+    serve::FdFrameSink sink(fds[0]);
+    auto status = sink.write(std::string(4096, 'x'));
+    if (status.ok()) // a first frame may land in the socket buffer
+        status = sink.write(std::string(4096, 'x'));
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::Transient);
+    ::close(fds[0]);
+}
+
+TEST(ServeSocket, FinishedConnectionWorkersAreReaped)
+{
+    const std::string path = tmpPath("cminer_serve_reap_test.sock");
+    serve::ServerOptions options;
+    options.startBatcher = false;
+    serve::Server server(options);
+
+    serve::SocketServer listener(server, path);
+    ASSERT_TRUE(listener.listen().ok());
+    std::thread accept_thread([&listener] {
+        EXPECT_TRUE(listener.serveForever().ok());
+    });
+
+    auto roundTrip = [&path](std::uint64_t id) {
+        auto connected = serve::connectUnixSocket(path);
+        ASSERT_TRUE(connected.ok()) << connected.status().toString();
+        const int fd = connected.value();
+        serve::FdFrameSink out(fd);
+        ASSERT_TRUE(out.write(serve::encodeRequest(serve::Request(
+                                  serve::StatsRequest{id})))
+                        .ok());
+        serve::FdFrameSource in(fd);
+        std::string payload;
+        bool eof = false;
+        ASSERT_TRUE(in.next(payload, eof).ok());
+        EXPECT_FALSE(eof);
+        ::close(fd);
+    };
+
+    // Sequential connections: each worker exits shortly after its
+    // client closes, and every accept reaps the finished ones, so the
+    // tracked count must settle near the open-connection count (~1)
+    // instead of growing with every connection ever served.
+    constexpr std::size_t connections = 16;
+    std::size_t lowest = connections;
+    for (std::size_t i = 0; i < connections; ++i) {
+        roundTrip(i + 1);
+        lowest = std::min(lowest, listener.trackedWorkerCount());
+    }
+    // Workers may still be unwinding when their reap runs; give the
+    // listener extra accept cycles to observe a settled count.
+    for (int spare = 0; spare < 50 && lowest > 2; ++spare) {
+        roundTrip(100 + static_cast<std::uint64_t>(spare));
+        lowest = std::min(lowest, listener.trackedWorkerCount());
+    }
+    EXPECT_LE(lowest, 2u);
+
+    listener.stop();
+    accept_thread.join();
     EXPECT_FALSE(std::filesystem::exists(path));
 }
 
