@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <new>
+#include <optional>
 
 #include "common.h"
 #include "ml/dataset_view.h"
@@ -22,8 +24,10 @@
 #include "serve/server.h"
 #include "simd/simd.h"
 #include "stats/anderson_darling.h"
+#include "store/database.h"
 #include "ts/dtw.h"
 #include "ts/lb_keogh.h"
+#include "ts/time_series.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -752,5 +756,144 @@ BM_ServeBatchPipeline(benchmark::State &state)
         state.SkipWithError("response count mismatch");
 }
 BENCHMARK(BM_ServeBatchPipeline)->Arg(16)->Arg(256)->UseRealTime();
+
+// --- out-of-core segment store -------------------------------------------
+// Twin benchmarks over the same synthetic fleet: Arg(0) keeps every run
+// in the in-RAM Database, Arg(1) routes it through the out-of-core
+// segment store with a seal threshold small enough that ingest really
+// seals and mining really reads mapped files. The rss/hwm counters show
+// the resident-memory story the store exists for; allocs_per_iter shows
+// the read path staying zero-copy either way.
+
+/** A /proc/self/status gauge in KiB (VmRSS, VmHWM), 0 if unreadable. */
+std::size_t
+procStatusKb(const char *key)
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    const std::string prefix = std::string(key) + ":";
+    while (std::getline(status, line)) {
+        if (line.rfind(prefix, 0) == 0)
+            return static_cast<std::size_t>(
+                std::stoull(line.substr(prefix.size())));
+    }
+    return 0;
+}
+
+/** The fleet both store benchmarks ingest: `runs` windows, 8 events. */
+std::vector<std::vector<ts::TimeSeries>>
+storeBenchFleet(std::size_t runs, std::size_t length)
+{
+    util::Rng rng(33);
+    std::vector<std::vector<ts::TimeSeries>> fleet;
+    fleet.reserve(runs);
+    for (std::size_t r = 0; r < runs; ++r) {
+        std::vector<ts::TimeSeries> window;
+        for (int e = 0; e < 8; ++e) {
+            std::vector<double> values(length);
+            for (auto &v : values)
+                v = 100.0 * (e + 1) + rng.gaussian();
+            window.emplace_back("EVT_" + std::to_string(e),
+                                std::move(values), 10.0);
+        }
+        fleet.push_back(std::move(window));
+    }
+    return fleet;
+}
+
+void
+BM_IngestOutOfCore(benchmark::State &state)
+{
+    const bool out_of_core = state.range(0) != 0;
+    const std::string dir = "/tmp/cminer_bench_store_ingest";
+    const std::size_t runs = 24;
+    const std::size_t length = 4096;
+    const auto fleet = storeBenchFleet(runs, length);
+
+    const auto before = AllocCounters::now();
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+        if (out_of_core) {
+            store::StoreOptions options;
+            options.directory = dir;
+            options.sealThresholdBytes = 1ull << 20;
+            store::Database db = store::Database::openStore(options);
+            for (const auto &window : fleet)
+                db.addRun("p", "s", "mlpx", 1.0, window);
+            db.flush();
+        } else {
+            store::Database db;
+            for (const auto &window : fleet)
+                db.addRun("p", "s", "mlpx", 1.0, window);
+        }
+    }
+    reportAllocsPerIter(state, before);
+    state.counters["ingest_mb"] = static_cast<double>(
+        runs * 8 * length * sizeof(double)) / (1024.0 * 1024.0);
+    state.counters["rss_hwm_mb"] =
+        static_cast<double>(procStatusKb("VmHWM")) / 1024.0;
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * runs * 8 * length * sizeof(double)));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_IngestOutOfCore)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MineFromSegments(benchmark::State &state)
+{
+    const bool out_of_core = state.range(0) != 0;
+    const std::string dir = "/tmp/cminer_bench_store_mine";
+    std::filesystem::remove_all(dir);
+    const std::size_t runs = 24;
+    const std::size_t length = 4096;
+    const auto fleet = storeBenchFleet(runs, length);
+
+    std::optional<store::Database> db;
+    if (out_of_core) {
+        store::StoreOptions options;
+        options.directory = dir;
+        options.sealThresholdBytes = 1ull << 20;
+        db.emplace(store::Database::openStore(options));
+    } else {
+        db.emplace();
+    }
+    for (const auto &window : fleet)
+        db->addRun("p", "s", "mlpx", 1.0, window);
+    if (out_of_core)
+        db->flush();
+
+    const auto before = AllocCounters::now();
+    for (auto _ : state) {
+        // The mining access pattern: pin a snapshot, touch every sample
+        // of every column through the zero-copy span path.
+        const store::StoreSnapshot snap = db->snapshot();
+        double acc = 0.0;
+        for (std::size_t r = 0; r < runs; ++r) {
+            const auto id = static_cast<store::RunId>(r);
+            const std::size_t events = snap.runInfo(id).events.size();
+            for (std::size_t e = 0; e < events; ++e) {
+                for (const double v : snap.values(id, e))
+                    acc += v;
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    reportAllocsPerIter(state, before);
+    state.counters["rss_mb"] =
+        static_cast<double>(procStatusKb("VmRSS")) / 1024.0;
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * runs * 8 * length * sizeof(double)));
+    db.reset();
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_MineFromSegments)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

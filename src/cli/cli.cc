@@ -647,6 +647,10 @@ cmdServe(const Flags &flags, std::string &output)
     options.defaultDeadlineMs = flags.getDouble("deadline-ms", 0.0);
     options.mineQueueCap =
         static_cast<std::size_t>(flags.getInt("mine-queue-cap", 1));
+    options.storeDir = flags.get("store-dir", "");
+    options.storeMemoryBudgetBytes =
+        static_cast<std::size_t>(flags.getInt("memory-budget-mb", 64))
+        << 20;
 
     serve::Server server(options);
 
@@ -781,11 +785,16 @@ usage()
            "        (--socket PATH | --pipe | --in FILE --out FILE)\n"
            "        [--queue-cap N] [--batch-rows N] [--deadline-ms D]\n"
            "        [--batch-window-ms D] [--mine-queue-cap N]\n"
+           "        [--store-dir DIR] [--memory-budget-mb N]\n"
            "        [--inject-faults SPEC]\n"
            "                                  deadline-aware serving\n"
            "                daemon: batches concurrent predicts, sheds\n"
            "                with CapacityError when the admission queue\n"
-           "                is full, drains cleanly on a shutdown frame\n"
+           "                is full, drains cleanly on a shutdown frame.\n"
+           "                --store-dir mines into a persistent\n"
+           "                out-of-core segment store whose resident\n"
+           "                memory follows --memory-budget-mb (default\n"
+           "                64) instead of the accumulated runs\n"
            "\n"
            "global options:\n"
            "  --threads N   worker threads for the mining pipeline\n"

@@ -130,7 +130,7 @@ CounterMiner::runPipeline(std::vector<CollectedRun> runs,
         std::vector<std::size_t> lengths;
         lengths.reserve(ids.size());
         for (const auto id : ids)
-            lengths.push_back(db_.seriesTable(id).rowCount());
+            lengths.push_back(db_.seriesLength(id));
         report.cleaning.resize(data.featureCount());
         cminer::util::parallelFor(
             0, data.featureCount(), 1,

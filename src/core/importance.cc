@@ -78,7 +78,12 @@ ImportanceRanker::buildDatasetFromStore(
     const cminer::pmu::EventCatalog &catalog)
 {
     CM_ASSERT(!ids.empty());
-    const auto &events = db.runInfo(ids.front()).events;
+    // Pin one consistent view for the whole build: the dataset must
+    // come from a single store state even when ingest or segment
+    // compaction runs concurrently, and the pinned snapshot keeps
+    // every zero-copy span below valid while we read it.
+    const cminer::store::StoreSnapshot snap = db.snapshot();
+    const auto &events = snap.runInfo(ids.front()).events;
     CM_ASSERT(events.size() >= 2); // at least one event plus IPC
     CM_ASSERT(events.back() == ipc_series_name);
 
@@ -91,8 +96,8 @@ ImportanceRanker::buildDatasetFromStore(
 
     std::size_t total_rows = 0;
     for (const auto run_id : ids) {
-        CM_ASSERT(db.runInfo(run_id).events == events);
-        total_rows += db.seriesTable(run_id).rowCount();
+        CM_ASSERT(snap.runInfo(run_id).events == events);
+        total_rows += snap.length(run_id);
     }
     std::vector<std::vector<double>> columns(names.size());
     for (auto &col : columns)
@@ -101,11 +106,11 @@ ImportanceRanker::buildDatasetFromStore(
     targets.reserve(total_rows);
     for (const auto run_id : ids) {
         for (std::size_t s = 0; s + 1 < events.size(); ++s) {
-            const auto values = db.seriesValues(run_id, events[s]);
+            const auto values = snap.values(run_id, s);
             columns[s].insert(columns[s].end(), values.begin(),
                               values.end());
         }
-        const auto ipc_values = db.seriesValues(run_id, events.back());
+        const auto ipc_values = snap.values(run_id, events.size() - 1);
         targets.insert(targets.end(), ipc_values.begin(),
                        ipc_values.end());
     }

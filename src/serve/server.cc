@@ -12,6 +12,7 @@
 #include "pmu/event.h"
 #include "store/database.h"
 #include "util/json_writer.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -80,6 +81,17 @@ LatencyHistogram::maxMs() const
 Server::Server(ServerOptions options)
     : options_(options), minePool_(1)
 {
+    if (!options_.storeDir.empty()) {
+        store::StoreOptions store_options;
+        store_options.directory = options_.storeDir;
+        store_options.memoryBudgetBytes =
+            options_.storeMemoryBudgetBytes;
+        // A store that fails validation (corrupt segment, wrong
+        // microarchitecture) refuses to open, and so does the daemon:
+        // serving against half a store would be quiet data loss.
+        store_ = std::make_unique<store::Database>(
+            store::Database::openStore(store_options));
+    }
     if (options_.startBatcher)
         batcher_.emplace([this] { batcherLoop(); });
 }
@@ -409,7 +421,13 @@ Server::runMine(const MineRequest &request, const Deadline &deadline,
             options.retry.deadlineMs =
                 std::max(0.0, deadline.remainingMs());
 
-        store::Database db("haswell-e");
+        // With --store-dir the daemon mines into its persistent
+        // segment-backed store: runs accumulate durably across
+        // requests while this job's dataset reads pin the snapshot
+        // they were built against. Without it, the old per-request
+        // in-RAM database.
+        store::Database local("haswell-e");
+        store::Database &db = store_ != nullptr ? *store_ : local;
         core::CounterMiner miner(db, pmu::EventCatalog::instance(),
                                  options);
         util::Rng rng(request.seed);
@@ -433,6 +451,17 @@ Server::runMine(const MineRequest &request, const Deadline &deadline,
         const std::size_t kept = artifact.events.size();
         const double error = artifact.cvErrorPercent;
         registerModel(name, std::move(artifact));
+
+        if (store_ != nullptr) {
+            // Durability barrier: this job's runs are sealed into a
+            // segment before the success response goes out. A failed
+            // seal keeps them buffered and readable; it warns rather
+            // than failing a mine that already produced its model.
+            const util::Status flushed = store_->tryFlush();
+            if (!flushed.ok())
+                util::warn("serve: store flush failed: " +
+                           flushed.message());
+        }
 
         {
             std::lock_guard<std::mutex> lock(countersMutex_);
@@ -573,6 +602,26 @@ Server::statsJson() const
     json.key("max");
     json.value(latency_.maxMs());
     json.endObject();
+    if (store_ != nullptr) {
+        const store::StoreStats s = store_->storeStats();
+        json.key("store");
+        json.beginObject();
+        json.key("runs");
+        json.value(store_->runCount());
+        json.key("segments");
+        json.value(s.segmentCount);
+        json.key("bufferedRuns");
+        json.value(s.bufferedRuns);
+        json.key("bufferedBytes");
+        json.value(s.bufferedBytes);
+        json.key("segmentFileBytes");
+        json.value(static_cast<std::size_t>(s.segmentFileBytes));
+        json.key("seals");
+        json.value(static_cast<std::size_t>(s.seals));
+        json.key("compactions");
+        json.value(static_cast<std::size_t>(s.compactions));
+        json.endObject();
+    }
     json.endObject();
     json.endObject();
     return json.str();

@@ -54,6 +54,7 @@
 
 #include "core/checkpoint.h"
 #include "serve/deadline.h"
+#include "store/database.h"
 #include "serve/protocol.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -98,6 +99,17 @@ struct ServerOptions
      * internal steady clock. Injected by tests (ManualClock).
      */
     cminer::util::TraceClock *clock = nullptr;
+    /**
+     * Directory of the out-of-core run store (--store-dir). When set,
+     * the daemon mines into one persistent segment-backed database:
+     * collected runs survive across mine requests and restarts, and
+     * resident memory follows storeMemoryBudgetBytes rather than the
+     * accumulated data. Empty keeps the old per-request in-RAM
+     * database.
+     */
+    std::string storeDir;
+    /** Memory budget handed to the segment store (--memory-budget-mb). */
+    std::size_t storeMemoryBudgetBytes = 64ull << 20;
 };
 
 /** Monotonic serving counters (a consistent snapshot). */
@@ -310,6 +322,14 @@ class Server
     /** One worker: mining is serialized, bounded by mineQueueCap. */
     cminer::util::ThreadPool minePool_;
     std::optional<std::thread> batcher_;
+
+    /**
+     * Persistent out-of-core run store (storeDir). Only the mine
+     * worker mutates it (single-writer); any reads concurrent with
+     * mining go through pinned snapshots, mirroring the batcher's
+     * artifact-snapshot rule.
+     */
+    std::unique_ptr<cminer::store::Database> store_;
 };
 
 } // namespace cminer::serve

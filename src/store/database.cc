@@ -3,7 +3,6 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <set>
 
 #include "util/binary_io.h"
@@ -124,12 +123,45 @@ loadLegacyV1(std::string bytes)
     return db;
 }
 
+/** One CSV line with RFC-4180 quoting, newline included. */
+std::string
+csvLine(const std::vector<std::string> &fields)
+{
+    std::string line;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i != 0)
+            line += ',';
+        line += util::csvQuote(fields[i]);
+    }
+    line += '\n';
+    return line;
+}
+
 } // namespace
 
 Database::Database(std::string microarch)
     : microarch_(std::move(microarch)),
       catalog_("runs", catalogSchema())
 {
+}
+
+Database
+Database::openStore(const StoreOptions &options)
+{
+    auto db = tryOpenStore(options);
+    db.status().throwIfError();
+    return std::move(db).value();
+}
+
+util::StatusOr<Database>
+Database::tryOpenStore(const StoreOptions &options)
+{
+    auto index = StoreIndex::open(options);
+    if (!index.ok())
+        return index.status();
+    Database db(options.microarch);
+    db.store_ = std::move(index).value();
+    return db;
 }
 
 RunId
@@ -147,16 +179,30 @@ Database::tryAddRun(const std::string &program, const std::string &suite,
                     const std::string &mode, double exec_time_ms,
                     const std::vector<TimeSeries> &series)
 {
+    if (store_ != nullptr)
+        return store_->addRun(program, suite, mode, exec_time_ms,
+                              series);
     if (series.empty())
         return util::Status::dataError(
             "store: addRun requires at least one series");
     const std::size_t length = series.front().size();
+    const double interval_ms = series.front().intervalMs();
     for (const auto &s : series) {
         if (s.size() != length)
             return util::Status::dataError(util::format(
                 "store: series length mismatch within a run ('%s' has "
                 "%zu samples, expected %zu)",
                 s.eventName().c_str(), s.size(), length));
+        // One run samples every event on the same clock; a mixed
+        // interval would silently stretch or squeeze every series
+        // recorded after the first, so it is data damage, not a
+        // preference.
+        if (s.intervalMs() != interval_ms)
+            return util::Status::dataError(util::format(
+                "store: mixed sampling intervals within a run ('%s' "
+                "sampled every %g ms, '%s' every %g ms)",
+                series.front().eventName().c_str(), interval_ms,
+                s.eventName().c_str(), s.intervalMs()));
     }
     if (!std::isfinite(exec_time_ms) || exec_time_ms < 0.0)
         return util::Status::dataError(
@@ -189,7 +235,7 @@ Database::tryAddRun(const std::string &program, const std::string &suite,
         table.insert(std::move(row));
     }
 
-    intervalMs_[id] = series.front().intervalMs();
+    intervalMs_[id] = interval_ms;
     seriesTables_.emplace(id, std::move(table));
     runs_.emplace(id, std::move(meta));
 
@@ -201,9 +247,19 @@ Database::tryAddRun(const std::string &program, const std::string &suite,
     return id;
 }
 
+std::size_t
+Database::runCount() const
+{
+    if (store_ != nullptr)
+        return store_->runCount();
+    return runs_.size();
+}
+
 const RunMetadata &
 Database::runInfo(RunId id) const
 {
+    if (store_ != nullptr)
+        return store_->snapshot().runInfo(id);
     auto it = runs_.find(id);
     if (it == runs_.end())
         util::fatal("store: unknown run id " + std::to_string(id));
@@ -213,6 +269,8 @@ Database::runInfo(RunId id) const
 std::vector<RunId>
 Database::findRuns(const std::string &program, const std::string &mode) const
 {
+    if (store_ != nullptr)
+        return store_->findRuns(program, mode);
     std::vector<RunId> ids;
     for (const auto &[id, meta] : runs_) {
         if (meta.program != program)
@@ -227,6 +285,8 @@ Database::findRuns(const std::string &program, const std::string &mode) const
 std::vector<std::string>
 Database::programs() const
 {
+    if (store_ != nullptr)
+        return store_->programs();
     std::set<std::string> names;
     for (const auto &[id, meta] : runs_)
         names.insert(meta.program);
@@ -244,6 +304,13 @@ Database::series(RunId id, const std::string &event) const
 std::span<const double>
 Database::seriesValues(RunId id, const std::string &event) const
 {
+    if (store_ != nullptr) {
+        // The returned span points into store-owned memory (segment
+        // mapping or buffered column), which the database keeps alive
+        // until the next seal or compaction retires it — the same
+        // "valid until the next mutation" contract as the RAM path.
+        return store_->snapshot().values(id, event);
+    }
     const Table &table = seriesTable(id);
     if (!table.schema().hasColumn(event))
         util::fatal("store: run " + std::to_string(id) +
@@ -254,10 +321,30 @@ Database::seriesValues(RunId id, const std::string &event) const
 double
 Database::seriesIntervalMs(RunId id) const
 {
+    if (store_ != nullptr)
+        return store_->snapshot().intervalMs(id);
     auto it = intervalMs_.find(id);
     if (it == intervalMs_.end())
         util::fatal("store: unknown run id " + std::to_string(id));
     return it->second;
+}
+
+std::size_t
+Database::seriesLength(RunId id) const
+{
+    if (store_ != nullptr)
+        return store_->snapshot().length(id);
+    return seriesTable(id).rowCount();
+}
+
+StoreSnapshot
+Database::snapshot() const
+{
+    if (store_ != nullptr)
+        return store_->snapshot();
+    StoreSnapshot snap;
+    snap.ram_ = this;
+    return snap;
 }
 
 std::vector<TimeSeries>
@@ -272,8 +359,21 @@ Database::allSeries(RunId id) const
 }
 
 const Table &
+Database::catalog() const
+{
+    if (store_ != nullptr)
+        util::fatal("store: catalog() has no Table backing on an "
+                    "out-of-core database; use runInfo()/findRuns() or "
+                    "a snapshot()");
+    return catalog_;
+}
+
+const Table &
 Database::seriesTable(RunId id) const
 {
+    if (store_ != nullptr)
+        util::fatal("store: seriesTable() has no Table backing on an "
+                    "out-of-core database; use snapshot() values");
     auto it = seriesTables_.find(id);
     if (it == seriesTables_.end())
         util::fatal("store: unknown run id " + std::to_string(id));
@@ -289,6 +389,10 @@ Database::save(const std::string &path) const
 util::Status
 Database::trySave(const std::string &path) const
 {
+    if (store_ != nullptr)
+        return util::Status::dataError(
+            "store: save() does not apply to an out-of-core database — "
+            "segments are already durable; flush() is the barrier");
     util::BinaryWriter out(db_artifact_kind, db_version);
     out.beginSection("runs");
     out.str(microarch_);
@@ -313,6 +417,35 @@ Database::trySave(const std::string &path) const
     if (!status.ok())
         return status.withContext("store: save " + path);
     return status;
+}
+
+void
+Database::flush()
+{
+    tryFlush().throwIfError();
+}
+
+util::Status
+Database::tryFlush()
+{
+    if (store_ == nullptr)
+        return util::Status::okStatus();
+    return store_->flush();
+}
+
+void
+Database::waitForStoreMaintenance()
+{
+    if (store_ != nullptr)
+        store_->waitForMaintenance();
+}
+
+StoreStats
+Database::storeStats() const
+{
+    if (store_ != nullptr)
+        return store_->stats();
+    return {};
 }
 
 Database
@@ -384,32 +517,74 @@ Database::exportCsv(const std::string &directory) const
 {
     std::filesystem::create_directories(directory);
 
-    util::CsvWriter catalog_csv(directory + "/catalog.csv");
-    std::vector<std::string> header;
-    for (const auto &col : catalog_.schema().columns())
-        header.push_back(col.name);
-    catalog_csv.writeRow(header);
-    for (std::size_t r = 0; r < catalog_.rowCount(); ++r) {
-        std::vector<std::string> fields;
-        for (const auto &cell : catalog_.row(r))
-            fields.push_back(toString(cell));
-        catalog_csv.writeRow(fields);
-    }
-    catalog_csv.close();
+    // One consistent view for the whole export, both storage modes.
+    const StoreSnapshot snap = snapshot();
+    const RunId run_count = static_cast<RunId>(snap.runCount());
 
-    for (const auto &[id, table] : seriesTables_) {
-        util::CsvWriter run_csv(directory + "/" + table.name() + ".csv");
-        std::vector<std::string> run_header;
-        for (const auto &col : table.schema().columns())
-            run_header.push_back(col.name);
-        run_csv.writeRow(run_header);
-        for (std::size_t r = 0; r < table.rowCount(); ++r) {
-            std::vector<std::string> fields;
-            for (const auto &cell : table.row(r))
-                fields.push_back(toString(cell));
-            run_csv.writeRow(fields);
+    // Each file is assembled in memory and landed with the atomic
+    // temp-and-rename discipline: a mid-export crash or full disk
+    // leaves either the previous file or the new one, never a torn
+    // half-written CSV.
+    std::string catalog_text = csvLine({"run_id", "program", "suite",
+                                        "mode", "exec_time_ms", "events",
+                                        "series_table"});
+    for (RunId id = 0; id < run_count; ++id) {
+        const RunMetadata &meta = snap.runInfo(id);
+        catalog_text += csvLine(
+            {std::to_string(id), meta.program, meta.suite, meta.mode,
+             util::format("%.17g", meta.execTimeMs),
+             util::join(meta.events, ";"), meta.seriesTable});
+    }
+    util::writeFileAtomic(directory + "/catalog.csv", catalog_text)
+        .withContext("store: exportCsv")
+        .throwIfError();
+
+    for (RunId id = 0; id < run_count; ++id) {
+        const RunMetadata &meta = snap.runInfo(id);
+        std::vector<std::string> header;
+        header.reserve(meta.events.size() + 1);
+        header.push_back("interval");
+        for (const auto &event : meta.events)
+            header.push_back(event);
+        std::string text = csvLine(header);
+
+        const std::size_t length = snap.length(id);
+        std::vector<std::span<const double>> columns;
+        columns.reserve(meta.events.size());
+        for (std::size_t e = 0; e < meta.events.size(); ++e)
+            columns.push_back(snap.values(id, e));
+        std::vector<std::string> fields(meta.events.size() + 1);
+        for (std::size_t i = 0; i < length; ++i) {
+            fields[0] = std::to_string(i);
+            // %.17g survives a text round trip bit-exactly for every
+            // finite double; anything shorter can silently perturb the
+            // last bits on re-import.
+            for (std::size_t e = 0; e < columns.size(); ++e)
+                fields[e + 1] = util::format("%.17g", columns[e][i]);
+            text += csvLine(fields);
         }
-        run_csv.close();
+        util::writeFileAtomic(
+            directory + "/" + meta.seriesTable + ".csv", text)
+            .withContext("store: exportCsv")
+            .throwIfError();
+    }
+
+    // Remove run_<id>.csv leftovers from a previous export of a larger
+    // database, so the directory always equals exactly this database.
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= 8 || name.rfind("run_", 0) != 0 ||
+            name.substr(name.size() - 4) != ".csv")
+            continue;
+        const std::string digits = name.substr(4, name.size() - 8);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        const RunId id = static_cast<RunId>(std::stoll(digits));
+        if (id >= run_count)
+            std::filesystem::remove(entry.path(), ec);
     }
 }
 

@@ -11,6 +11,20 @@
  * equivalent with binary persistence and CSV export. Per the paper, the
  * catalog is tied to one microarchitecture: loading a database recorded
  * on a different microarchitecture re-initializes the tables.
+ *
+ * Two storage modes share this API (DESIGN.md §15):
+ *
+ *  - **In-RAM** (the default constructor, save()/load()): every run
+ *    lives in level-2 Tables in memory. Right for datasets that fit.
+ *  - **Out-of-core** (openStore()): runs land in a bounded write buffer
+ *    that seals into immutable memory-mapped segment files
+ *    (store/segment.h) under a directory, with background compaction.
+ *    Series reads are zero-copy spans straight over the mappings, so
+ *    resident memory tracks the configured budget — not the dataset.
+ *
+ * Readers that must stay consistent while ingest or maintenance runs
+ * concurrently take a snapshot() and read through it; see
+ * store/store_index.h for the pinning rules.
  */
 
 #ifndef CMINER_STORE_DATABASE_H
@@ -18,31 +32,19 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "store/segment.h"
+#include "store/store_index.h"
 #include "store/table.h"
 #include "ts/time_series.h"
 #include "util/status.h"
 
 namespace cminer::store {
-
-/** Identifier of one recorded program run. */
-using RunId = std::int64_t;
-
-/** Catalog entry describing one run. */
-struct RunMetadata
-{
-    RunId id = -1;
-    std::string program;       ///< benchmark name, e.g. "wordcount"
-    std::string suite;         ///< "hibench" or "cloudsuite"
-    std::string mode;          ///< "ocoe" or "mlpx"
-    double execTimeMs = 0.0;   ///< run wall-clock time
-    std::vector<std::string> events; ///< measured event names
-    std::string seriesTable;   ///< name of the level-2 table
-};
 
 /**
  * The performance database: catalog plus per-run series tables.
@@ -53,13 +55,31 @@ class Database
     /** @param microarch the microarchitecture this database describes */
     explicit Database(std::string microarch = "haswell-e");
 
+    /**
+     * Open (or create) an out-of-core database over a directory of
+     * segment files. Existing segments are validated (every count and
+     * offset bounds-checked) and leftovers of an interrupted compaction
+     * are resolved; a gap, partial overlap, corrupt segment, or
+     * microarchitecture mismatch refuses to open.
+     * @throws util::FatalError on failure
+     */
+    static Database openStore(const StoreOptions &options);
+
+    /** Recoverable flavour of openStore(). */
+    static cminer::util::StatusOr<Database>
+    tryOpenStore(const StoreOptions &options);
+
+    /** True when backed by the out-of-core segment store. */
+    bool outOfCore() const { return store_ != nullptr; }
+
     /** Microarchitecture tag. */
     const std::string &microarch() const { return microarch_; }
 
     /**
      * Record one run: catalog entry plus a level-2 series table.
      *
-     * All series must have the same length (one value per interval).
+     * All series must have the same length (one value per interval)
+     * and the same sampling interval.
      *
      * @param program benchmark name
      * @param suite benchmark suite name
@@ -74,10 +94,11 @@ class Database
 
     /**
      * Recoverable flavour of addRun for the fault-tolerant ingest path:
-     * an empty series list, mismatched series lengths, or a non-finite
-     * execution time come back as a DataError Status instead of a
-     * thrown FatalError, so a damaged run can be quarantined while the
-     * job continues. Nothing is recorded on error.
+     * an empty series list, mismatched series lengths, mixed sampling
+     * intervals, or a non-finite execution time come back as a
+     * DataError Status instead of a thrown FatalError, so a damaged run
+     * can be quarantined while the job continues. Nothing is recorded
+     * on error.
      */
     cminer::util::StatusOr<RunId>
     tryAddRun(const std::string &program, const std::string &suite,
@@ -85,7 +106,7 @@ class Database
               const std::vector<cminer::ts::TimeSeries> &series);
 
     /** Number of recorded runs. */
-    std::size_t runCount() const { return runs_.size(); }
+    std::size_t runCount() const;
 
     /** Metadata for a run; fatal for unknown ids. */
     const RunMetadata &runInfo(RunId id) const;
@@ -110,9 +131,12 @@ class Database
     std::vector<cminer::ts::TimeSeries> allSeries(RunId id) const;
 
     /**
-     * Zero-copy view of one event's sampled values, straight out of the
-     * run's level-2 table column. Fatal when the run or event is
-     * absent. Invalidated by the next mutation of the run's table.
+     * Zero-copy view of one event's sampled values: a level-2 table
+     * column in RAM mode, a mapped (or buffered) segment column
+     * out-of-core. Fatal when the run or event is absent. Valid until
+     * the next mutation of the database (which out-of-core includes a
+     * seal or compaction) — readers concurrent with ingest must pin a
+     * snapshot() and read through it instead.
      */
     std::span<const double> seriesValues(RunId id,
                                          const std::string &event) const;
@@ -120,10 +144,26 @@ class Database
     /** Sampling interval of a run's series, in milliseconds. */
     double seriesIntervalMs(RunId id) const;
 
-    /** Direct access to the level-1 catalog table (read-only). */
-    const Table &catalog() const { return catalog_; }
+    /** Samples per series of a run (cheaper than a values view). */
+    std::size_t seriesLength(RunId id) const;
 
-    /** Direct access to a run's level-2 table (read-only). */
+    /**
+     * Pin a consistent view of every run for reading. The snapshot
+     * stays valid — including every span it hands out — across
+     * concurrent addRun/flush and background compaction. In-RAM
+     * databases return a borrowing snapshot (the Database must outlive
+     * it); out-of-core snapshots are self-contained.
+     */
+    StoreSnapshot snapshot() const;
+
+    /**
+     * Direct access to the level-1 catalog table. In-RAM mode only:
+     * fatal on an out-of-core database (which has no Table-backed
+     * catalog — use runInfo()/findRuns()/snapshot()).
+     */
+    const Table &catalog() const;
+
+    /** Direct access to a run's level-2 table. In-RAM mode only. */
     const Table &seriesTable(RunId id) const;
 
     /**
@@ -131,12 +171,30 @@ class Database
      * format (util/binary_io.h, DESIGN.md §12). The write is atomic:
      * data lands in a temp file renamed over the destination, so a
      * mid-write failure never destroys the previous good file.
+     * In-RAM mode only: an out-of-core database is already durable on
+     * disk — use flush() as its durability barrier.
      * @throws util::FatalError on I/O failure
      */
     void save(const std::string &path) const;
 
     /** Recoverable flavour of save(): a Status instead of a throw. */
     cminer::util::Status trySave(const std::string &path) const;
+
+    /**
+     * Out-of-core durability barrier: seal the write buffer into a
+     * segment file. A no-op in RAM mode and on an empty buffer.
+     * @throws util::FatalError on I/O failure
+     */
+    void flush();
+
+    /** Recoverable flavour of flush(). */
+    cminer::util::Status tryFlush();
+
+    /** Block until background store maintenance (compaction) is idle. */
+    void waitForStoreMaintenance();
+
+    /** Out-of-core engine counters; zeroes in RAM mode. */
+    StoreStats storeStats() const;
 
     /**
      * Load from a binary file written by save(). Current (v2,
@@ -155,7 +213,11 @@ class Database
 
     /**
      * Export the catalog and every run table as CSV files into a
-     * directory (catalog.csv + run_<id>.csv).
+     * directory (catalog.csv + run_<id>.csv). Each file is written
+     * atomically (temp + rename), doubles at round-trip precision
+     * (%.17g), and stale run_<id>.csv files from a previous, larger
+     * export into the same directory are removed so the directory
+     * always equals exactly this database.
      */
     void exportCsv(const std::string &directory) const;
 
@@ -166,6 +228,11 @@ class Database
     std::map<RunId, Table> seriesTables_;
     std::map<RunId, double> intervalMs_;
     Table catalog_;
+    /**
+     * Non-null in out-of-core mode; shared so a queued compaction task
+     * survives a move of the Database.
+     */
+    std::shared_ptr<StoreIndex> store_;
 };
 
 } // namespace cminer::store

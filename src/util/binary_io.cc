@@ -185,6 +185,13 @@ BinaryWriter::f64Span(std::span<const double> values)
 }
 
 void
+BinaryWriter::align8()
+{
+    while (buffer_.size() % 8 != 0)
+        buffer_.push_back('\0');
+}
+
+void
 BinaryWriter::patchU64(std::size_t offset, std::uint64_t v)
 {
     CM_ASSERT(offset + 8 <= buffer_.size());
@@ -218,9 +225,41 @@ BinaryWriter::writeFile(const std::string &path)
 // --- BinaryReader ---------------------------------------------------------
 
 BinaryReader::BinaryReader(std::string bytes)
-    : bytes_(std::move(bytes)),
+    : owned_(std::move(bytes)),
+      bytes_(owned_),
+      owns_(true),
       bound_(bytes_.size())
 {
+}
+
+BinaryReader::BinaryReader(std::string_view bytes)
+    : bytes_(bytes),
+      owns_(false),
+      bound_(bytes_.size())
+{
+}
+
+// A defaulted move would leave bytes_ pointing into the source's
+// owned_ string (fatal for short strings, which live in the SSO
+// buffer); re-point it after the storage moves.
+BinaryReader::BinaryReader(BinaryReader &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+BinaryReader &
+BinaryReader::operator=(BinaryReader &&other) noexcept
+{
+    owned_ = std::move(other.owned_);
+    owns_ = other.owns_;
+    bytes_ = owns_ ? std::string_view(owned_) : other.bytes_;
+    pos_ = other.pos_;
+    bound_ = other.bound_;
+    inSection_ = other.inSection_;
+    artifactVersion_ = other.artifactVersion_;
+    sectionCount_ = other.sectionCount_;
+    status_ = std::move(other.status_);
+    return *this;
 }
 
 BinaryReader
@@ -229,38 +268,63 @@ BinaryReader::raw(std::string bytes)
     return BinaryReader(std::move(bytes));
 }
 
+BinaryReader
+BinaryReader::rawView(std::string_view bytes)
+{
+    return BinaryReader(bytes);
+}
+
+Status
+BinaryReader::parseHeader(const std::string &expected_kind)
+{
+    if (bytes_.size() < sizeof(checkpoint_magic) + 4 + 8)
+        return fail("file too small to hold a checkpoint header");
+    if (bytes_.compare(0, sizeof(checkpoint_magic),
+                       std::string_view(checkpoint_magic,
+                                        sizeof(checkpoint_magic))) != 0)
+        return fail("bad magic (not a CounterMiner checkpoint)");
+    pos_ = sizeof(checkpoint_magic);
+    const std::uint32_t container = u32();
+    if (ok() && container != checkpoint_container_version)
+        return fail(format("unsupported container version %u "
+                           "(this build reads %u)",
+                           container, checkpoint_container_version));
+    const std::uint64_t declared_size = u64();
+    if (ok() && declared_size != bytes_.size())
+        return fail(format("file size mismatch: header declares "
+                           "%llu bytes, file has %zu (truncated or "
+                           "over-appended)",
+                           static_cast<unsigned long long>(
+                               declared_size),
+                           bytes_.size()));
+    const std::string kind = str();
+    if (ok() && kind != expected_kind)
+        return fail("artifact kind mismatch: file holds '" + kind +
+                    "', expected '" + expected_kind + "'");
+    artifactVersion_ = u32();
+    sectionCount_ = count(16); // a section is at least name + size
+    return status_;
+}
+
 StatusOr<BinaryReader>
 BinaryReader::fromBytes(std::string bytes,
                         const std::string &expected_kind)
 {
     BinaryReader in(std::move(bytes));
-    if (in.bytes_.size() < sizeof(checkpoint_magic) + 4 + 8)
-        return in.fail("file too small to hold a checkpoint header");
-    if (in.bytes_.compare(0, sizeof(checkpoint_magic), checkpoint_magic,
-                          sizeof(checkpoint_magic)) != 0)
-        return in.fail("bad magic (not a CounterMiner checkpoint)");
-    in.pos_ = sizeof(checkpoint_magic);
-    const std::uint32_t container = in.u32();
-    if (in.ok() && container != checkpoint_container_version)
-        return in.fail(format("unsupported container version %u "
-                              "(this build reads %u)",
-                              container, checkpoint_container_version));
-    const std::uint64_t declared_size = in.u64();
-    if (in.ok() && declared_size != in.bytes_.size())
-        return in.fail(format("file size mismatch: header declares "
-                              "%llu bytes, file has %zu (truncated or "
-                              "over-appended)",
-                              static_cast<unsigned long long>(
-                                  declared_size),
-                              in.bytes_.size()));
-    const std::string kind = in.str();
-    if (in.ok() && kind != expected_kind)
-        return in.fail("artifact kind mismatch: file holds '" + kind +
-                       "', expected '" + expected_kind + "'");
-    in.artifactVersion_ = in.u32();
-    in.sectionCount_ = in.count(16); // a section is at least name + size
-    if (!in.ok())
-        return in.status();
+    const Status status = in.parseHeader(expected_kind);
+    if (!status.ok())
+        return status;
+    return in;
+}
+
+StatusOr<BinaryReader>
+BinaryReader::fromView(std::string_view bytes,
+                       const std::string &expected_kind)
+{
+    BinaryReader in(bytes);
+    const Status status = in.parseHeader(expected_kind);
+    if (!status.ok())
+        return status;
     return in;
 }
 

@@ -101,6 +101,14 @@ class BinaryWriter
     /** A run of f64 values (no count field; callers write their own). */
     void f64Span(std::span<const double> values);
 
+    /**
+     * Pad with zero bytes until bytesWritten() is a multiple of 8.
+     * Writers of memory-mappable payloads (the segment store) align
+     * their f64 runs so a reader can hand out `span<const double>`
+     * straight over the mapped file.
+     */
+    void align8();
+
     /** Bytes emitted so far (header + sections). */
     std::size_t bytesWritten() const { return buffer_.size(); }
 
@@ -128,11 +136,15 @@ class BinaryWriter
 };
 
 /**
- * Bounded deserializer over an in-memory byte buffer.
+ * Bounded deserializer over a byte buffer.
  *
- * Container mode (fromBytes/open) parses and validates the header and
- * exposes sections; raw mode (raw) is a plain bounded cursor for legacy
- * formats that predate the container (the v1 database file).
+ * Container mode (fromBytes/open/fromView) parses and validates the
+ * header and exposes sections; raw mode (raw/rawView) is a plain
+ * bounded cursor for legacy formats that predate the container (the v1
+ * database file). The *View variants do not own the bytes — the segment
+ * store parses container headers straight over a memory-mapped file —
+ * so the caller must keep the underlying storage alive for the
+ * reader's lifetime.
  */
 class BinaryReader
 {
@@ -147,12 +159,22 @@ class BinaryReader
     static StatusOr<BinaryReader> fromBytes(std::string bytes,
                                             const std::string &expected_kind);
 
+    /**
+     * Parse a container header over bytes the caller keeps alive
+     * (e.g. a memory-mapped segment file). Nothing is copied.
+     */
+    static StatusOr<BinaryReader> fromView(std::string_view bytes,
+                                           const std::string &expected_kind);
+
     /** readFileBytes + fromBytes, with the path as error context. */
     static StatusOr<BinaryReader> open(const std::string &path,
                                        const std::string &expected_kind);
 
     /** Bounded cursor over bytes with no container header. */
     static BinaryReader raw(std::string bytes);
+
+    /** Bounded cursor over caller-owned bytes (nothing is copied). */
+    static BinaryReader rawView(std::string_view bytes);
 
     /** Artifact schema version from the header (container mode). */
     std::uint32_t artifactVersion() const { return artifactVersion_; }
@@ -215,13 +237,27 @@ class BinaryReader
      */
     Status fail(const std::string &message);
 
+    BinaryReader(BinaryReader &&other) noexcept;
+    BinaryReader &operator=(BinaryReader &&other) noexcept;
+    BinaryReader(const BinaryReader &) = delete;
+    BinaryReader &operator=(const BinaryReader &) = delete;
+
   private:
     explicit BinaryReader(std::string bytes);
+    explicit BinaryReader(std::string_view bytes);
+
+    /** Shared container-header validation for fromBytes/fromView. */
+    Status parseHeader(const std::string &expected_kind);
 
     /** True when `n` more bytes may be read within the current bound. */
     bool need(std::uint64_t n, const char *what);
 
-    std::string bytes_;
+    /** Backing storage when this reader owns its bytes (else empty). */
+    std::string owned_;
+    /** The bytes being read: `owned_`, or a caller-owned view. */
+    std::string_view bytes_;
+    /** True when bytes_ points into owned_ (move ops must re-point). */
+    bool owns_ = false;
     std::uint64_t pos_ = 0;
     /** End of the current section payload, or bytes_.size(). */
     std::uint64_t bound_ = 0;

@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -76,14 +77,16 @@ goldenOptions()
     return options;
 }
 
-/** One full pipeline run at a fixed seed, serialized. */
+/**
+ * One full pipeline run at a fixed seed over a caller-supplied database
+ * (in-RAM or segment-backed), serialized.
+ */
 std::string
-runPipelineJson(std::size_t threads)
+runPipelineJson(std::size_t threads, store::Database &db)
 {
     ThreadCountGuard guard(threads);
     const auto &catalog = pmu::EventCatalog::instance();
     const auto &bench = workload::BenchmarkSuite::instance().byName("sort");
-    store::Database db;
     CounterMiner miner(db, catalog, goldenOptions());
     Rng rng(42);
     const ProfileReport report = miner.profile(bench, rng);
@@ -169,6 +172,13 @@ runPipelineJson(std::size_t threads)
 }
 
 std::string
+runPipelineJson(std::size_t threads)
+{
+    store::Database db;
+    return runPipelineJson(threads, db);
+}
+
+std::string
 goldenPath()
 {
     return std::string(CMINER_GOLDEN_DIR) + "/profile_sort.json";
@@ -224,6 +234,32 @@ TEST(GoldenPipeline, ByteIdenticalAcrossSimdDispatchLevels)
             << "pipeline output diverged at dispatch level "
             << simd::levelName(level);
     }
+}
+
+// The mining pipeline must not care where the database keeps its bytes:
+// profiling into an out-of-core segment store — with a seal threshold
+// small enough that the collected runs spill into mapped segment files
+// mid-profile — reproduces the in-RAM document byte-for-byte at every
+// thread count.
+TEST(GoldenPipeline, ByteIdenticalOnSegmentBackedStore)
+{
+    if (std::getenv("CMINER_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "golden regeneration handled by the thread test";
+
+    const std::string reference = runPipelineJson(1);
+    const std::string dir = "/tmp/cminer_golden_store";
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+        std::filesystem::remove_all(dir);
+        store::StoreOptions options;
+        options.directory = dir;
+        options.sealThresholdBytes = 64ull << 10;
+        store::Database db = store::Database::openStore(options);
+        EXPECT_EQ(runPipelineJson(threads, db), reference)
+            << "segment-backed pipeline diverged at " << threads
+            << " threads";
+    }
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -183,13 +183,15 @@ TEST_P(DbRoundTripProperty, BitExactThroughSaveLoad)
             static_cast<std::size_t>(rng.uniformInt(1, 50));
         std::vector<TimeSeries> series;
         const int events = 1 + GetParam() % 4;
+        // One sampling clock per run: the store rejects mixed
+        // per-series intervals within a run as data damage.
+        const double interval_ms = rng.uniform(1.0, 100.0);
         for (int e = 0; e < events; ++e) {
             std::vector<double> values(length);
             for (auto &v : values)
                 v = rng.uniform(0.0, 1e9);
             series.emplace_back("EV" + std::to_string(e),
-                                std::move(values),
-                                rng.uniform(1.0, 100.0));
+                                std::move(values), interval_ms);
         }
         db.addRun("prog" + std::to_string(r % 2), "suite", "mlpx",
                   rng.uniform(1.0, 1e6), series);

@@ -2,25 +2,43 @@
  * @file
  * Unit tests for the embedded store: cell values, schema validation,
  * table scans, the two-level database organization, binary persistence
- * round-trips, and CSV export.
+ * round-trips, CSV export, and the out-of-core segment store — seal/
+ * compaction lifecycle, snapshot pinning, open-time corruption refusal
+ * (checkpoint_test's truncation/byte-flip sweep style), and snapshot
+ * stability under concurrent ingest and maintenance.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "store/database.h"
+#include "store/segment.h"
+#include "store/store_index.h"
 #include "store/table.h"
 #include "store/value.h"
 #include "ts/time_series.h"
 #include "util/error.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace cminer::store;
 using cminer::ts::TimeSeries;
 using cminer::util::FatalError;
+using cminer::util::StatusCode;
 
 // --- Value ------------------------------------------------------------
 
@@ -305,6 +323,594 @@ TEST(Database, EmptyRunRejected)
 {
     Database db;
     EXPECT_THROW(db.addRun("p", "s", "ocoe", 1.0, {}), FatalError);
+}
+
+// --- shared helpers for the bugfix and out-of-core suites ---------------
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeBytes(const std::string &path, std::string_view bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Fresh scratch directory for one out-of-core test. */
+std::string
+storeDir(const std::string &name)
+{
+    const std::string dir = "/tmp/cminer_store_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/**
+ * One deterministic run: EV_A[t] = base + t, EV_B[t] = 2*base + t,
+ * sampled on one 10 ms clock — recomputable from the run id alone, so
+ * readers can verify any run without shared state.
+ */
+std::vector<TimeSeries>
+makeRunSeries(std::size_t length, double base)
+{
+    std::vector<double> a(length);
+    std::vector<double> b(length);
+    for (std::size_t t = 0; t < length; ++t) {
+        a[t] = base + static_cast<double>(t);
+        b[t] = 2.0 * base + static_cast<double>(t);
+    }
+    return {TimeSeries("EV_A", std::move(a), 10.0),
+            TimeSeries("EV_B", std::move(b), 10.0)};
+}
+
+// --- mixed-sampling-interval rejection (regression) ---------------------
+
+TEST(Database, MixedSamplingIntervalsRejected)
+{
+    Database db;
+    // EV_A every 10 ms, EV_B every 5 ms: not one run's worth of data.
+    const std::vector<TimeSeries> mixed = {
+        TimeSeries("EV_A", {1.0, 2.0, 3.0}, 10.0),
+        TimeSeries("EV_B", {4.0, 5.0, 6.0}, 5.0)};
+    const auto rejected = db.tryAddRun("p", "s", "mlpx", 1.0, mixed);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::DataError);
+    EXPECT_NE(rejected.status().message().find("EV_B"),
+              std::string::npos);
+    EXPECT_NE(rejected.status().message().find("interval"),
+              std::string::npos);
+    // Nothing was recorded, and the throwing wrapper agrees.
+    EXPECT_EQ(db.runCount(), 0u);
+    EXPECT_THROW(db.addRun("p", "s", "mlpx", 1.0, mixed), FatalError);
+    EXPECT_EQ(db.runCount(), 0u);
+    // A run on a single clock still lands.
+    db.addRun("p", "s", "mlpx", 1.0, makeSeries());
+    EXPECT_EQ(db.runCount(), 1u);
+}
+
+TEST(OutOfCoreDatabase, MixedSamplingIntervalsRejected)
+{
+    const std::string dir = storeDir("mixed_interval");
+    StoreOptions options;
+    options.directory = dir;
+    {
+        Database db = Database::openStore(options);
+        const std::vector<TimeSeries> mixed = {
+            TimeSeries("EV_A", {1.0, 2.0}, 10.0),
+            TimeSeries("EV_B", {3.0, 4.0}, 20.0)};
+        const auto rejected =
+            db.tryAddRun("p", "s", "mlpx", 1.0, mixed);
+        ASSERT_FALSE(rejected.ok());
+        EXPECT_EQ(rejected.status().code(), StatusCode::DataError);
+        EXPECT_NE(rejected.status().message().find("EV_B"),
+                  std::string::npos);
+        EXPECT_EQ(db.runCount(), 0u);
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(8, 5.0));
+        EXPECT_EQ(db.runCount(), 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// --- CSV export precision and stale-file cleanup (regression) -----------
+
+TEST(Database, ExportCsvDoublesRoundTripExactly)
+{
+    const std::string dir = "/tmp/cminer_db_export_exact";
+    std::filesystem::remove_all(dir);
+    // Values chosen to lose bits under anything shorter than %.17g.
+    const std::vector<double> nasty = {
+        1.0 / 3.0,
+        0.1,
+        std::nextafter(1.0, 2.0),
+        1e-300,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(),
+        123456789.123456789,
+    };
+    Database db;
+    db.addRun("p", "s", "mlpx", 1.0 / 3.0,
+              {TimeSeries("EV_X", nasty, 10.0)});
+    db.exportCsv(dir);
+
+    std::ifstream csv(dir + "/run_0.csv");
+    std::string line;
+    ASSERT_TRUE(std::getline(csv, line));
+    EXPECT_EQ(line, "interval,EV_X");
+    for (std::size_t t = 0; t < nasty.size(); ++t) {
+        ASSERT_TRUE(std::getline(csv, line)) << "row " << t;
+        const auto comma = line.find(',');
+        ASSERT_NE(comma, std::string::npos) << line;
+        // Load-back equality must be exact, not approximate: %.17g
+        // carries every bit of a double through text.
+        const double parsed =
+            std::strtod(line.c_str() + comma + 1, nullptr);
+        EXPECT_EQ(parsed, nasty[t]) << line;
+    }
+
+    // The catalog's execution time gets the same treatment.
+    char exact[64];
+    std::snprintf(exact, sizeof exact, "%.17g", 1.0 / 3.0);
+    EXPECT_NE(readBytes(dir + "/catalog.csv").find(exact),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Database, ExportCsvRemovesStaleRunFiles)
+{
+    const std::string dir = "/tmp/cminer_db_export_stale";
+    std::filesystem::remove_all(dir);
+    Database big;
+    for (int i = 0; i < 3; ++i)
+        big.addRun("p", "s", "mlpx", 1.0, makeSeries());
+    big.exportCsv(dir);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/run_2.csv"));
+
+    // Files that are not ours must survive the cleanup.
+    writeBytes(dir + "/notes.txt", "keep");
+    writeBytes(dir + "/run_x.csv", "keep");
+
+    Database small;
+    small.addRun("p", "s", "mlpx", 1.0, makeSeries());
+    small.exportCsv(dir);
+
+    // The directory now equals exactly the smaller database: the two
+    // stale run files from the previous export are gone.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/catalog.csv"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/run_0.csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/run_1.csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/run_2.csv"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/run_x.csv"));
+    std::filesystem::remove_all(dir);
+}
+
+// --- out-of-core lifecycle ----------------------------------------------
+
+TEST(OutOfCoreDatabase, SealedStoreReopensWithIdenticalContents)
+{
+    const std::string dir = storeDir("roundtrip");
+    StoreOptions options;
+    options.directory = dir;
+    // Payload of makeRunSeries(64, ·) is 1 KiB, so every 4th run seals.
+    options.sealThresholdBytes = 4096;
+    constexpr std::size_t runs = 10;
+    constexpr std::size_t length = 64;
+    {
+        Database db = Database::openStore(options);
+        EXPECT_TRUE(db.outOfCore());
+        for (std::size_t i = 0; i < runs; ++i)
+            db.addRun("prog" + std::to_string(i % 3), "suite",
+                      i % 2 != 0 ? "mlpx" : "ocoe",
+                      100.0 + static_cast<double>(i),
+                      makeRunSeries(length,
+                                    static_cast<double>(i) * 1000.0));
+        db.flush();
+        db.waitForStoreMaintenance();
+        const StoreStats stats = db.storeStats();
+        EXPECT_EQ(stats.sealedRuns, runs);
+        EXPECT_EQ(stats.bufferedRuns, 0u);
+        EXPECT_GE(stats.seals, 1u);
+    }
+
+    // A new process over the same directory sees the identical fleet.
+    Database db = Database::openStore(options);
+    ASSERT_EQ(db.runCount(), runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+        const RunId id = static_cast<RunId>(i);
+        const RunMetadata &meta = db.runInfo(id);
+        EXPECT_EQ(meta.program, "prog" + std::to_string(i % 3));
+        EXPECT_EQ(meta.mode, i % 2 != 0 ? "mlpx" : "ocoe");
+        EXPECT_DOUBLE_EQ(meta.execTimeMs,
+                         100.0 + static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(db.seriesIntervalMs(id), 10.0);
+        ASSERT_EQ(db.seriesLength(id), length);
+        const auto values = db.seriesValues(id, "EV_B");
+        ASSERT_EQ(values.size(), length);
+        for (std::size_t t = 0; t < length; ++t)
+            EXPECT_EQ(values[t], 2000.0 * static_cast<double>(i) +
+                                     static_cast<double>(t));
+    }
+    EXPECT_EQ(db.findRuns("prog1").size(), 3u);
+    EXPECT_EQ(db.findRuns("prog0", "ocoe").size(), 2u);
+    const auto programs = db.programs();
+    ASSERT_EQ(programs.size(), 3u);
+    EXPECT_EQ(programs.front(), "prog0");
+    // The copying TimeSeries accessor rides the same column path.
+    const TimeSeries copy =
+        db.series(static_cast<RunId>(3), "EV_A");
+    EXPECT_DOUBLE_EQ(copy.at(5), 3005.0);
+    EXPECT_THROW(db.runInfo(static_cast<RunId>(runs) + 7), FatalError);
+
+    // CSV export reads through a snapshot, so it works out-of-core too.
+    const std::string csv_dir = dir + "_csv";
+    db.exportCsv(csv_dir);
+    EXPECT_TRUE(std::filesystem::exists(csv_dir + "/catalog.csv"));
+    EXPECT_TRUE(std::filesystem::exists(csv_dir + "/run_9.csv"));
+    std::filesystem::remove_all(csv_dir);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCoreDatabase, InRamOnlyApisRefuse)
+{
+    const std::string dir = storeDir("api_refusal");
+    StoreOptions options;
+    options.directory = dir;
+    {
+        Database db = Database::openStore(options);
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(8, 1.0));
+        // The Table-backed views and single-file save() belong to the
+        // in-RAM mode; out-of-core they must refuse loudly rather than
+        // return something half-true.
+        EXPECT_THROW(db.catalog(), FatalError);
+        EXPECT_THROW(db.seriesTable(0), FatalError);
+        EXPECT_THROW(db.save("/tmp/cminer_store_api.cmdb"), FatalError);
+        const auto status = db.trySave("/tmp/cminer_store_api.cmdb");
+        ASSERT_FALSE(status.ok());
+        EXPECT_NE(status.message().find("flush"), std::string::npos);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCoreDatabase, SnapshotSpansSurviveSealAndCompaction)
+{
+    const std::string dir = storeDir("snapshot_pins");
+    StoreOptions options;
+    options.directory = dir;
+    options.sealThresholdBytes = 4096; // 4 runs of makeRunSeries(64, ·)
+    // Room for the fan-in: each sealed segment is ~4.6 KiB (payload
+    // plus catalog), so the derived 16 KiB target would cap a merge at
+    // 3 inputs — below compactFanIn — and compaction would never fire.
+    options.compactTargetBytes = 64ull << 10;
+    // No maintenance pool: compaction runs inline, deterministically.
+    Database db = Database::openStore(options);
+
+    auto base = [](std::size_t i) {
+        return static_cast<double>(i) * 1000.0;
+    };
+    for (std::size_t i = 0; i < 2; ++i)
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(64, base(i)));
+
+    // Pin a snapshot while both runs are still in the write buffer.
+    const StoreSnapshot buffered_snap = db.snapshot();
+    const auto buffered_span = buffered_snap.values(0, "EV_A");
+    const std::vector<double> buffered_copy(buffered_span.begin(),
+                                            buffered_span.end());
+
+    for (std::size_t i = 2; i < 8; ++i)
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(64, base(i)));
+    db.flush();
+
+    // Pin a snapshot whose spans come off segment mappings that the
+    // upcoming compaction will merge away and unlink.
+    const StoreSnapshot sealed_snap = db.snapshot();
+    const auto sealed_span = sealed_snap.values(4, "EV_A");
+    const std::vector<double> sealed_copy(sealed_span.begin(),
+                                          sealed_span.end());
+
+    for (std::size_t i = 8; i < 32; ++i)
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(64, base(i)));
+    db.flush();
+    db.waitForStoreMaintenance();
+    EXPECT_GE(db.storeStats().compactions, 1u);
+
+    // Both old snapshots still see exactly the world they pinned: same
+    // run counts, same addresses, same bytes.
+    ASSERT_EQ(buffered_snap.runCount(), 2u);
+    ASSERT_EQ(sealed_snap.runCount(), 8u);
+    const auto buffered_again = buffered_snap.values(0, "EV_A");
+    EXPECT_EQ(buffered_again.data(), buffered_span.data());
+    ASSERT_EQ(buffered_again.size(), buffered_copy.size());
+    for (std::size_t t = 0; t < buffered_copy.size(); ++t)
+        EXPECT_EQ(buffered_again[t], buffered_copy[t]);
+    const auto sealed_again = sealed_snap.values(4, "EV_A");
+    EXPECT_EQ(sealed_again.data(), sealed_span.data());
+    ASSERT_EQ(sealed_again.size(), sealed_copy.size());
+    for (std::size_t t = 0; t < sealed_copy.size(); ++t)
+        EXPECT_EQ(sealed_again[t], sealed_copy[t]);
+
+    // And the live view serves every run correctly off the merged
+    // segments.
+    const StoreSnapshot now = db.snapshot();
+    ASSERT_EQ(now.runCount(), 32u);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{31}}) {
+        const auto values = now.values(static_cast<RunId>(i), "EV_A");
+        ASSERT_EQ(values.size(), 64u);
+        EXPECT_EQ(values[7], base(i) + 7.0);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCoreDatabase, MicroarchMismatchRefusesToOpen)
+{
+    const std::string dir = storeDir("microarch");
+    StoreOptions options;
+    options.directory = dir;
+    options.microarch = "haswell-e";
+    {
+        Database db = Database::openStore(options);
+        db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(8, 1.0));
+        db.flush();
+    }
+    options.microarch = "skylake-x";
+    const auto reopened = Database::tryOpenStore(options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::DataError);
+    EXPECT_NE(reopened.status().message().find("haswell-e"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCoreDatabase, GapInSegmentIdsRefusesToOpen)
+{
+    const std::string dir = storeDir("gap");
+    StoreOptions options;
+    options.directory = dir;
+    options.compactFanIn = 100; // keep the two segments distinct
+    {
+        Database db = Database::openStore(options);
+        for (std::size_t i = 0; i < 8; ++i) {
+            db.addRun("p", "s", "mlpx", 1.0,
+                      makeRunSeries(16, static_cast<double>(i)));
+            if (i == 3)
+                db.flush(); // segment [0..3]
+        }
+        db.flush(); // segment [4..7]
+    }
+    // Losing the first segment leaves ids 0..3 unaccounted for — the
+    // store must refuse rather than silently renumber the survivors.
+    bool removed = false;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find("_000000000000_") != std::string::npos) {
+            std::filesystem::remove(entry.path());
+            removed = true;
+        }
+    }
+    ASSERT_TRUE(removed);
+    const auto reopened = Database::tryOpenStore(options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::DataError);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(OutOfCoreDatabase, InterruptedCompactionLeftoversResolved)
+{
+    // Simulate a compaction that wrote its merged output and crashed
+    // before retiring the inputs: the directory then holds one segment
+    // covering [0..7] AND the two inputs [0..3], [4..7]. Reopening must
+    // keep exactly one copy of every run and delete the stale inputs.
+    const std::string dir_a = storeDir("interrupted_a");
+    const std::string dir_b = storeDir("interrupted_b");
+    auto fill = [](Database &db, std::size_t flush_every) {
+        for (std::size_t i = 0; i < 8; ++i) {
+            db.addRun("p", "s", "mlpx", 1.0 + static_cast<double>(i),
+                      makeRunSeries(16,
+                                    static_cast<double>(i) * 100.0));
+            if ((i + 1) % flush_every == 0)
+                db.flush();
+        }
+        db.flush();
+    };
+    StoreOptions options;
+    options.directory = dir_a;
+    options.compactFanIn = 100; // no real compaction in this test
+    {
+        Database db = Database::openStore(options);
+        fill(db, 4); // two input segments
+    }
+    StoreOptions merged = options;
+    merged.directory = dir_b;
+    {
+        Database db = Database::openStore(merged);
+        fill(db, 8); // one segment holding the same 8 runs
+    }
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_b)) {
+        std::filesystem::copy_file(
+            entry.path(), dir_a + "/" +
+                              entry.path().filename().string());
+    }
+
+    Database db = Database::openStore(options);
+    ASSERT_EQ(db.runCount(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        const auto values =
+            db.seriesValues(static_cast<RunId>(i), "EV_A");
+        ASSERT_EQ(values.size(), 16u);
+        EXPECT_EQ(values[3], static_cast<double>(i) * 100.0 + 3.0);
+    }
+    // The stale inputs were unlinked during open.
+    std::size_t segment_files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_a)) {
+        if (entry.path().extension() == ".cmseg")
+            ++segment_files;
+    }
+    EXPECT_EQ(segment_files, 1u);
+    std::filesystem::remove_all(dir_a);
+    std::filesystem::remove_all(dir_b);
+}
+
+// --- segment file corruption sweep (checkpoint_test style) --------------
+
+/** Seal one small two-run segment and return its file path. */
+std::string
+buildSegmentFile(const std::string &dir)
+{
+    StoreOptions options;
+    options.directory = dir;
+    Database db = Database::openStore(options);
+    db.addRun("p", "s", "mlpx", 1.0, makeRunSeries(4, 100.0));
+    db.addRun("q", "s", "ocoe", 2.0, makeRunSeries(4, 200.0));
+    db.flush();
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".cmseg")
+            return entry.path().string();
+    }
+    return "";
+}
+
+TEST(SegmentFile, TruncationAtEveryByteFailsCleanly)
+{
+    const std::string dir = storeDir("seg_trunc");
+    const std::string path = buildSegmentFile(dir);
+    ASSERT_FALSE(path.empty());
+    const std::string bytes = readBytes(path);
+    ASSERT_GT(bytes.size(), 0u);
+
+    const std::string victim = dir + "/victim.bin";
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeBytes(victim, std::string_view(bytes).substr(0, len));
+        const auto opened = Segment::open(victim);
+        ASSERT_FALSE(opened.ok()) << "prefix of " << len << " bytes";
+        EXPECT_FALSE(opened.status().message().empty());
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentFile, ByteFlipsNeverCrash)
+{
+    const std::string dir = storeDir("seg_flip");
+    const std::string path = buildSegmentFile(dir);
+    ASSERT_FALSE(path.empty());
+    const std::string bytes = readBytes(path);
+
+    const std::string victim = dir + "/victim.bin";
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string bad = bytes;
+        bad[i] = static_cast<char>(bad[i] ^ 0xFF);
+        writeBytes(victim, bad);
+        // A flip inside a float payload can legitimately load as
+        // garbage values; any flip in structure must come back as a
+        // clean Status. Either way: no crash, no over-allocation.
+        const auto opened = Segment::open(victim);
+        if (!opened.ok()) {
+            EXPECT_FALSE(opened.status().message().empty());
+        } else {
+            EXPECT_LE(opened.value()->runCount(), 2u);
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SegmentFile, InflatedCountsNeverOverAllocate)
+{
+    const std::string dir = storeDir("seg_inflate");
+    const std::string path = buildSegmentFile(dir);
+    ASSERT_FALSE(path.empty());
+    const std::string bytes = readBytes(path);
+
+    // Saturating each byte turns every count/length/offset field it
+    // touches into an enormous value; each must be caught against the
+    // actual file size before any allocation sized from it.
+    const std::string victim = dir + "/victim.bin";
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string bad = bytes;
+        bad[i] = static_cast<char>(0xFF);
+        writeBytes(victim, bad);
+        const auto opened = Segment::open(victim);
+        if (!opened.ok()) {
+            EXPECT_FALSE(opened.status().message().empty());
+        } else {
+            EXPECT_LE(opened.value()->runCount(), 2u);
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// --- snapshots under concurrent ingest and maintenance ------------------
+
+TEST(OutOfCoreDatabase, SnapshotReadersStableUnderConcurrentIngest)
+{
+    const std::string dir = storeDir("concurrent");
+    cminer::util::ThreadPool pool(2);
+    StoreOptions options;
+    options.directory = dir;
+    options.sealThresholdBytes = 4096; // seal every 4 runs
+    options.maintenancePool = &pool;   // compaction races the readers
+    {
+        Database db = Database::openStore(options);
+
+        constexpr std::size_t total_runs = 96;
+        constexpr std::size_t length = 64;
+        auto base = [](RunId id) {
+            return static_cast<double>(id) * 1000.0;
+        };
+        std::atomic<bool> done{false};
+        std::atomic<bool> failed{false};
+
+        // Each reader pins a fresh snapshot per pass and checks every
+        // run it contains against the formula — across the buffer,
+        // freshly sealed segments, and compacted merges.
+        auto verify = [&](const StoreSnapshot &snap) {
+            const auto n = static_cast<RunId>(snap.runCount());
+            for (RunId id = 0; id < n; ++id) {
+                const auto values = snap.values(id, "EV_A");
+                if (values.size() != length ||
+                    values[0] != base(id) ||
+                    values[length - 1] !=
+                        base(id) + static_cast<double>(length - 1)) {
+                    failed = true;
+                    return;
+                }
+                if (snap.runInfo(id).program != "p") {
+                    failed = true;
+                    return;
+                }
+            }
+        };
+        std::vector<std::thread> readers;
+        for (int r = 0; r < 2; ++r)
+            readers.emplace_back([&] {
+                while (!done.load())
+                    verify(db.snapshot());
+            });
+
+        for (std::size_t i = 0; i < total_runs; ++i)
+            db.addRun("p", "s", "mlpx", 1.0,
+                      makeRunSeries(length,
+                                    base(static_cast<RunId>(i))));
+        db.flush();
+        done = true;
+        for (auto &reader : readers)
+            reader.join();
+        db.waitForStoreMaintenance();
+
+        EXPECT_FALSE(failed.load());
+        EXPECT_EQ(db.runCount(), total_runs);
+        verify(db.snapshot());
+        EXPECT_FALSE(failed.load());
+        EXPECT_GE(db.storeStats().seals, 2u);
+    }
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace
