@@ -17,6 +17,7 @@
 #include "serve/server.h"
 #include "serve/socket.h"
 #include "serve/transport.h"
+#include "pmu/backend.h"
 #include "pmu/event.h"
 #include "store/database.h"
 #include "store/query.h"
@@ -113,6 +114,35 @@ parseFlags(const std::vector<std::string> &args, std::size_t first)
         }
     }
     return flags;
+}
+
+/**
+ * A flag restricted to an enumerated value set: unknown values fail
+ * with an error listing the valid choices instead of being passed
+ * through (or silently matching nothing downstream).
+ */
+std::string
+getChoice(const Flags &flags, const std::string &name,
+          const std::string &fallback,
+          const std::vector<std::string> &choices)
+{
+    const std::string value = flags.get(name, fallback);
+    for (const auto &choice : choices) {
+        if (value == choice)
+            return value;
+    }
+    util::fatal("--" + name + " got unknown value '" + value +
+                "' (valid choices: " + util::join(choices, ", ") + ")");
+}
+
+/** The --backend flag, parsed and validated (default sim). */
+pmu::BackendKind
+getBackendFlag(const Flags &flags)
+{
+    auto parsed = pmu::parseBackendKind(flags.get("backend", "sim"));
+    if (!parsed.ok())
+        util::fatal("--backend: " + parsed.status().message());
+    return parsed.value();
 }
 
 /** Where profile runs drop metrics when no explicit path is given to
@@ -246,6 +276,7 @@ cmdProfile(const Flags &flags, std::string &output)
     const auto &benchmark = resolveBenchmark(flags.positional.front());
 
     core::ProfileOptions options;
+    options.backend = getBackendFlag(flags);
     options.mlpxRuns =
         static_cast<std::size_t>(flags.getInt("runs", 2));
     options.importance.minEvents =
@@ -326,6 +357,74 @@ cmdProfile(const Flags &flags, std::string &output)
 }
 
 int
+cmdCollect(const Flags &flags, std::string &output)
+{
+    if (flags.positional.empty())
+        util::fatal("collect expects a benchmark name");
+    const auto &benchmark = resolveBenchmark(flags.positional.front());
+    const auto &catalog = pmu::EventCatalog::instance();
+
+    pmu::PmuConfig config;
+    config.intervalMs =
+        flags.getDouble("interval-ms", config.intervalMs);
+    const pmu::BackendKind kind = getBackendFlag(flags);
+    const std::string mode =
+        getChoice(flags, "mode", "mlpx", {"mlpx", "ocoe"});
+
+    store::Database db("haswell-e");
+    core::DataCollector collector(
+        db, catalog, core::makeSamplerBackend(kind, catalog, config));
+    // The factory may have fallen back (perf probe failed); report the
+    // backend that will actually measure, not the one requested.
+    output += std::string("collection backend: ") +
+              collector.backend().name() + "\n";
+
+    auto events = catalog.programmableEvents();
+    const auto event_count =
+        static_cast<std::size_t>(flags.getInt("events", 16));
+    if (events.size() > event_count)
+        events.resize(event_count);
+
+    const auto runs =
+        static_cast<std::size_t>(flags.getInt("runs", 1));
+    util::Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+    std::size_t recorded = 0;
+    double ipc_total = 0.0;
+    double interval_total = 0.0;
+    const auto tally = [&](const core::CollectedRun &run) {
+        ++recorded;
+        for (const double v : run.ipc().values())
+            ipc_total += v;
+        interval_total += static_cast<double>(run.ipc().size());
+    };
+    for (std::size_t r = 0; r < runs; ++r) {
+        if (mode == "ocoe") {
+            for (const auto &run :
+                 collector.collectOcoePlan(benchmark, events, rng))
+                tally(run);
+        } else {
+            tally(collector.collectMlpx(benchmark, events, rng));
+        }
+    }
+
+    output += util::format(
+        "collected %zu %s run%s of %s (%zu events, %.0f intervals of "
+        "%.1f ms); mean IPC %.3f\n",
+        recorded, mode.c_str(), recorded == 1 ? "" : "s",
+        benchmark.name().c_str(), events.size(), interval_total,
+        config.intervalMs,
+        interval_total > 0.0 ? ipc_total / interval_total : 0.0);
+
+    if (flags.has("db")) {
+        const std::string path = flags.get("db", "");
+        db.save(path);
+        output += "saved " + std::to_string(db.runCount()) +
+                  " runs to " + path + "\n";
+    }
+    return 0;
+}
+
+int
 cmdMapm(const Flags &flags, std::string &output)
 {
     if (flags.positional.empty())
@@ -333,6 +432,7 @@ cmdMapm(const Flags &flags, std::string &output)
     const auto &benchmark = resolveBenchmark(flags.positional.front());
 
     core::ProfileOptions options;
+    options.backend = getBackendFlag(flags);
     options.mlpxRuns =
         static_cast<std::size_t>(flags.getInt("runs", 2));
     options.importance.minEvents =
@@ -401,7 +501,8 @@ cmdPredict(const Flags &flags, std::string &output)
     // target, the shape 'mapm --db' / 'profile --db' records for mlpx
     // runs. The first eligible run fixes the list; runs that measured
     // something else are skipped and reported.
-    const std::string mode = flags.get("mode", "mlpx");
+    const std::string mode =
+        getChoice(flags, "mode", "mlpx", {"mlpx", "ocoe"});
     std::vector<store::RunId> ids;
     std::size_t skipped = 0;
     const std::vector<std::string> *events = nullptr;
@@ -651,6 +752,7 @@ cmdServe(const Flags &flags, std::string &output)
     options.storeMemoryBudgetBytes =
         static_cast<std::size_t>(flags.getInt("memory-budget-mb", 64))
         << 20;
+    options.backend = getBackendFlag(flags);
 
     serve::Server server(options);
 
@@ -767,7 +869,14 @@ usage()
            "  profile <benchmark> [--runs N] [--seed S] [--min-events N]\n"
            "          [--skip-cleaning] [--json FILE] [--db FILE]\n"
            "          [--inject-faults SPEC] [--max-bad-runs N]\n"
-           "          [--max-bad-fraction F]\n"
+           "          [--max-bad-fraction F] [--backend B]\n"
+           "  collect <benchmark> [--backend B] [--mode mlpx|ocoe]\n"
+           "          [--runs N] [--events N] [--interval-ms D]\n"
+           "          [--seed S] [--db FILE]\n"
+           "                                  record counter runs only\n"
+           "                (no mining); with --backend=perf the runs\n"
+           "                are real perf_event_open measurements of a\n"
+           "                built-in synthetic load\n"
            "  mapm <benchmark> [--model-out FILE] [--db FILE]\n"
            "       [--runs N] [--seed S] [--min-events N]\n"
            "                                  mine the MAPM and write a\n"
@@ -797,6 +906,12 @@ usage()
            "                64) instead of the accumulated runs\n"
            "\n"
            "global options:\n"
+           "  --backend B   how counters are measured: 'sim' (default,\n"
+           "                the paper's simulated PMU, deterministic\n"
+           "                per seed) or 'perf' (real perf_event_open\n"
+           "                on Linux; probed at startup and falling\n"
+           "                back to sim with a logged reason when\n"
+           "                hardware counters are unavailable)\n"
            "  --threads N   worker threads for the mining pipeline\n"
            "                (default: CMINER_THREADS env var, else all\n"
            "                hardware threads; 1 = fully serial; results\n"
@@ -855,6 +970,8 @@ run(const std::vector<std::string> &args, std::string &output)
             return finish(cmdListEvents(flags, output));
         if (command == "profile")
             return finish(cmdProfile(flags, output));
+        if (command == "collect")
+            return finish(cmdCollect(flags, output));
         if (command == "mapm")
             return finish(cmdMapm(flags, output));
         if (command == "predict")

@@ -1,8 +1,15 @@
 #include "core/collector.h"
 
+#include <memory>
+#include <utility>
+
+#include "pmu/linux_perf_sampler.h"
+#include "pmu/sim_sampler.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
+#include "workload/synthetic_load.h"
 
 namespace cminer::core {
 
@@ -18,11 +25,47 @@ using cminer::util::StatusOr;
 using cminer::workload::SparkConfig;
 using cminer::workload::SyntheticBenchmark;
 
+std::unique_ptr<cminer::pmu::SamplerBackend>
+makeSamplerBackend(cminer::pmu::BackendKind kind,
+                   const cminer::pmu::EventCatalog &catalog,
+                   cminer::pmu::PmuConfig config)
+{
+    if (kind == cminer::pmu::BackendKind::Perf) {
+        const Status probed = cminer::pmu::LinuxPerfSampler::probe();
+        if (probed.ok()) {
+            // The perf backend measures something real: the built-in
+            // phase-rotating synthetic load, injected here so pmu never
+            // links the workload library.
+            auto load =
+                std::make_shared<cminer::workload::SyntheticLoad>();
+            return std::make_unique<cminer::pmu::LinuxPerfSampler>(
+                catalog, config,
+                [load]() { return load->runChunk(); });
+        }
+        cminer::util::count("collector.backend_fallbacks");
+        cminer::util::warn("collector: perf backend unavailable, "
+                           "falling back to sim: " +
+                           probed.message());
+    }
+    return std::make_unique<cminer::pmu::SimSampler>(catalog, config);
+}
+
 DataCollector::DataCollector(cminer::store::Database &db,
                              const cminer::pmu::EventCatalog &catalog,
                              cminer::pmu::PmuConfig pmu_config)
-    : db_(db), catalog_(catalog), sampler_(catalog, pmu_config)
+    : db_(db),
+      catalog_(catalog),
+      backend_(std::make_unique<cminer::pmu::SimSampler>(catalog,
+                                                         pmu_config))
 {
+}
+
+DataCollector::DataCollector(
+    cminer::store::Database &db, const cminer::pmu::EventCatalog &catalog,
+    std::unique_ptr<cminer::pmu::SamplerBackend> backend)
+    : db_(db), catalog_(catalog), backend_(std::move(backend))
+{
+    CM_ASSERT(backend_ != nullptr);
 }
 
 Status
@@ -47,7 +90,7 @@ DataCollector::tryRecord(const std::string &program,
     // noise there is already part of the sampler.
     if (injector_ != nullptr)
         injector_->corruptSeries(series);
-    series.push_back(sampler_.measuredIpc(trace, rng));
+    series.push_back(backend_->measuredIpc(trace, rng));
 
     CollectedRun run;
     // The store insertion is retried as a unit: a transient store
@@ -91,13 +134,13 @@ DataCollector::collectOcoe(const SyntheticBenchmark &benchmark,
                            const std::vector<EventId> &events, Rng &rng,
                            const SparkConfig &config)
 {
-    if (events.size() > sampler_.config().programmableCounters) {
+    if (events.size() > backend_->config().programmableCounters) {
         util::fatal("collector: OCOE run asked to measure more events "
                     "than there are programmable counters; use "
                     "collectOcoePlan");
     }
     const TrueTrace trace = benchmark.generateTrace(rng, config);
-    auto series = sampler_.measureOcoe(trace, events, rng);
+    auto series = backend_->measureOcoe(trace, events, rng);
     return record(benchmark.name(), benchmark.suite(), "ocoe", trace,
                   std::move(series), rng);
 }
@@ -107,7 +150,7 @@ DataCollector::collectOcoePlan(const SyntheticBenchmark &benchmark,
                                const std::vector<EventId> &events,
                                Rng &rng, const SparkConfig &config)
 {
-    const OcoePlan plan(events, sampler_.config().programmableCounters);
+    const OcoePlan plan(events, backend_->config().programmableCounters);
     std::vector<CollectedRun> runs;
     runs.reserve(plan.runCount());
     for (std::size_t r = 0; r < plan.runCount(); ++r)
@@ -137,11 +180,11 @@ DataCollector::tryCollectMlpx(const SyntheticBenchmark &benchmark,
 
     const TrueTrace trace = benchmark.generateTrace(rng, config);
     const MlpxSchedule schedule(events,
-                                sampler_.config().programmableCounters,
+                                backend_->config().programmableCounters,
                                 policy);
-    auto series = sampler_.measureMlpx(trace, schedule, rng);
+    auto measured = backend_->measureMlpx(trace, schedule, rng);
     return tryRecord(benchmark.name(), benchmark.suite(), "mlpx", trace,
-                     std::move(series), rng);
+                     std::move(measured.series), rng);
 }
 
 CollectedRun
@@ -174,10 +217,10 @@ DataCollector::tryCollectMlpxFromTrace(const TrueTrace &trace,
                                   program);
 
     const MlpxSchedule schedule(events,
-                                sampler_.config().programmableCounters);
-    auto series = sampler_.measureMlpx(trace, schedule, rng);
-    return tryRecord(program, suite, "mlpx", trace, std::move(series),
-                     rng);
+                                backend_->config().programmableCounters);
+    auto measured = backend_->measureMlpx(trace, schedule, rng);
+    return tryRecord(program, suite, "mlpx", trace,
+                     std::move(measured.series), rng);
 }
 
 CollectedRun
@@ -200,11 +243,11 @@ DataCollector::collectOcoeFromTrace(const TrueTrace &trace,
                                     const std::vector<EventId> &events,
                                     Rng &rng)
 {
-    if (events.size() > sampler_.config().programmableCounters) {
+    if (events.size() > backend_->config().programmableCounters) {
         util::fatal("collector: OCOE run asked to measure more events "
                     "than there are programmable counters");
     }
-    auto series = sampler_.measureOcoe(trace, events, rng);
+    auto series = backend_->measureOcoe(trace, events, rng);
     return record(program, suite, "ocoe", trace, std::move(series), rng);
 }
 

@@ -17,11 +17,12 @@
 #define CMINER_CORE_COLLECTOR_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "pmu/backend.h"
 #include "pmu/event.h"
-#include "pmu/sampler.h"
 #include "pmu/schedule.h"
 #include "pmu/trace.h"
 #include "store/database.h"
@@ -36,6 +37,21 @@ namespace cminer::core {
 
 /** The name under which measured IPC is stored alongside event series. */
 inline constexpr const char *ipc_series_name = "IPC";
+
+/**
+ * Build the collection backend for a requested kind (DESIGN.md §16).
+ *
+ * BackendKind::Sim always succeeds. BackendKind::Perf is probed at
+ * runtime (perf_event_paranoid, a trial counter open); when the probe
+ * fails, the factory logs the reason, bumps the
+ * `collector.backend_fallbacks` metric, and returns a SimSampler — the
+ * pipeline keeps working everywhere, real hardware is used where it can
+ * be. The perf backend measures the built-in workload::SyntheticLoad.
+ */
+std::unique_ptr<cminer::pmu::SamplerBackend>
+makeSamplerBackend(cminer::pmu::BackendKind kind,
+                   const cminer::pmu::EventCatalog &catalog,
+                   cminer::pmu::PmuConfig config = {});
 
 /** One recorded run: its database id and the measured series. */
 struct CollectedRun
@@ -55,6 +71,9 @@ class DataCollector
 {
   public:
     /**
+     * Collect through the simulated PMU (bit-identical to the pre-seam
+     * collector).
+     *
      * @param db database runs are recorded into
      * @param catalog event catalog
      * @param pmu_config PMU description (counters, interval, rotation)
@@ -63,8 +82,20 @@ class DataCollector
                   const cminer::pmu::EventCatalog &catalog,
                   cminer::pmu::PmuConfig pmu_config = {});
 
-    /** The sampler in use (for its PMU config). */
-    const cminer::pmu::Sampler &sampler() const { return sampler_; }
+    /**
+     * Collect through an explicit backend (see makeSamplerBackend).
+     * The fault boundary — transient retry, quarantine, injected
+     * damage — behaves identically for every backend.
+     */
+    DataCollector(cminer::store::Database &db,
+                  const cminer::pmu::EventCatalog &catalog,
+                  std::unique_ptr<cminer::pmu::SamplerBackend> backend);
+
+    /** The collection backend in use (for its kind and PMU config). */
+    const cminer::pmu::SamplerBackend &backend() const
+    {
+        return *backend_;
+    }
 
     /**
      * Attach a fault injector (not owned; nullptr detaches). Injected
@@ -189,7 +220,7 @@ class DataCollector
 
     cminer::store::Database &db_;
     const cminer::pmu::EventCatalog &catalog_;
-    cminer::pmu::Sampler sampler_;
+    std::unique_ptr<cminer::pmu::SamplerBackend> backend_;
     cminer::util::FaultInjector *injector_ = nullptr;
     cminer::util::RetryOptions retryOptions_;
     cminer::util::RecordingClock retryClock_;

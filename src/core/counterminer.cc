@@ -34,7 +34,9 @@ CounterMiner::CounterMiner(cminer::store::Database &db,
     : db_(db),
       catalog_(catalog),
       options_(std::move(options)),
-      collector_(db, catalog, options_.pmu)
+      collector_(db, catalog,
+                 makeSamplerBackend(options_.backend, catalog,
+                                    options_.pmu))
 {
     if (options_.events.empty())
         options_.events = catalog_.programmableEvents();

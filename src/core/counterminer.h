@@ -33,6 +33,12 @@ struct ProfileOptions
     /** MLPX runs collected per benchmark (more runs, more rows). */
     std::size_t mlpxRuns = 3;
     cminer::pmu::PmuConfig pmu;
+    /**
+     * How counters are measured (DESIGN.md §16). Perf probes the host
+     * at collector construction and falls back to Sim with a logged,
+     * metric-counted reason when hardware counters are unavailable.
+     */
+    cminer::pmu::BackendKind backend = cminer::pmu::BackendKind::Sim;
     CleanerOptions cleaner;
     ImportanceOptions importance;
     InteractionOptions interaction;

@@ -1,0 +1,28 @@
+#include "pmu/backend.h"
+
+namespace cminer::pmu {
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Sim:
+        return "sim";
+      case BackendKind::Perf:
+        return "perf";
+    }
+    return "unknown";
+}
+
+cminer::util::StatusOr<BackendKind>
+parseBackendKind(const std::string &name)
+{
+    if (name == "sim")
+        return BackendKind::Sim;
+    if (name == "perf")
+        return BackendKind::Perf;
+    return cminer::util::Status::dataError(
+        "unknown backend '" + name + "' (valid choices: sim, perf)");
+}
+
+} // namespace cminer::pmu

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The collection seam: how counters are measured is a backend, not a
+ * hard-coded class.
+ *
+ * A SamplerBackend measures an OCOE event list or an MLPX schedule over
+ * a sampling window and reports per-interval counts (duty-cycle
+ * extrapolated, perf's time_enabled/time_running scaling), the per-event
+ * duty cycles themselves, and the fixed-counter IPC. Two backends exist:
+ *
+ *  - SimSampler (sim_sampler.h): the paper's simulated PMU observing a
+ *    synthetic TrueTrace — bit-identical to the pre-seam pipeline.
+ *  - LinuxPerfSampler (linux_perf_sampler.h): real perf_event_open
+ *    group FDs measuring an in-process synthetic load, grouped by the
+ *    same MlpxSchedule plans.
+ *
+ * The window of a measurement is carried by the TrueTrace argument: the
+ * simulator reads it as ground truth; a hardware backend reads only its
+ * shape (interval count and interval length) — real hardware is its own
+ * ground truth.
+ */
+
+#ifndef CMINER_PMU_BACKEND_H
+#define CMINER_PMU_BACKEND_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmu/counter.h"
+#include "pmu/event.h"
+#include "pmu/schedule.h"
+#include "pmu/trace.h"
+#include "ts/time_series.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cminer::pmu {
+
+/** Which collection backend to use. */
+enum class BackendKind
+{
+    Sim,  ///< simulated PMU over synthetic traces (always available)
+    Perf, ///< perf_event_open on real hardware (Linux, probed at runtime)
+};
+
+/** Stable backend name ("sim", "perf"). */
+const char *backendKindName(BackendKind kind);
+
+/**
+ * Parse a backend name. Unknown names come back as a DataError whose
+ * message lists the valid choices.
+ */
+cminer::util::StatusOr<BackendKind>
+parseBackendKind(const std::string &name);
+
+/**
+ * One MLPX measurement: the extrapolated series plus the duty cycles
+ * that scaled them.
+ */
+struct MlpxMeasurement
+{
+    /** One series per scheduled event, in schedule order. */
+    std::vector<cminer::ts::TimeSeries> series;
+    /**
+     * Mean time_running/time_enabled per event, in schedule order.
+     * 1.0 means the event was counted the whole run (no multiplexing);
+     * the extrapolation scale applied per interval is its reciprocal.
+     */
+    std::vector<double> dutyCycles;
+};
+
+/**
+ * A way of measuring hardware events over a sampling window.
+ *
+ * Implementations must keep the duty-cycle extrapolation contract: an
+ * interval during which an event's group never counted reports 0.0 (the
+ * paper's missing value); a partially counted interval reports
+ * observed / duty (perf's time_enabled/time_running scaling).
+ */
+class SamplerBackend
+{
+  public:
+    virtual ~SamplerBackend() = default;
+
+    /** Which backend this is. */
+    virtual BackendKind kind() const = 0;
+
+    /** Stable name, for logs and reports. */
+    const char *name() const { return backendKindName(kind()); }
+
+    /** PMU description in use. */
+    virtual const PmuConfig &config() const = 0;
+
+    /**
+     * OCOE measurement: each event gets a dedicated counter for the
+     * whole window — accurate up to read noise. The caller is
+     * responsible for respecting the physical counter limit across
+     * runs (see OcoePlan).
+     *
+     * @param window window shape (and, for the simulator, ground truth)
+     * @param events events to measure
+     * @param rng noise source (unused by hardware backends)
+     * @return one TimeSeries per event, in input order
+     */
+    virtual std::vector<cminer::ts::TimeSeries>
+    measureOcoe(const TrueTrace &window,
+                const std::vector<EventId> &events,
+                cminer::util::Rng &rng) = 0;
+
+    /**
+     * MLPX measurement with duty-cycle extrapolation: the schedule's
+     * groups share the programmable counters and rotate; per-interval
+     * counts are scaled by time_enabled/time_running.
+     *
+     * @param window window shape (and, for the simulator, ground truth)
+     * @param schedule the multiplexing schedule (events + rotation)
+     * @param rng noise source (unused by hardware backends)
+     */
+    virtual MlpxMeasurement measureMlpx(const TrueTrace &window,
+                                        const MlpxSchedule &schedule,
+                                        cminer::util::Rng &rng) = 0;
+
+    /**
+     * Per-interval IPC observed through the fixed counters. Fixed
+     * counters are never multiplexed, so this is accurate in both
+     * modes.
+     */
+    virtual cminer::ts::TimeSeries measuredIpc(const TrueTrace &window,
+                                               cminer::util::Rng &rng) = 0;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_BACKEND_H

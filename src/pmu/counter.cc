@@ -3,8 +3,41 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/string_util.h"
 
 namespace cminer::pmu {
+
+using cminer::util::Status;
+
+Status
+validatePmuConfig(const PmuConfig &config)
+{
+    if (config.programmableCounters == 0) {
+        return Status::dataError(
+            "pmu config: programmableCounters must be >= 1");
+    }
+    if (config.rotationQuanta == 0) {
+        return Status::dataError(
+            "pmu config: rotationQuanta must be >= 1");
+    }
+    if (!(config.intervalMs > 0.0) || !std::isfinite(config.intervalMs)) {
+        return Status::dataError(util::format(
+            "pmu config: intervalMs must be positive and finite, got %g",
+            config.intervalMs));
+    }
+    if (!(config.readNoise >= 0.0) || !std::isfinite(config.readNoise)) {
+        return Status::dataError(util::format(
+            "pmu config: readNoise must be non-negative and finite, "
+            "got %g",
+            config.readNoise));
+    }
+    if (config.counterWidth < 32 || config.counterWidth > 64) {
+        return Status::dataError(util::format(
+            "pmu config: counterWidth must be in [32, 64], got %u",
+            config.counterWidth));
+    }
+    return Status::okStatus();
+}
 
 HardwareCounter::HardwareCounter(const PmuConfig &config)
     : readNoise_(config.readNoise),

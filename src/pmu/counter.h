@@ -12,6 +12,7 @@
 
 #include "pmu/event.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace cminer::pmu {
 
@@ -34,6 +35,15 @@ struct PmuConfig
     /** Counter register width in bits (reads wrap at 2^width). */
     unsigned counterWidth = 48;
 };
+
+/**
+ * Check a PmuConfig before it reaches schedule math: zero counters or
+ * rotation quanta, a non-positive sampling interval, a negative or
+ * non-finite read noise, or an out-of-range register width come back as
+ * a DataError naming the offending field. Every sampler backend and the
+ * collector validate at construction.
+ */
+cminer::util::Status validatePmuConfig(const PmuConfig &config);
 
 /**
  * One hardware counter register.

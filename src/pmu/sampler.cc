@@ -25,9 +25,9 @@ constexpr double smooth_sigma_slope = 0.04;
 Sampler::Sampler(const EventCatalog &catalog, PmuConfig config)
     : catalog_(catalog), config_(config)
 {
-    CM_ASSERT(config_.programmableCounters >= 1);
-    CM_ASSERT(config_.rotationQuanta >= 1);
-    CM_ASSERT(config_.intervalMs > 0.0);
+    // A bad config is caller input, not a library invariant: reject it
+    // with the named DataError instead of aborting in schedule math.
+    validatePmuConfig(config_).throwIfError();
 }
 
 std::vector<double>

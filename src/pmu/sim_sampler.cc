@@ -1,0 +1,61 @@
+#include "pmu/sim_sampler.h"
+
+#include <algorithm>
+
+namespace cminer::pmu {
+
+using cminer::ts::TimeSeries;
+using cminer::util::Rng;
+
+SimSampler::SimSampler(const EventCatalog &catalog, PmuConfig config)
+    : sampler_(catalog, config)
+{
+}
+
+std::vector<TimeSeries>
+SimSampler::measureOcoe(const TrueTrace &window,
+                        const std::vector<EventId> &events, Rng &rng)
+{
+    return sampler_.measureOcoe(window, events, rng);
+}
+
+MlpxMeasurement
+SimSampler::measureMlpx(const TrueTrace &window,
+                        const MlpxSchedule &schedule, Rng &rng)
+{
+    MlpxMeasurement out;
+    out.series = sampler_.measureMlpx(window, schedule, rng);
+
+    // Duty cycles from the schedule arithmetic alone (no RNG): the mean
+    // share of each interval's quanta owned by the event's group, the
+    // exact quantity the simulator's extrapolation divides by. Mirrors
+    // the quanta choice in Sampler::measureMlpx.
+    const std::size_t quanta =
+        std::max(sampler_.config().rotationQuanta, schedule.groupCount());
+    const std::size_t intervals = window.intervalCount();
+    std::vector<double> group_duty(schedule.groupCount(), 0.0);
+    for (std::size_t t = 0; t < intervals; ++t) {
+        std::vector<std::size_t> active(schedule.groupCount(), 0);
+        for (std::size_t q = 0; q < quanta; ++q)
+            ++active[schedule.activeGroup(t * quanta + q)];
+        for (std::size_t g = 0; g < schedule.groupCount(); ++g) {
+            group_duty[g] += static_cast<double>(active[g]) /
+                             static_cast<double>(quanta);
+        }
+    }
+    out.dutyCycles.reserve(schedule.events().size());
+    for (std::size_t i = 0; i < schedule.events().size(); ++i) {
+        const double total = group_duty[schedule.groupOf(i)];
+        out.dutyCycles.push_back(
+            intervals > 0 ? total / static_cast<double>(intervals) : 1.0);
+    }
+    return out;
+}
+
+TimeSeries
+SimSampler::measuredIpc(const TrueTrace &window, Rng &rng)
+{
+    return sampler_.measuredIpc(window, rng);
+}
+
+} // namespace cminer::pmu

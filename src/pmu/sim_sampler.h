@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The simulated-PMU backend: the paper's measurement-error model behind
+ * the SamplerBackend seam.
+ *
+ * SimSampler delegates to the pre-seam Sampler unchanged — its series
+ * are bit-identical to the legacy `DataCollector`-owned sampler for the
+ * same RNG stream (locked by the hexfloat pipeline goldens and the
+ * determinism tests). The duty cycles it reports are derived from the
+ * schedule arithmetic alone, never from the RNG, so adding them cannot
+ * perturb the series.
+ */
+
+#ifndef CMINER_PMU_SIM_SAMPLER_H
+#define CMINER_PMU_SIM_SAMPLER_H
+
+#include "pmu/backend.h"
+#include "pmu/sampler.h"
+
+namespace cminer::pmu {
+
+/**
+ * Observes synthetic TrueTraces through the simulated PMU.
+ */
+class SimSampler : public SamplerBackend
+{
+  public:
+    /**
+     * @param catalog event catalog (lifetime must cover the sampler's)
+     * @param config PMU description; validated (fatal on a bad field)
+     */
+    SimSampler(const EventCatalog &catalog, PmuConfig config = {});
+
+    BackendKind kind() const override { return BackendKind::Sim; }
+
+    const PmuConfig &config() const override
+    {
+        return sampler_.config();
+    }
+
+    /** The wrapped simulation engine (for tests). */
+    const Sampler &sampler() const { return sampler_; }
+
+    std::vector<cminer::ts::TimeSeries>
+    measureOcoe(const TrueTrace &window,
+                const std::vector<EventId> &events,
+                cminer::util::Rng &rng) override;
+
+    MlpxMeasurement measureMlpx(const TrueTrace &window,
+                                const MlpxSchedule &schedule,
+                                cminer::util::Rng &rng) override;
+
+    cminer::ts::TimeSeries measuredIpc(const TrueTrace &window,
+                                       cminer::util::Rng &rng) override;
+
+  private:
+    Sampler sampler_;
+};
+
+} // namespace cminer::pmu
+
+#endif // CMINER_PMU_SIM_SAMPLER_H

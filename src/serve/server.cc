@@ -412,6 +412,7 @@ Server::runMine(const MineRequest &request, const Deadline &deadline,
 
     try {
         core::ProfileOptions options;
+        options.backend = options_.backend;
         options.mlpxRuns = std::max<std::uint64_t>(1, request.runs);
         options.importance.minEvents = request.minEvents;
         // Tie the request deadline into the collection layer: retries

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "pmu/backend.h"
 #include "serve/deadline.h"
 #include "store/database.h"
 #include "serve/protocol.h"
@@ -110,6 +111,13 @@ struct ServerOptions
     std::string storeDir;
     /** Memory budget handed to the segment store (--memory-budget-mb). */
     std::size_t storeMemoryBudgetBytes = 64ull << 20;
+    /**
+     * Collection backend for mine requests (--backend). Perf is probed
+     * per mining job and falls back to sim with a logged reason, so a
+     * daemon started with --backend=perf keeps serving on hosts where
+     * counter access later disappears.
+     */
+    cminer::pmu::BackendKind backend = cminer::pmu::BackendKind::Sim;
 };
 
 /** Monotonic serving counters (a consistent snapshot). */

@@ -1,0 +1,113 @@
+#include "workload/synthetic_load.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace cminer::workload {
+
+namespace {
+
+/** splitmix64: small, fast, and good enough to shuffle with. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t load_seed = 0xC0117EC7ED10ADULL;
+
+} // namespace
+
+SyntheticLoad::SyntheticLoad(std::size_t working_set_bytes)
+{
+    const std::size_t slots =
+        std::max<std::size_t>(64, working_set_bytes / sizeof(std::uint32_t));
+    // A single random cycle: successor[i] is a permutation with one
+    // orbit, so the chase visits the whole working set in cache-hostile
+    // order and can never get stuck in a short loop.
+    std::vector<std::uint32_t> order(slots);
+    std::iota(order.begin(), order.end(), 0u);
+    std::uint64_t state = load_seed;
+    for (std::size_t i = slots - 1; i > 0; --i) {
+        const std::size_t j = nextRand(state) % (i + 1);
+        std::swap(order[i], order[j]);
+    }
+    chase_.assign(slots, 0);
+    for (std::size_t i = 0; i + 1 < slots; ++i)
+        chase_[order[i]] = order[i + 1];
+    chase_[order[slots - 1]] = order[0];
+
+    branchData_.resize(4096);
+    for (auto &b : branchData_)
+        b = static_cast<std::uint8_t>(nextRand(state));
+}
+
+std::uint64_t
+SyntheticLoad::arithmeticChunk()
+{
+    std::uint64_t acc = checksum_ | 1;
+    for (int i = 0; i < 20000; ++i) {
+        acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+        acc ^= acc >> 29;
+    }
+    return acc;
+}
+
+std::uint64_t
+SyntheticLoad::chaseChunk()
+{
+    std::uint32_t pos = chasePos_;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 4000; ++i) {
+        pos = chase_[pos];
+        acc += pos;
+    }
+    chasePos_ = pos;
+    return acc;
+}
+
+std::uint64_t
+SyntheticLoad::branchyChunk()
+{
+    std::uint64_t acc = 0;
+    std::uint64_t state = checksum_ ^ load_seed;
+    for (int i = 0; i < 8000; ++i) {
+        const std::uint8_t b =
+            branchData_[nextRand(state) % branchData_.size()];
+        // Data-dependent, unpredictable branches.
+        if (b & 1)
+            acc += b * 3;
+        else if (b & 2)
+            acc ^= acc << 7 | 1;
+        else
+            acc -= b;
+    }
+    return acc;
+}
+
+std::uint64_t
+SyntheticLoad::runChunk()
+{
+    std::uint64_t value = 0;
+    switch (chunks_ % 3) {
+      case 0:
+        value = arithmeticChunk();
+        break;
+      case 1:
+        value = chaseChunk();
+        break;
+      default:
+        value = branchyChunk();
+        break;
+    }
+    ++chunks_;
+    checksum_ = (checksum_ * 31) ^ value;
+    return checksum_;
+}
+
+} // namespace cminer::workload

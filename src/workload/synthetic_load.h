@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A built-in, in-process workload for real counter collection.
+ *
+ * When the perf backend measures, something must actually execute: this
+ * load alternates short phases of arithmetic (ALU/uop pressure),
+ * pointer chasing over a working set (cache and TLB misses), and
+ * data-dependent branching (mispredictions), so real counters see
+ * varied, program-like activity rather than a flat spin. Every chunk
+ * folds its work into a checksum the caller must consume, which keeps
+ * the optimizer from deleting the load.
+ *
+ * The load is deterministic in the work it performs (fixed seed for the
+ * chase permutation and branch data); only its *measured* counts vary,
+ * because real hardware is the noise source.
+ */
+
+#ifndef CMINER_WORKLOAD_SYNTHETIC_LOAD_H
+#define CMINER_WORKLOAD_SYNTHETIC_LOAD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cminer::workload {
+
+/**
+ * The phase-rotating compute loop the perf backend drives between
+ * counter reads.
+ */
+class SyntheticLoad
+{
+  public:
+    /**
+     * @param working_set_bytes pointer-chase working set; the default
+     *        (4 MiB) exceeds typical L2 so the chase phase misses in
+     *        cache, giving the memory-category counters real activity
+     */
+    explicit SyntheticLoad(std::size_t working_set_bytes = 4u << 20);
+
+    /**
+     * Run one chunk (tens of microseconds of work) and fold it into
+     * the checksum. The phase advances every chunk.
+     *
+     * @return the running checksum (consume it; see checksum())
+     */
+    std::uint64_t runChunk();
+
+    /** Accumulated checksum over all chunks run. */
+    std::uint64_t checksum() const { return checksum_; }
+
+    /** Chunks run so far. */
+    std::uint64_t chunksRun() const { return chunks_; }
+
+  private:
+    std::uint64_t arithmeticChunk();
+    std::uint64_t chaseChunk();
+    std::uint64_t branchyChunk();
+
+    std::vector<std::uint32_t> chase_; ///< random-cycle successor table
+    std::vector<std::uint8_t> branchData_;
+    std::uint32_t chasePos_ = 0;
+    std::uint64_t checksum_ = 0;
+    std::uint64_t chunks_ = 0;
+};
+
+} // namespace cminer::workload
+
+#endif // CMINER_WORKLOAD_SYNTHETIC_LOAD_H

@@ -174,6 +174,40 @@ TEST(Cli, MissingFlagValueFails)
     EXPECT_NE(output.find("expects a value"), std::string::npos);
 }
 
+TEST(Cli, UnknownBackendFailsListingChoices)
+{
+    // Enum-valued flags reject unknown values up front with the valid
+    // choices listed — on every command that takes them.
+    for (const auto &args :
+         {std::vector<std::string>{"profile", "sort", "--backend", "gpu"},
+          std::vector<std::string>{"collect", "sort", "--backend", "gpu"},
+          std::vector<std::string>{"mapm", "sort", "--backend", "gpu"},
+          std::vector<std::string>{"serve", "--allow-empty", "--pipe",
+                                   "--backend", "gpu"}}) {
+        std::string output;
+        EXPECT_EQ(cli::run(args, output), 1) << args.front();
+        EXPECT_NE(output.find("unknown backend 'gpu'"),
+                  std::string::npos)
+            << args.front() << ": " << output;
+        EXPECT_NE(output.find("valid choices: sim, perf"),
+                  std::string::npos)
+            << args.front() << ": " << output;
+    }
+}
+
+TEST(Cli, UnknownModeFailsListingChoices)
+{
+    std::string output;
+    EXPECT_EQ(cli::run({"collect", "sort", "--mode", "turbo"}, output),
+              1);
+    EXPECT_NE(output.find("--mode got unknown value 'turbo'"),
+              std::string::npos)
+        << output;
+    EXPECT_NE(output.find("valid choices: mlpx, ocoe"),
+              std::string::npos)
+        << output;
+}
+
 TEST(Cli, ErrorCommandReportsBothNumbers)
 {
     std::string output;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "pmu/counter.h"
@@ -230,6 +231,79 @@ TEST(OcoePlan, CoversAllEventsInCounterSizedRuns)
     EXPECT_EQ(covered.size(), events.size());
 }
 
+TEST(MlpxSchedule, ManyMoreEventsThanCountersStillCoversAll)
+{
+    // 57 events on 4 counters: 15 groups, the last one ragged. Every
+    // event must land in exactly one group and own some rotation share.
+    std::vector<EventId> events(57);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        events[i] = i;
+    const MlpxSchedule schedule(events, 4);
+    EXPECT_EQ(schedule.groupCount(), 15u);
+    std::set<std::size_t> seen;
+    for (std::size_t g = 0; g < schedule.groupCount(); ++g) {
+        const auto members = schedule.groupMembers(g);
+        EXPECT_LE(members.size(), 4u);
+        EXPECT_FALSE(members.empty());
+        for (std::size_t m : members) {
+            EXPECT_EQ(schedule.groupOf(m), g);
+            EXPECT_TRUE(seen.insert(m).second)
+                << "event index " << m << " in two groups";
+        }
+    }
+    EXPECT_EQ(seen.size(), events.size());
+    EXPECT_EQ(schedule.groupMembers(14), (std::vector<std::size_t>{56}));
+    // Rotation still visits every group.
+    std::set<std::size_t> visited;
+    for (std::size_t q = 0; q < schedule.groupCount(); ++q)
+        visited.insert(schedule.activeGroup(q));
+    EXPECT_EQ(visited.size(), schedule.groupCount());
+}
+
+// --- PmuConfig validation --------------------------------------------
+
+TEST(PmuConfig, DefaultConfigValidates)
+{
+    EXPECT_TRUE(validatePmuConfig(PmuConfig{}).ok());
+}
+
+TEST(PmuConfig, ZeroProgrammableCountersRejected)
+{
+    PmuConfig config;
+    config.programmableCounters = 0;
+    const auto status = validatePmuConfig(config);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), cminer::util::StatusCode::DataError);
+    EXPECT_NE(status.message().find("programmableCounters"),
+              std::string::npos);
+    EXPECT_THROW(Sampler(EventCatalog::instance(), config), FatalError);
+}
+
+TEST(PmuConfig, ZeroRotationQuantaRejected)
+{
+    PmuConfig config;
+    config.rotationQuanta = 0;
+    const auto status = validatePmuConfig(config);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), cminer::util::StatusCode::DataError);
+    EXPECT_NE(status.message().find("rotationQuanta"), std::string::npos);
+    EXPECT_THROW(Sampler(EventCatalog::instance(), config), FatalError);
+}
+
+TEST(PmuConfig, NonPositiveIntervalRejected)
+{
+    PmuConfig config;
+    config.intervalMs = 0.0;
+    auto status = validatePmuConfig(config);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("intervalMs"), std::string::npos);
+    config.intervalMs = -5.0;
+    EXPECT_FALSE(validatePmuConfig(config).ok());
+    config.intervalMs = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(validatePmuConfig(config).ok());
+    EXPECT_THROW(Sampler(EventCatalog::instance(), config), FatalError);
+}
+
 // --- TrueTrace --------------------------------------------------------
 
 TEST(TrueTrace, AccessorsAndBounds)
@@ -260,6 +334,58 @@ flatTrace(std::size_t intervals, double rate)
     for (std::size_t t = 0; t < intervals; ++t)
         trace.setIpc(t, 1.0);
     return trace;
+}
+
+TEST(Sampler, SingleGroupWithOneQuantumIsExact)
+{
+    // rotationQuanta=1 and a schedule that fits one group: the group
+    // owns the only quantum, duty is 1.0, and the extrapolation scale
+    // collapses to exactly 1 — with read noise off, MLPX reproduces the
+    // truth bit for bit.
+    const auto &catalog = EventCatalog::instance();
+    PmuConfig config;
+    config.rotationQuanta = 1;
+    config.readNoise = 0.0;
+    Sampler sampler(catalog, config);
+    Rng rng(11);
+    const TrueTrace trace = flatTrace(50, 1234.5);
+    std::vector<EventId> events;
+    for (EventId id : catalog.programmableEvents()) {
+        if (events.size() >= 4)
+            break;
+        events.push_back(id);
+    }
+    const MlpxSchedule schedule(events, 4);
+    ASSERT_EQ(schedule.groupCount(), 1u);
+    EXPECT_DOUBLE_EQ(schedule.dutyCycle(), 1.0);
+    const auto series = sampler.measureMlpx(trace, schedule, rng);
+    for (const auto &s : series) {
+        for (double v : s.values())
+            EXPECT_DOUBLE_EQ(v, 1234.5);
+    }
+}
+
+TEST(Sampler, SingleEventScheduleMatchesOcoe)
+{
+    // One event, one group, no rotation pressure: MLPX and OCOE are the
+    // same measurement when read noise is off.
+    const auto &catalog = EventCatalog::instance();
+    PmuConfig config;
+    config.readNoise = 0.0;
+    Sampler sampler(catalog, config);
+    const TrueTrace trace = flatTrace(80, 777.0);
+    const EventId ev = catalog.idOf("ICACHE.MISSES");
+
+    Rng mlpx_rng(12);
+    const MlpxSchedule schedule({ev}, 4);
+    const auto mlpx = sampler.measureMlpx(trace, schedule, mlpx_rng);
+    Rng ocoe_rng(12);
+    const auto ocoe = sampler.measureOcoe(trace, {ev}, ocoe_rng);
+    ASSERT_EQ(mlpx.size(), 1u);
+    ASSERT_EQ(ocoe.size(), 1u);
+    ASSERT_EQ(mlpx[0].size(), ocoe[0].size());
+    for (std::size_t t = 0; t < mlpx[0].size(); ++t)
+        EXPECT_DOUBLE_EQ(mlpx[0].at(t), ocoe[0].at(t));
 }
 
 TEST(Sampler, OcoeIsAccurateUpToReadNoise)
