@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,8 @@
 #include "common.h"
 #include "ml/dataset_view.h"
 #include "core/checkpoint.h"
+#include "mining/anomaly.h"
+#include "mining/distance.h"
 #include "core/cleaner.h"
 #include "ml/gbrt.h"
 #include "ml/model_io.h"
@@ -895,5 +898,180 @@ BENCHMARK(BM_MineFromSegments)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Mining layer: DTW distance work and end-to-end anomaly scoring
+// (DESIGN.md §17).
+
+/** `count` z-normalized signatures from a handful of shape families. */
+std::vector<std::vector<double>>
+syntheticSignatures(std::size_t count, std::size_t length,
+                    std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<std::vector<double>> signatures;
+    signatures.reserve(count);
+    mining::SignatureOptions options;
+    options.length = length;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<double> values(length);
+        for (std::size_t t = 0; t < length; ++t) {
+            const double x = static_cast<double>(t) /
+                             static_cast<double>(length - 1);
+            values[t] = std::sin(2.0 * M_PI *
+                                 (static_cast<double>(i % 4 + 1) * x)) +
+                        0.5 * x + rng.gaussian(0.0, 0.05);
+        }
+        signatures.push_back(mining::makeSignature(values, options));
+    }
+    return signatures;
+}
+
+/**
+ * Assign every signature to its nearest of k medoids — the k-medoids
+ * inner loop and the scorer's family lookup. Arg(1) picks the twin:
+ * 0 = full DTW against every candidate, 1 = LB_Keogh-pruned search
+ * (mining::nearestMedoid). The pairwise matrix feeding PAM is exact by
+ * contract, so assignment is where pruning pays.
+ */
+void
+BM_DtwMatrix(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    const bool pruned = state.range(1) != 0;
+    mining::SignatureOptions options;
+    options.length = 128;
+    const auto signatures = syntheticSignatures(count, 128, 0x5e7);
+    const std::vector<std::vector<double>> medoids(
+        signatures.begin(), signatures.begin() + 8);
+
+    std::size_t dtw_evaluations = 0;
+    std::size_t assignments = 0;
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto &signature : signatures) {
+            if (pruned) {
+                const auto nearest =
+                    mining::nearestMedoid(signature, medoids, options);
+                acc += nearest.distance;
+                dtw_evaluations += nearest.dtwEvaluations;
+            } else {
+                double best = mining::signatureDistance(
+                    signature, medoids[0], options);
+                for (std::size_t m = 1; m < medoids.size(); ++m)
+                    best = std::min(
+                        best, mining::signatureDistance(
+                                  signature, medoids[m], options));
+                acc += best;
+                dtw_evaluations += medoids.size();
+            }
+            ++assignments;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.counters["dtw_per_assign"] =
+        static_cast<double>(dtw_evaluations) /
+        static_cast<double>(assignments);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_DtwMatrix)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * One end-to-end anomaly score: a Gbrt predictAll pass over the run's
+ * rows, the residual z-score, and the LB-pruned medoid search — the
+ * per-request cost of `cminer serve`'s score path.
+ */
+void
+BM_AnomalyScore(benchmark::State &state)
+{
+    const std::size_t rows = 96;
+    const std::vector<std::string> events = {"FA", "FB", "FC"};
+    util::Rng rng(0xab5);
+
+    // A small synthetic training set: IPC is a noisy linear blend of
+    // the three features with an asymmetric ramp-driven shape.
+    ml::Dataset data(events);
+    std::vector<double> train_measured;
+    for (std::size_t run = 0; run < 8; ++run) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            const double x = static_cast<double>(i) /
+                             static_cast<double>(rows - 1);
+            const double fa =
+                100.0 + 40.0 * std::sin(2.0 * M_PI * x) +
+                rng.gaussian(0.0, 1.0);
+            const double fb = 50.0 + 30.0 * x + rng.gaussian(0.0, 1.0);
+            const double fc = 10.0 + 5.0 * std::cos(2.0 * M_PI * x) +
+                              rng.gaussian(0.0, 0.5);
+            const double ipc = 0.2 + 0.0008 * fa + 0.012 * fb -
+                               0.002 * fc + rng.gaussian(0.0, 0.01);
+            data.addRow({fa, fb, fc}, ipc);
+            if (run == 0)
+                train_measured.push_back(ipc);
+        }
+    }
+    ml::GbrtParams params;
+    params.treeCount = 50;
+    ml::Gbrt gbrt(params);
+    util::Rng fit_rng(7);
+    gbrt.fit(data, fit_rng);
+
+    core::MapmArtifact artifact;
+    artifact.benchmark = "bench";
+    artifact.microarch = "haswell-e";
+    artifact.events = events;
+    artifact.cvErrorPercent = 1.0;
+    artifact.model = std::move(gbrt);
+
+    mining::SignatureOptions sig_options;
+    sig_options.length = 64;
+    mining::ClusterArtifact clusters;
+    clusters.benchmark = "bench";
+    clusters.microarch = "haswell-e";
+    clusters.signature = sig_options;
+    mining::ClusterFamily family;
+    family.medoidRun = 0;
+    family.program = "bench";
+    family.memberCount = 8;
+    family.signature =
+        mining::makeSignature(train_measured, sig_options);
+    clusters.families.push_back(std::move(family));
+    clusters.residualMean = 0.0;
+    clusters.residualStddev = 0.01;
+    clusters.residualZThreshold = 6.0;
+    clusters.signatureThreshold = 2.0;
+
+    const mining::AnomalyScorer scorer(
+        std::make_shared<const core::MapmArtifact>(std::move(artifact)),
+        std::move(clusters));
+
+    // One incoming run's wire payload: row-major features + measured.
+    std::vector<double> values(rows * events.size());
+    std::vector<double> measured(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double x =
+            static_cast<double>(i) / static_cast<double>(rows - 1);
+        const double fa = 100.0 + 40.0 * std::sin(2.0 * M_PI * x);
+        const double fb = 50.0 + 30.0 * x;
+        const double fc = 10.0 + 5.0 * std::cos(2.0 * M_PI * x);
+        values[i * 3 + 0] = fa;
+        values[i * 3 + 1] = fb;
+        values[i * 3 + 2] = fc;
+        measured[i] = 0.2 + 0.0008 * fa + 0.012 * fb - 0.002 * fc;
+    }
+
+    for (auto _ : state) {
+        auto result = scorer.score(values, rows, measured);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AnomalyScore)->Unit(benchmark::kMicrosecond);
 
 } // namespace

@@ -1,8 +1,10 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -13,6 +15,9 @@
 #include "core/error_metrics.h"
 #include "core/perf_text.h"
 #include "core/report_export.h"
+#include "mining/anomaly.h"
+#include "mining/distance.h"
+#include "mining/kmedoids.h"
 #include "ml/metrics.h"
 #include "serve/server.h"
 #include "serve/socket.h"
@@ -86,7 +91,7 @@ bool
 isBooleanFlag(const std::string &name)
 {
     return name == "skip-cleaning" || name == "lenient" ||
-           name == "pipe" || name == "help";
+           name == "pipe" || name == "help" || name == "mine";
 }
 
 Flags
@@ -148,6 +153,8 @@ getBackendFlag(const Flags &flags)
 /** Where profile runs drop metrics when no explicit path is given to
  * `--metrics-out`, and where `cminer stats` looks by default. */
 constexpr const char *default_metrics_file = "cminer-metrics.json";
+
+mining::AnomalyScorer loadScorerPair(const std::string &spec);
 
 /**
  * Installs the tracer/metrics registry for the duration of one CLI
@@ -414,6 +421,50 @@ cmdCollect(const Flags &flags, std::string &output)
         benchmark.name().c_str(), events.size(), interval_total,
         config.intervalMs,
         interval_total > 0.0 ? ipc_total / interval_total : 0.0);
+
+    // Watch mode: judge every collected run against a calibrated
+    // anomaly scorer and report verdicts inline — the surveillance
+    // loop of DESIGN.md §17 without a serve daemon.
+    if (flags.has("watch")) {
+        const mining::AnomalyScorer scorer =
+            loadScorerPair(flags.get("watch", ""));
+        const auto snap = db.snapshot();
+        std::size_t watched = 0;
+        std::size_t flagged = 0;
+        std::size_t unscorable = 0;
+        for (const auto &program : db.programs()) {
+            for (const auto id : snap.findRuns(program, mode)) {
+                auto scored =
+                    scorer.scoreRun(snap, id, catalog);
+                if (!scored.ok()) {
+                    ++unscorable;
+                    continue;
+                }
+                const mining::ScoreResult &verdict = scored.value();
+                ++watched;
+                if (verdict.anomalous)
+                    ++flagged;
+                output += util::format(
+                    "run %llu %s: %s (residual z %.2f%s, signature "
+                    "distance %.4f%s)\n",
+                    static_cast<unsigned long long>(id),
+                    program.c_str(),
+                    verdict.anomalous ? "ANOMALOUS" : "ok",
+                    verdict.residualZ,
+                    verdict.residualFlag ? " *" : "",
+                    verdict.signatureDistance,
+                    verdict.signatureFlag ? " *" : "");
+            }
+        }
+        output += util::format(
+            "watch: flagged %zu of %zu runs against scorer '%s'\n",
+            flagged, watched, scorer.clusters().benchmark.c_str());
+        if (unscorable > 0)
+            output += util::format(
+                "watch: %zu runs were not scorable (event list does "
+                "not cover the model)\n",
+                unscorable);
+    }
 
     if (flags.has("db")) {
         const std::string path = flags.get("db", "");
@@ -736,6 +787,256 @@ cmdStats(const Flags &flags, std::string &output)
     return 0;
 }
 
+/**
+ * Load a `MODEL.ckpt:CLUSTERS.ckpt` pair into a ready anomaly scorer.
+ * Fatal on a malformed spec or an uncalibrated cluster artifact.
+ */
+mining::AnomalyScorer
+loadScorerPair(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        util::fatal("scorer spec '" + spec +
+                    "' should be MODEL.ckpt:CLUSTERS.ckpt");
+    auto model = core::loadMapmArtifact(spec.substr(0, colon));
+    model.status().throwIfError();
+    auto clusters = mining::loadClusterArtifact(spec.substr(colon + 1));
+    clusters.status().throwIfError();
+    if (clusters.value().residualZThreshold <= 0.0)
+        util::fatal("cluster artifact " + spec.substr(colon + 1) +
+                    " is uncalibrated; rebuild it with "
+                    "'cluster --model MODEL.ckpt --artifact-out ...'");
+    return mining::AnomalyScorer(
+        std::make_shared<const core::MapmArtifact>(
+            std::move(model).value()),
+        std::move(clusters).value());
+}
+
+int
+cmdCluster(const Flags &flags, std::string &output)
+{
+    const bool from_store = flags.has("store-dir");
+    if (flags.positional.empty() && !from_store)
+        util::fatal("cluster expects a database file (written by "
+                    "'mapm --db' or 'collect --db') or --store-dir DIR");
+
+    std::optional<store::Database> db;
+    if (from_store) {
+        store::StoreOptions store_options;
+        store_options.directory = flags.get("store-dir", "");
+        db.emplace(store::Database::openStore(store_options));
+    } else {
+        db.emplace(store::Database::load(flags.positional.front()));
+    }
+
+    mining::SignatureOptions signature;
+    signature.event = flags.get("event", signature.event);
+    signature.length = static_cast<std::size_t>(
+        flags.getInt("signature-length",
+                     static_cast<std::int64_t>(signature.length)));
+    if (signature.length < 2)
+        util::fatal("--signature-length expects a value >= 2");
+    signature.bandFraction =
+        flags.getDouble("band", signature.bandFraction);
+    if (signature.bandFraction < 0.0 || signature.bandFraction > 1.0)
+        util::fatal("--band expects a fraction in [0, 1]");
+
+    // The snapshot pins every span the signatures and the calibration
+    // read; the medoid indexing below is relative to `ids`, which is
+    // sorted so family numbering never depends on catalog iteration
+    // order.
+    const std::string mode =
+        getChoice(flags, "mode", "mlpx", {"mlpx", "ocoe"});
+    const auto snap = db->snapshot();
+    std::vector<store::RunId> ids;
+    std::size_t skipped = 0;
+    for (const auto &program : db->programs()) {
+        for (const auto id : snap.findRuns(program, mode)) {
+            const auto &events = snap.runInfo(id).events;
+            if (std::find(events.begin(), events.end(),
+                          signature.event) == events.end() ||
+                snap.length(id) == 0) {
+                ++skipped;
+                continue;
+            }
+            ids.push_back(id);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    if (ids.size() < 2)
+        util::fatal(util::format(
+            "cluster: %zu eligible '%s' runs with a '%s' series "
+            "(need at least 2)",
+            ids.size(), mode.c_str(), signature.event.c_str()));
+
+    util::Span span("cluster");
+    span.number("runs", static_cast<double>(ids.size()));
+    std::vector<std::vector<double>> signatures;
+    signatures.reserve(ids.size());
+    for (const auto id : ids)
+        signatures.push_back(mining::runSignature(snap, id, signature));
+    const std::vector<double> matrix =
+        mining::dtwDistanceMatrix(signatures, signature);
+
+    mining::KMedoidsOptions cluster_options;
+    cluster_options.k =
+        static_cast<std::size_t>(flags.getInt("k", 2));
+    if (cluster_options.k < 1)
+        util::fatal("--k expects a cluster count >= 1");
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 42));
+    util::Rng rng(seed);
+    const mining::KMedoidsResult clusters =
+        mining::kMedoids(matrix, ids.size(), cluster_options, rng);
+
+    const std::size_t n = ids.size();
+    output += util::format(
+        "clustered %zu runs into %zu families (total cost %.4f, "
+        "%zu swap iterations)\n",
+        n, clusters.medoids.size(), clusters.totalCost,
+        clusters.iterations);
+    if (skipped > 0)
+        output += util::format(
+            "skipped %zu runs without a '%s' series\n", skipped,
+            signature.event.c_str());
+
+    // Per-family membership, in slot order (slots follow ascending
+    // medoid index, so the table is stable across reruns).
+    std::vector<std::vector<std::size_t>> members(
+        clusters.medoids.size());
+    for (std::size_t i = 0; i < n; ++i)
+        members[clusters.assignment[i]].push_back(i);
+
+    util::TablePrinter table({"family", "medoid run", "program",
+                              "members", "mean dtw", "programs"});
+    for (std::size_t f = 0; f < clusters.medoids.size(); ++f) {
+        const std::size_t medoid = clusters.medoids[f];
+        double total = 0.0;
+        std::map<std::string, std::size_t> programs;
+        for (const std::size_t member : members[f]) {
+            total += matrix[member * n + medoid];
+            ++programs[snap.runInfo(ids[member]).program];
+        }
+        std::vector<std::string> parts;
+        for (const auto &[program, count] : programs)
+            parts.push_back(program + " x" + std::to_string(count));
+        table.addRow(
+            {std::to_string(f),
+             std::to_string(static_cast<unsigned long long>(
+                 ids[medoid])),
+             snap.runInfo(ids[medoid]).program,
+             std::to_string(members[f].size()),
+             util::formatDouble(
+                 members[f].empty()
+                     ? 0.0
+                     : total / static_cast<double>(members[f].size()),
+                 4),
+             util::join(parts, " ")});
+    }
+    output += table.render();
+
+    // --mine: rank events within each family. Runs that measured a
+    // different event list than the family medoid are skipped (the
+    // dataset build needs one homogeneous list with IPC last).
+    if (flags.has("mine")) {
+        core::ImportanceOptions mine_options;
+        mine_options.minEvents = static_cast<std::size_t>(
+            flags.getInt("min-events", 96));
+        const core::ImportanceRanker ranker(mine_options);
+        for (std::size_t f = 0; f < clusters.medoids.size(); ++f) {
+            const auto &medoid_events =
+                snap.runInfo(ids[clusters.medoids[f]]).events;
+            std::vector<store::RunId> family_ids;
+            for (const std::size_t member : members[f]) {
+                const auto &events =
+                    snap.runInfo(ids[member]).events;
+                if (events == medoid_events && events.size() >= 2 &&
+                    events.back() == core::ipc_series_name)
+                    family_ids.push_back(ids[member]);
+            }
+            if (family_ids.empty()) {
+                output += util::format(
+                    "family %zu: no minable runs (event lists do not "
+                    "end in %s)\n",
+                    f, core::ipc_series_name);
+                continue;
+            }
+            const auto data =
+                core::ImportanceRanker::buildDatasetFromStore(
+                    *db, family_ids, pmu::EventCatalog::instance());
+            // A per-family stream derived from (seed, family) keeps
+            // each family's mining reproducible regardless of how many
+            // families precede it.
+            util::Rng family_rng(seed * 0x100000001b3ULL +
+                                 static_cast<std::uint64_t>(f) + 1);
+            const auto mined = ranker.run(data, family_rng);
+            output += util::format(
+                "family %zu MAPM: %zu events, cv error %.2f%%\n", f,
+                mined.mapmEventCount, mined.mapmErrorPercent);
+            util::TablePrinter ranks({"rank", "event", "importance %"});
+            const std::size_t top =
+                std::min<std::size_t>(5, mined.ranking.size());
+            for (std::size_t i = 0; i < top; ++i) {
+                ranks.addRow({std::to_string(i + 1),
+                              mined.ranking[i].feature,
+                              util::formatDouble(
+                                  mined.ranking[i].importance, 1)});
+            }
+            output += ranks.render();
+        }
+    }
+
+    if (!flags.has("artifact-out") && !flags.has("model"))
+        return 0;
+
+    mining::ClusterArtifact artifact;
+    artifact.microarch = db->microarch();
+    artifact.signature = signature;
+    // Scope the artifact to the one profiled program when the store
+    // holds exactly one; a mixed store gets an unscoped artifact.
+    const auto programs = db->programs();
+    if (programs.size() == 1)
+        artifact.benchmark = programs.front();
+    for (std::size_t f = 0; f < clusters.medoids.size(); ++f) {
+        mining::ClusterFamily family;
+        family.medoidRun =
+            static_cast<std::uint64_t>(ids[clusters.medoids[f]]);
+        family.program = snap.runInfo(ids[clusters.medoids[f]]).program;
+        family.memberCount = members[f].size();
+        family.signature = signatures[clusters.medoids[f]];
+        artifact.families.push_back(std::move(family));
+    }
+
+    if (flags.has("model")) {
+        auto loaded = core::loadMapmArtifact(flags.get("model", ""));
+        loaded.status().throwIfError();
+        auto model = std::make_shared<const core::MapmArtifact>(
+            std::move(loaded).value());
+        auto calibrated = mining::AnomalyScorer::calibrate(
+            model, std::move(artifact), snap, ids,
+            pmu::EventCatalog::instance());
+        calibrated.status().throwIfError();
+        artifact = calibrated.value().clusters();
+        output += util::format(
+            "calibrated thresholds from %zu runs: residual z > %.2f "
+            "(mean %.4g, stddev %.4g), signature distance > %.4f\n",
+            ids.size(), artifact.residualZThreshold,
+            artifact.residualMean, artifact.residualStddev,
+            artifact.signatureThreshold);
+    }
+
+    if (flags.has("artifact-out")) {
+        const std::string path = flags.get("artifact-out", "");
+        mining::saveClusterArtifact(artifact, path).throwIfError();
+        output += "wrote cluster artifact to " + path + "\n";
+        if (artifact.residualZThreshold <= 0.0)
+            output += "note: artifact is uncalibrated (no --model); "
+                      "scoring will refuse it\n";
+    }
+    return 0;
+}
+
 int
 cmdServe(const Flags &flags, std::string &output)
 {
@@ -772,10 +1073,38 @@ cmdServe(const Flags &flags, std::string &output)
         }
         server.loadModel(name, path).throwIfError();
     }
-    if (server.modelNames().empty() && !flags.has("allow-empty"))
+    // Anomaly scorers load the same way: --scorer takes a comma-
+    // separated list of `MODEL:CLUSTERS` or `NAME=MODEL:CLUSTERS`
+    // entries (checkpoints from 'mapm --model-out' and
+    // 'cluster --model --artifact-out').
+    for (const auto &entry :
+         util::split(flags.get("scorer", ""), ',')) {
+        if (entry.empty())
+            continue;
+        std::string name;
+        std::string paths = entry;
+        const auto eq = entry.find('=');
+        if (eq != std::string::npos && eq < entry.find(':')) {
+            name = entry.substr(0, eq);
+            paths = entry.substr(eq + 1);
+        }
+        const auto colon = paths.find(':');
+        if (colon == std::string::npos)
+            util::fatal("--scorer entries look like "
+                        "[NAME=]MODEL.ckpt:CLUSTERS.ckpt, got '" +
+                        entry + "'");
+        server
+            .loadScorer(name, paths.substr(0, colon),
+                        paths.substr(colon + 1))
+            .throwIfError();
+    }
+
+    if (server.modelNames().empty() && server.scorerNames().empty() &&
+        !flags.has("allow-empty"))
         util::fatal("serve requires --model FILE[,NAME=FILE...] (a "
-                    "checkpoint written by 'mapm --model-out'); pass "
-                    "--allow-empty to start with mining only");
+                    "checkpoint written by 'mapm --model-out') or "
+                    "--scorer; pass --allow-empty to start with "
+                    "mining only");
 
     if (flags.has("socket")) {
         serve::SocketServer listener(server,
@@ -873,10 +1202,13 @@ usage()
            "  collect <benchmark> [--backend B] [--mode mlpx|ocoe]\n"
            "          [--runs N] [--events N] [--interval-ms D]\n"
            "          [--seed S] [--db FILE]\n"
+           "          [--watch MODEL.ckpt:CLUSTERS.ckpt]\n"
            "                                  record counter runs only\n"
            "                (no mining); with --backend=perf the runs\n"
            "                are real perf_event_open measurements of a\n"
-           "                built-in synthetic load\n"
+           "                built-in synthetic load; --watch scores\n"
+           "                each collected run against a calibrated\n"
+           "                anomaly scorer and reports verdicts\n"
            "  mapm <benchmark> [--model-out FILE] [--db FILE]\n"
            "       [--runs N] [--seed S] [--min-events N]\n"
            "                                  mine the MAPM and write a\n"
@@ -890,7 +1222,22 @@ usage()
            "  error <benchmark> [--seed S]    quick MLPX-error check\n"
            "  stats [metrics.json]            pretty-print an exported\n"
            "                metrics file (default: cminer-metrics.json)\n"
+           "  cluster (<db.cmdb> | --store-dir DIR) [--k N] [--seed S]\n"
+           "          [--mode mlpx|ocoe] [--event E]\n"
+           "          [--signature-length N] [--band F] [--mine]\n"
+           "          [--min-events N] [--artifact-out FILE]\n"
+           "          [--model MAPM.ckpt]\n"
+           "                                  group a store's runs into\n"
+           "                workload families by DTW distance between\n"
+           "                counter signatures (k-medoids/PAM,\n"
+           "                bit-identical for any --threads); --mine\n"
+           "                ranks events per family, --model also\n"
+           "                calibrates anomaly thresholds, and\n"
+           "                --artifact-out writes the cluster-artifact\n"
+           "                checkpoint that 'serve --scorer' and\n"
+           "                'collect --watch' load\n"
            "  serve --model FILE[,NAME=FILE...]\n"
+           "        [--scorer [NAME=]MODEL.ckpt:CLUSTERS.ckpt[,...]]\n"
            "        (--socket PATH | --pipe | --in FILE --out FILE)\n"
            "        [--queue-cap N] [--batch-rows N] [--deadline-ms D]\n"
            "        [--batch-window-ms D] [--mine-queue-cap N]\n"
@@ -984,6 +1331,8 @@ run(const std::vector<std::string> &args, std::string &output)
             return finish(cmdError(flags, output));
         if (command == "stats")
             return finish(cmdStats(flags, output));
+        if (command == "cluster")
+            return finish(cmdCluster(flags, output));
         if (command == "serve")
             return finish(cmdServe(flags, output));
         output += "unknown command '" + command + "'\n" + usage();

@@ -1,0 +1,434 @@
+#include "mining/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/collector.h"
+#include "ml/dataset.h"
+#include "stats/descriptive.h"
+#include "util/binary_io.h"
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace cminer::mining {
+
+using cminer::util::BinaryReader;
+using cminer::util::BinaryWriter;
+using cminer::util::Status;
+using cminer::util::StatusOr;
+
+namespace {
+
+/** Shared structural validation for save and load. */
+Status
+validateArtifact(const ClusterArtifact &artifact)
+{
+    if (artifact.signature.event.empty())
+        return Status::dataError("cluster artifact has no signature "
+                                 "event");
+    if (artifact.signature.length < 2)
+        return Status::dataError(util::format(
+            "cluster signature length %zu is below the minimum of 2",
+            artifact.signature.length));
+    if (!(artifact.signature.bandFraction >= 0.0 &&
+          artifact.signature.bandFraction <= 1.0))
+        return Status::dataError(util::format(
+            "cluster band fraction %g is outside [0, 1]",
+            artifact.signature.bandFraction));
+    for (std::size_t f = 0; f < artifact.families.size(); ++f) {
+        if (artifact.families[f].signature.size() !=
+            artifact.signature.length)
+            return Status::dataError(util::format(
+                "family %zu signature has %zu samples (artifact "
+                "length %zu)",
+                f, artifact.families[f].signature.size(),
+                artifact.signature.length));
+    }
+    const double thresholds[] = {
+        artifact.residualMean, artifact.residualStddev,
+        artifact.residualZThreshold, artifact.signatureThreshold};
+    for (double v : thresholds)
+        if (!std::isfinite(v))
+            return Status::dataError(
+                "cluster calibration carries a non-finite value");
+    if (artifact.residualStddev < 0.0 ||
+        artifact.residualZThreshold < 0.0 ||
+        artifact.signatureThreshold < 0.0)
+        return Status::dataError(
+            "cluster calibration carries a negative threshold");
+    if (artifact.residualZThreshold > 0.0 &&
+        artifact.residualStddev <= 0.0)
+        return Status::dataError("calibrated cluster artifact has a "
+                                 "zero residual stddev");
+    return Status::okStatus();
+}
+
+} // namespace
+
+Status
+saveClusterArtifact(const ClusterArtifact &artifact,
+                    const std::string &path)
+{
+    util::Span span("mining.cluster_save");
+    span.label("path", path);
+    if (Status valid = validateArtifact(artifact); !valid.ok())
+        return valid.withContext("save cluster " + path);
+
+    BinaryWriter out(cluster_artifact_kind, cluster_artifact_version);
+
+    out.beginSection("meta");
+    out.str(artifact.benchmark);
+    out.str(artifact.microarch);
+    out.str(artifact.signature.event);
+    out.u64(artifact.signature.length);
+    out.u8(artifact.signature.zNormalize ? 1 : 0);
+    out.f64(artifact.signature.bandFraction);
+    out.endSection();
+
+    out.beginSection("families");
+    out.u64(artifact.families.size());
+    for (const auto &family : artifact.families) {
+        out.u64(family.medoidRun);
+        out.str(family.program);
+        out.u64(family.memberCount);
+        out.u64(family.signature.size());
+        out.f64Span(family.signature);
+    }
+    out.endSection();
+
+    out.beginSection("calibration");
+    out.f64(artifact.residualMean);
+    out.f64(artifact.residualStddev);
+    out.f64(artifact.residualZThreshold);
+    out.f64(artifact.signatureThreshold);
+    out.endSection();
+
+    Status status = out.writeFile(path);
+    if (!status.ok())
+        return status.withContext("save cluster " + path);
+    util::count("mining.cluster_saves");
+    return status;
+}
+
+StatusOr<ClusterArtifact>
+loadClusterArtifact(const std::string &path)
+{
+    util::Span span("mining.cluster_load");
+    span.label("path", path);
+    auto opened = BinaryReader::open(path, cluster_artifact_kind);
+    if (!opened.ok())
+        return opened.status().withContext("load cluster " + path);
+    BinaryReader in = std::move(opened).value();
+    if (in.artifactVersion() != cluster_artifact_version)
+        return in
+            .fail(util::format("unsupported cluster artifact version "
+                               "%u (this build reads %u)",
+                               in.artifactVersion(),
+                               cluster_artifact_version))
+            .withContext("load cluster " + path);
+
+    ClusterArtifact artifact;
+    bool seen_meta = false;
+    bool seen_families = false;
+    bool seen_calibration = false;
+    for (std::uint64_t s = 0; s < in.sectionCount() && in.ok(); ++s) {
+        const std::string section = in.beginSection();
+        if (!in.ok())
+            break;
+        if (section == "meta") {
+            artifact.benchmark = in.str();
+            artifact.microarch = in.str();
+            artifact.signature.event = in.str();
+            artifact.signature.length =
+                static_cast<std::size_t>(in.u64());
+            artifact.signature.zNormalize = in.u8() != 0;
+            artifact.signature.bandFraction = in.f64();
+            seen_meta = in.ok();
+        } else if (section == "families") {
+            // Each family is at least 4 u64 fields, so the declared
+            // count is bounded by the bytes remaining.
+            const std::uint64_t n = in.count(32);
+            artifact.families.reserve(n);
+            for (std::uint64_t f = 0; f < n && in.ok(); ++f) {
+                ClusterFamily family;
+                family.medoidRun = in.u64();
+                family.program = in.str();
+                family.memberCount = in.u64();
+                const std::uint64_t samples = in.count(sizeof(double));
+                family.signature = in.f64Vec(samples);
+                artifact.families.push_back(std::move(family));
+            }
+            seen_families = in.ok();
+        } else if (section == "calibration") {
+            artifact.residualMean = in.f64();
+            artifact.residualStddev = in.f64();
+            artifact.residualZThreshold = in.f64();
+            artifact.signatureThreshold = in.f64();
+            seen_calibration = in.ok();
+        }
+        // Unknown sections from newer writers are skipped by size.
+        in.endSection();
+    }
+    if (!in.ok())
+        return in.status().withContext("load cluster " + path);
+    if (!seen_meta || !seen_families || !seen_calibration)
+        return Status::dataError("missing required section "
+                                 "(meta/families/calibration)")
+            .withContext("load cluster " + path);
+    if (Status valid = validateArtifact(artifact); !valid.ok())
+        return valid.withContext("load cluster " + path);
+    util::count("mining.cluster_loads");
+    return artifact;
+}
+
+// ---- AnomalyScorer --------------------------------------------------
+
+AnomalyScorer::AnomalyScorer(
+    std::shared_ptr<const cminer::core::MapmArtifact> model,
+    ClusterArtifact clusters)
+    : model_(std::move(model)), clusters_(std::move(clusters))
+{
+    CM_ASSERT(model_ != nullptr);
+    CM_ASSERT(model_->model.fitted());
+}
+
+double
+AnomalyScorer::runResidual(std::span<const double> predicted,
+                           std::span<const double> measured)
+{
+    CM_ASSERT(predicted.size() == measured.size());
+    CM_ASSERT(!predicted.empty());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        sum += measured[i] - predicted[i];
+    return sum / static_cast<double>(predicted.size());
+}
+
+StatusOr<ScoreResult>
+AnomalyScorer::scoreColumns(
+    const std::vector<std::vector<double>> &columns,
+    std::span<const double> measured) const
+{
+    const std::size_t rows = measured.size();
+    std::vector<std::vector<double>> owned = columns;
+    const ml::Dataset data = ml::Dataset::fromColumns(
+        model_->events, std::move(owned),
+        std::vector<double>(rows, 0.0));
+    const std::vector<double> predictions =
+        model_->model.predictAll(data);
+
+    ScoreResult result;
+    result.meanResidual = runResidual(predictions, measured);
+    result.residualZ =
+        std::abs(result.meanResidual - clusters_.residualMean) /
+        clusters_.residualStddev;
+    result.residualFlag =
+        result.residualZ > clusters_.residualZThreshold;
+
+    if (!clusters_.families.empty()) {
+        std::vector<std::vector<double>> medoids;
+        medoids.reserve(clusters_.families.size());
+        for (const auto &family : clusters_.families)
+            medoids.push_back(family.signature);
+        const std::vector<double> signature =
+            makeSignature(measured, clusters_.signature);
+        const NearestMedoid nearest =
+            nearestMedoid(signature, medoids, clusters_.signature);
+        result.signatureDistance = nearest.distance;
+        result.familyIndex = nearest.index;
+        result.dtwEvaluations = nearest.dtwEvaluations;
+        result.signatureFlag =
+            nearest.distance > clusters_.signatureThreshold;
+    }
+    result.anomalous = result.residualFlag || result.signatureFlag;
+    return result;
+}
+
+StatusOr<ScoreResult>
+AnomalyScorer::score(std::span<const double> values,
+                     std::size_t row_count,
+                     std::span<const double> measured) const
+{
+    util::Span span("mining.score");
+    span.number("rows", static_cast<double>(row_count));
+    if (clusters_.residualZThreshold <= 0.0)
+        return Status::dataError(
+            "cluster artifact is uncalibrated; refusing to score");
+    if (row_count == 0)
+        return Status::dataError("score: run carries no rows");
+    const std::size_t events = model_->events.size();
+    if (values.size() != row_count * events)
+        return Status::dataError(util::format(
+            "score: value count %zu != rows %zu x events %zu",
+            values.size(), row_count, events));
+    if (measured.size() != row_count)
+        return Status::dataError(util::format(
+            "score: measured count %zu != rows %zu", measured.size(),
+            row_count));
+    if (!clusters_.families.empty() &&
+        clusters_.signature.event != core::ipc_series_name)
+        return Status::dataError(
+            "score: cluster signatures were built over '" +
+            clusters_.signature.event +
+            "', but the wire path only carries the measured IPC "
+            "series");
+
+    std::vector<std::vector<double>> columns(
+        events, std::vector<double>(row_count));
+    for (std::size_t row = 0; row < row_count; ++row)
+        for (std::size_t e = 0; e < events; ++e)
+            columns[e][row] = values[row * events + e];
+    auto scored = scoreColumns(columns, measured);
+    if (!scored.ok())
+        return scored;
+    util::count("mining.scores");
+    if (scored.value().anomalous)
+        util::count("mining.anomalies_flagged");
+    return scored;
+}
+
+namespace {
+
+/**
+ * Gather one stored run's feature columns in model event order plus
+ * its measured IPC. Event names resolve through the catalog's paper
+ * abbreviations, matching the dataset-build convention.
+ */
+Status
+gatherRunColumns(const cminer::store::StoreSnapshot &snap,
+                 cminer::store::RunId id,
+                 const cminer::pmu::EventCatalog &catalog,
+                 const cminer::core::MapmArtifact &model,
+                 std::vector<std::vector<double>> &columns,
+                 std::span<const double> &measured)
+{
+    const auto &events = snap.runInfo(id).events;
+    if (events.size() < 2 || events.back() != core::ipc_series_name)
+        return Status::dataError(util::format(
+            "run %llu does not end in the %s series",
+            static_cast<unsigned long long>(id),
+            core::ipc_series_name));
+    columns.clear();
+    columns.reserve(model.events.size());
+    for (const auto &wanted : model.events) {
+        bool found = false;
+        for (std::size_t s = 0; s + 1 < events.size(); ++s) {
+            const auto eid = catalog.findByName(events[s]);
+            const std::string &name =
+                eid ? catalog.info(*eid).abbrev : events[s];
+            if (name == wanted) {
+                const auto span = snap.values(id, s);
+                columns.emplace_back(span.begin(), span.end());
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return Status::dataError(util::format(
+                "run %llu lacks model event '%s'",
+                static_cast<unsigned long long>(id), wanted.c_str()));
+    }
+    measured = snap.values(id, events.size() - 1);
+    return Status::okStatus();
+}
+
+} // namespace
+
+StatusOr<ScoreResult>
+AnomalyScorer::scoreRun(const cminer::store::StoreSnapshot &snap,
+                        cminer::store::RunId id,
+                        const cminer::pmu::EventCatalog &catalog) const
+{
+    util::Span span("mining.score");
+    if (clusters_.residualZThreshold <= 0.0)
+        return Status::dataError(
+            "cluster artifact is uncalibrated; refusing to score");
+    std::vector<std::vector<double>> columns;
+    std::span<const double> measured;
+    if (Status gathered = gatherRunColumns(snap, id, catalog, *model_,
+                                           columns, measured);
+        !gathered.ok())
+        return gathered;
+    auto scored = scoreColumns(columns, measured);
+    if (!scored.ok())
+        return scored;
+    util::count("mining.scores");
+    if (scored.value().anomalous)
+        util::count("mining.anomalies_flagged");
+    return scored;
+}
+
+StatusOr<AnomalyScorer>
+AnomalyScorer::calibrate(
+    std::shared_ptr<const cminer::core::MapmArtifact> model,
+    ClusterArtifact clusters, const cminer::store::StoreSnapshot &snap,
+    const std::vector<cminer::store::RunId> &ids,
+    const cminer::pmu::EventCatalog &catalog,
+    const CalibrationOptions &options)
+{
+    if (model == nullptr || !model->model.fitted())
+        return Status::dataError(
+            "calibrate: the MAPM model is missing or unfitted");
+    if (ids.size() < 2)
+        return Status::dataError(util::format(
+            "calibrate: %zu training runs (need at least 2 for a "
+            "residual distribution)",
+            ids.size()));
+    if (Status valid = validateArtifact(clusters); !valid.ok())
+        return valid.withContext("calibrate");
+
+    std::vector<std::vector<double>> medoids;
+    medoids.reserve(clusters.families.size());
+    for (const auto &family : clusters.families)
+        medoids.push_back(family.signature);
+
+    std::vector<double> residuals;
+    residuals.reserve(ids.size());
+    double max_distance = 0.0;
+    for (const auto id : ids) {
+        std::vector<std::vector<double>> columns;
+        std::span<const double> measured;
+        if (Status gathered = gatherRunColumns(snap, id, catalog,
+                                               *model, columns,
+                                               measured);
+            !gathered.ok())
+            return gathered.withContext("calibrate");
+        std::vector<std::vector<double>> owned = columns;
+        const ml::Dataset data = ml::Dataset::fromColumns(
+            model->events, std::move(owned),
+            std::vector<double>(measured.size(), 0.0));
+        const std::vector<double> predictions =
+            model->model.predictAll(data);
+        residuals.push_back(runResidual(predictions, measured));
+        if (!medoids.empty()) {
+            const std::vector<double> signature =
+                makeSignature(measured, clusters.signature);
+            const NearestMedoid nearest =
+                nearestMedoid(signature, medoids, clusters.signature);
+            max_distance = std::max(max_distance, nearest.distance);
+        }
+    }
+
+    clusters.residualMean = stats::mean(residuals);
+    // Floor the spread: a degenerate training set (bit-identical
+    // replays) must not turn every future run into a division by ~0.
+    clusters.residualStddev =
+        std::max(stats::stddev(residuals, false), 1e-9);
+    double max_z = 0.0;
+    for (double r : residuals)
+        max_z = std::max(max_z,
+                         std::abs(r - clusters.residualMean) /
+                             clusters.residualStddev);
+    clusters.residualZThreshold =
+        std::max(options.zThresholdFloor, options.zMargin * max_z);
+    clusters.signatureThreshold =
+        medoids.empty()
+            ? 0.0
+            : std::max(options.signatureMargin * max_distance, 1e-9);
+    return AnomalyScorer(std::move(model), std::move(clusters));
+}
+
+} // namespace cminer::mining

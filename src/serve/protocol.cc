@@ -91,6 +91,10 @@ requestType(const Request &request)
         {
             return MessageType::Shutdown;
         }
+        MessageType operator()(const ScoreRequest &) const
+        {
+            return MessageType::Score;
+        }
     };
     return std::visit(Visitor{}, request);
 }
@@ -170,6 +174,23 @@ encodeRequest(const Request &request)
         void operator()(const ShutdownRequest &r) const
         {
             appendU64(out, r.id);
+        }
+
+        void operator()(const ScoreRequest &r) const
+        {
+            appendU64(out, r.id);
+            appendF64(out, r.deadlineMs);
+            appendStr(out, r.scorer);
+            appendU64(out, r.events.size());
+            for (const auto &event : r.events)
+                appendStr(out, event);
+            appendU64(out, r.rowCount);
+            appendU64(out, r.values.size());
+            for (double v : r.values)
+                appendF64(out, v);
+            appendU64(out, r.measured.size());
+            for (double v : r.measured)
+                appendF64(out, v);
         }
     };
     std::visit(Visitor{out}, request);
@@ -260,6 +281,62 @@ decodeRequest(std::string payload)
             return in.fail("trailing bytes after shutdown request");
         return Request(ShutdownRequest{id});
       }
+      case MessageType::Score: {
+        ScoreRequest r;
+        r.id = id;
+        r.deadlineMs = in.f64();
+        r.scorer = in.str();
+        const std::uint64_t event_count = in.count(8);
+        if (!in.ok())
+            return in.status().withContext("score request");
+        if (event_count == 0)
+            return in.fail("score request carries no events");
+        if (event_count > max_events_per_request)
+            return in.fail(util::format(
+                "score request declares %llu events (max %zu)",
+                static_cast<unsigned long long>(event_count),
+                max_events_per_request));
+        r.events.reserve(event_count);
+        for (std::uint64_t e = 0; e < event_count; ++e)
+            r.events.push_back(in.str());
+        r.rowCount = in.u64();
+        if (!in.ok())
+            return in.status().withContext("score request");
+        if (r.rowCount == 0)
+            return in.fail("score request carries no rows");
+        if (r.rowCount > max_rows_per_request)
+            return in.fail(util::format(
+                "score request declares %llu rows (max %zu)",
+                static_cast<unsigned long long>(r.rowCount),
+                max_rows_per_request));
+        const std::uint64_t value_count = in.count(sizeof(double));
+        if (!in.ok())
+            return in.status().withContext("score request");
+        if (value_count != r.rowCount * event_count)
+            return in.fail(util::format(
+                "score request value count %llu != rows %llu x "
+                "events %llu",
+                static_cast<unsigned long long>(value_count),
+                static_cast<unsigned long long>(r.rowCount),
+                static_cast<unsigned long long>(event_count)));
+        r.values = in.f64Vec(value_count);
+        const std::uint64_t measured_count = in.count(sizeof(double));
+        if (!in.ok())
+            return in.status().withContext("score request");
+        // The measured series must be exactly one IPC value per row —
+        // anything else would desynchronize residuals from rows.
+        if (measured_count != r.rowCount)
+            return in.fail(util::format(
+                "score request measured count %llu != rows %llu",
+                static_cast<unsigned long long>(measured_count),
+                static_cast<unsigned long long>(r.rowCount)));
+        r.measured = in.f64Vec(measured_count);
+        if (!in.ok())
+            return in.status().withContext("score request");
+        if (!in.atEnd())
+            return in.fail("trailing bytes after score request");
+        return Request(std::move(r));
+      }
       case MessageType::Unknown:
         break;
     }
@@ -287,6 +364,13 @@ encodeResponse(const Response &response)
       case MessageType::Mine:
         appendStr(out, response.text);
         break;
+      case MessageType::Score:
+        appendU8(out, response.anomalous ? 1 : 0);
+        appendF64(out, response.residualZ);
+        appendF64(out, response.signatureDistance);
+        appendU64(out, response.familyIndex);
+        appendStr(out, response.text);
+        break;
       case MessageType::Shutdown:
       case MessageType::Unknown:
         break;
@@ -305,7 +389,7 @@ decodeResponse(std::string payload)
     r.message = in.str();
     if (!in.ok())
         return in.status().withContext("response header");
-    if (type > static_cast<std::uint8_t>(MessageType::Shutdown))
+    if (type > static_cast<std::uint8_t>(MessageType::Score))
         return in.fail(util::format("unknown response type %u",
                                     static_cast<unsigned>(type)));
     if (code > max_wire_code)
@@ -324,6 +408,13 @@ decodeResponse(std::string payload)
           }
           case MessageType::Stats:
           case MessageType::Mine:
+            r.text = in.str();
+            break;
+          case MessageType::Score:
+            r.anomalous = in.u8() != 0;
+            r.residualZ = in.f64();
+            r.signatureDistance = in.f64();
+            r.familyIndex = in.u64();
             r.text = in.str();
             break;
           case MessageType::Shutdown:
@@ -345,7 +436,7 @@ peekType(std::string_view payload)
         return MessageType::Unknown;
     const auto type = static_cast<std::uint8_t>(payload.front());
     if (type == 0 ||
-        type > static_cast<std::uint8_t>(MessageType::Shutdown))
+        type > static_cast<std::uint8_t>(MessageType::Score))
         return MessageType::Unknown;
     return static_cast<MessageType>(type);
 }

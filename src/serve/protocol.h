@@ -24,7 +24,8 @@
  * The protocol is deliberately small: predict (score rows against a
  * loaded MAPM checkpoint), stats (the service dashboard), mine (run a
  * mining job and register the result as a servable model), shutdown
- * (begin a graceful drain).
+ * (begin a graceful drain), score (anomaly surveillance: judge one
+ * run's rows against a MAPM + cluster-artifact scorer, DESIGN.md §17).
  */
 
 #ifndef CMINER_SERVE_PROTOCOL_H
@@ -58,6 +59,7 @@ enum class MessageType : std::uint8_t
     Stats = 2,
     Mine = 3,
     Shutdown = 4,
+    Score = 5,
 };
 
 /** Score rows against a loaded model checkpoint. */
@@ -108,10 +110,36 @@ struct ShutdownRequest
     std::uint64_t id = 0;
 };
 
+/**
+ * Score one run against a registered anomaly scorer (a MAPM plus a
+ * calibrated cluster artifact). Unlike predict, a score judges a whole
+ * run, so the request carries the measured IPC series alongside the
+ * feature rows.
+ */
+struct ScoreRequest
+{
+    std::uint64_t id = 0;
+    /** Time budget in ms from server receipt; 0 = server default. */
+    double deadlineMs = 0.0;
+    /** Name the scorer was registered under. */
+    std::string scorer;
+    /**
+     * Feature columns of `values`; must equal the scorer's MAPM
+     * kept-event list exactly (names and order).
+     */
+    std::vector<std::string> events;
+    /** Rows (sampled intervals) in the run. */
+    std::uint64_t rowCount = 0;
+    /** Row-major rowCount x events.size() feature matrix. */
+    std::vector<double> values;
+    /** Measured IPC, one value per row (the signature source). */
+    std::vector<double> measured;
+};
+
 /** Any request message. */
 using Request =
     std::variant<PredictRequest, StatsRequest, MineRequest,
-                 ShutdownRequest>;
+                 ShutdownRequest, ScoreRequest>;
 
 /** The request's echoed id. */
 std::uint64_t requestId(const Request &request);
@@ -133,8 +161,16 @@ struct Response
     std::string message;
     /** Predict: one prediction per request row. */
     std::vector<double> predictions;
-    /** Stats: the dashboard JSON. Mine: a one-line summary. */
+    /** Stats: the dashboard JSON. Mine/Score: a one-line summary. */
     std::string text;
+    /** Score: the run tripped a calibrated threshold. */
+    bool anomalous = false;
+    /** Score: standardized prediction residual of the run. */
+    double residualZ = 0.0;
+    /** Score: DTW distance to the nearest workload-family medoid. */
+    double signatureDistance = 0.0;
+    /** Score: index of the nearest workload family. */
+    std::uint64_t familyIndex = 0;
 
     /** Build an error response echoing a request's type and id. */
     static Response failure(MessageType type, std::uint64_t id,

@@ -160,6 +160,62 @@ Server::modelNames() const
     return names;
 }
 
+util::Status
+Server::loadScorer(const std::string &name,
+                   const std::string &model_path,
+                   const std::string &cluster_path)
+{
+    auto loaded_model = core::loadMapmArtifact(model_path);
+    if (!loaded_model.ok())
+        return loaded_model.status().withContext(
+            "serve: load scorer model " + model_path);
+    auto loaded_clusters = mining::loadClusterArtifact(cluster_path);
+    if (!loaded_clusters.ok())
+        return loaded_clusters.status().withContext(
+            "serve: load scorer clusters " + cluster_path);
+    auto clusters = std::move(loaded_clusters).value();
+    if (clusters.residualZThreshold <= 0.0)
+        return util::Status::dataError(
+                   "cluster artifact is uncalibrated (run cminer "
+                   "cluster with --model to learn thresholds)")
+            .withContext("serve: load scorer " + cluster_path);
+    const std::string key =
+        name.empty() ? clusters.benchmark : name;
+    if (key.empty())
+        return util::Status::dataError(
+            "scorer has no name: the cluster artifact is store-wide "
+            "and no explicit name was given");
+    auto model = std::make_shared<const core::MapmArtifact>(
+        std::move(loaded_model).value());
+    registerScorer(key,
+                   std::make_shared<const mining::AnomalyScorer>(
+                       std::move(model), std::move(clusters)));
+    return util::Status::okStatus();
+}
+
+void
+Server::registerScorer(
+    const std::string &name,
+    std::shared_ptr<const mining::AnomalyScorer> scorer)
+{
+    std::lock_guard<std::mutex> lock(modelsMutex_);
+    scorers_[name] = std::move(scorer);
+}
+
+std::vector<std::string>
+Server::scorerNames() const
+{
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        names.reserve(scorers_.size());
+        for (const auto &[name, scorer] : scorers_)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
 void
 Server::respond(const std::function<void(std::string)> &done,
                 const Response &response)
@@ -241,6 +297,8 @@ Server::submitFrame(std::string payload,
         handleMine(std::move(*mine), std::move(done));
     } else if (auto *stats = std::get_if<StatsRequest>(&request)) {
         handleStats(*stats, done);
+    } else if (auto *score = std::get_if<ScoreRequest>(&request)) {
+        handleScore(*score, done);
     } else {
         const auto &shutdown = std::get<ShutdownRequest>(request);
         beginDrain();
@@ -497,6 +555,92 @@ Server::handleStats(const StatsRequest &request,
     respond(done, ok);
 }
 
+void
+Server::handleScore(const ScoreRequest &request,
+                    const std::function<void(std::string)> &done)
+{
+    util::Span span("serve.score");
+    span.label("scorer", request.scorer);
+    span.number("rows", static_cast<double>(request.rowCount));
+
+    const Deadline deadline = makeDeadline(request.deadlineMs);
+    if (auto gate = deadline.check("score admit"); !gate.ok()) {
+        respondFailure(done, MessageType::Score, request.id, gate);
+        return;
+    }
+    if (draining()) {
+        respondFailure(done, MessageType::Score, request.id,
+                       util::Status::transient(
+                           "server is draining; score refused"));
+        return;
+    }
+
+    std::shared_ptr<const mining::AnomalyScorer> scorer;
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        auto it = scorers_.find(request.scorer);
+        if (it != scorers_.end())
+            scorer = it->second;
+    }
+    if (scorer == nullptr) {
+        respondFailure(done, MessageType::Score, request.id,
+                       util::Status::dataError("unknown scorer '" +
+                                               request.scorer + "'"));
+        return;
+    }
+    if (request.events != scorer->model().events) {
+        respondFailure(
+            done, MessageType::Score, request.id,
+            util::Status::dataError(util::format(
+                "event list mismatch for scorer '%s': expected the "
+                "MAPM's %zu kept events in model order, got %zu "
+                "columns",
+                request.scorer.c_str(), scorer->model().events.size(),
+                request.events.size())));
+        return;
+    }
+
+    auto scored = scorer->score(request.values, request.rowCount,
+                                request.measured);
+    if (!scored.ok()) {
+        respondFailure(done, MessageType::Score, request.id,
+                       scored.status());
+        return;
+    }
+    const mining::ScoreResult &verdict = scored.value();
+    if (auto gate = deadline.check("score respond"); !gate.ok()) {
+        respondFailure(done, MessageType::Score, request.id, gate);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.scored;
+        if (verdict.anomalous)
+            ++counters_.anomaliesFlagged;
+    }
+    util::count("serve.scores");
+    if (verdict.anomalous)
+        util::count("serve.anomalies_flagged");
+
+    Response ok;
+    ok.type = MessageType::Score;
+    ok.id = request.id;
+    ok.anomalous = verdict.anomalous;
+    ok.residualZ = verdict.residualZ;
+    ok.signatureDistance = verdict.signatureDistance;
+    ok.familyIndex = verdict.familyIndex;
+    ok.text = util::format(
+        "%s: residual z %.3f%s, signature distance %.4f%s (family "
+        "%zu)",
+        verdict.anomalous ? "ANOMALOUS" : "ok", verdict.residualZ,
+        verdict.residualFlag ? " [flagged]" : "",
+        verdict.signatureDistance,
+        verdict.signatureFlag ? " [flagged]" : "",
+        verdict.familyIndex);
+    respond(done, ok);
+}
+
 bool
 Server::underPressureLocked() const
 {
@@ -567,6 +711,11 @@ Server::statsJson() const
     for (const auto &name : models)
         json.value(name);
     json.endArray();
+    json.key("scorers");
+    json.beginArray();
+    for (const auto &name : scorerNames())
+        json.value(name);
+    json.endArray();
     json.key("counters");
     json.beginObject();
     json.key("framesDecoded");
@@ -591,6 +740,10 @@ Server::statsJson() const
     json.value(static_cast<std::size_t>(c.minesCompleted));
     json.key("minesRefused");
     json.value(static_cast<std::size_t>(c.minesRefused));
+    json.key("scored");
+    json.value(static_cast<std::size_t>(c.scored));
+    json.key("anomaliesFlagged");
+    json.value(static_cast<std::size_t>(c.anomaliesFlagged));
     json.endObject();
     json.key("latencyMs");
     json.beginObject();

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "mining/anomaly.h"
 #include "pmu/backend.h"
 #include "serve/deadline.h"
 #include "store/database.h"
@@ -145,6 +146,10 @@ struct ServeCounters
     std::uint64_t minesCompleted = 0;
     /** Mining jobs refused (drain, pressure, or mine queue full). */
     std::uint64_t minesRefused = 0;
+    /** Score requests answered Ok. */
+    std::uint64_t scored = 0;
+    /** Scored runs that tripped a calibrated threshold. */
+    std::uint64_t anomaliesFlagged = 0;
 };
 
 /**
@@ -214,6 +219,25 @@ class Server
     std::vector<std::string> modelNames() const;
 
     /**
+     * Load a MAPM checkpoint plus a calibrated cluster artifact and
+     * register the pair as an anomaly scorer under `name` (empty =
+     * the cluster artifact's benchmark). An uncalibrated cluster
+     * artifact is refused — scoring against unlearned thresholds
+     * would flag everything or nothing.
+     */
+    cminer::util::Status loadScorer(const std::string &name,
+                                    const std::string &model_path,
+                                    const std::string &cluster_path);
+
+    /** Register an in-memory scorer under `name`. */
+    void
+    registerScorer(const std::string &name,
+                   std::shared_ptr<const mining::AnomalyScorer> scorer);
+
+    /** Registered scorer names, sorted. */
+    std::vector<std::string> scorerNames() const;
+
+    /**
      * Submit one raw request payload. `done` is invoked exactly once
      * with the encoded response payload — possibly before submitFrame
      * returns (decode errors, shed requests, stats) or later from a
@@ -277,6 +301,14 @@ class Server
                     std::function<void(std::string)> done);
     void handleStats(const StatsRequest &request,
                      const std::function<void(std::string)> &done);
+    /**
+     * Score one run synchronously on the submitting thread: a score
+     * is a single-run, sub-millisecond judgment (one predictAll pass
+     * plus one pruned medoid search), so it bypasses the batcher the
+     * way stats does rather than competing for predict capacity.
+     */
+    void handleScore(const ScoreRequest &request,
+                     const std::function<void(std::string)> &done);
 
     /** Encode, count, and deliver one response. */
     void respond(const std::function<void(std::string)> &done,
@@ -312,6 +344,10 @@ class Server
     std::unordered_map<std::string,
                        std::shared_ptr<const core::MapmArtifact>>
         models_;
+    /** Anomaly scorers, guarded by modelsMutex_ like models_. */
+    std::unordered_map<std::string,
+                       std::shared_ptr<const mining::AnomalyScorer>>
+        scorers_;
 
     mutable std::mutex mutex_;
     std::deque<PendingPredict> queue_;

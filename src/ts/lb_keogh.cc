@@ -118,8 +118,15 @@ zNormalize(std::vector<double> &values)
         return;
     const double mu = stats::mean(values);
     double sigma = stats::stddev(values, false);
-    if (sigma <= 0.0)
-        sigma = 1.0; // constant series normalizes to all zeros
+    // Constant-series carve-out. sigma is exactly 0 only when the
+    // two-pass variance saw zero deviations; a constant series whose
+    // mean does not round-trip in binary (all 0.1, say) instead
+    // yields a tiny nonzero sigma that would amplify pure rounding
+    // noise to unit scale. Relative spread below FP noise is treated
+    // as constant, and a non-finite sigma (Inf/NaN inputs) must never
+    // become a divisor.
+    if (!(sigma > std::abs(mu) * 1e-12) || !std::isfinite(sigma))
+        sigma = 1.0; // constant series normalizes to ~all zeros
     for (auto &v : values)
         v = (v - mu) / sigma;
 }

@@ -19,8 +19,15 @@ resampleLinear(const std::vector<double> &values, std::size_t target_length)
     const double scale = static_cast<double>(values.size() - 1) /
                          static_cast<double>(
                              target_length > 1 ? target_length - 1 : 1);
+    const double last = static_cast<double>(values.size() - 1);
     for (std::size_t i = 0; i < target_length; ++i) {
-        const double pos = static_cast<double>(i) * scale;
+        double pos = static_cast<double>(i) * scale;
+        // i * scale carries rounding error that can land past the last
+        // index at the top of the range (an out-of-bounds read once
+        // the truncated position reaches values.size()). Clamp, which
+        // also pins the final sample to exactly values.back().
+        if (!(pos < last))
+            pos = last;
         const std::size_t lo = static_cast<std::size_t>(pos);
         const std::size_t hi = std::min(lo + 1, values.size() - 1);
         const double frac = pos - static_cast<double>(lo);
@@ -34,11 +41,16 @@ resampleLinear(const TimeSeries &series, std::size_t target_length)
 {
     const double total_ms = series.durationMs();
     auto values = resampleLinear(series.values(), target_length);
+    // Preserve the covered wall-clock time: durationMs() must
+    // round-trip through any resample, including upsampling past the
+    // source length. Only a degenerate source (non-positive duration,
+    // where no positive interval can reproduce it) keeps the old
+    // interval instead of silently drifting it to 0 or negative.
     const double new_interval =
-        total_ms / static_cast<double>(target_length);
+        total_ms > 0.0 ? total_ms / static_cast<double>(target_length)
+                       : series.intervalMs();
     return TimeSeries(series.eventName(), std::move(values),
-                      new_interval > 0.0 ? new_interval
-                                         : series.intervalMs());
+                      new_interval);
 }
 
 std::vector<double>

@@ -617,4 +617,77 @@ TEST(SimdProperties, LbKeoghBoundsDtwAcrossLevels)
     }
 }
 
+/**
+ * LB_Keogh must stay an admissible bound on *z-normalized* series —
+ * the form every mining signature takes — including constant series.
+ * Regression: two-pass variance leaves a constant series whose mean
+ * does not round-trip (e.g. all 0.1) with a tiny nonzero sigma, and
+ * dividing by it amplified rounding noise to unit scale: the
+ * "normalized" constant became garbage whose LB could exceed DTW
+ * against a genuinely normalized query. zNormalize now detects the
+ * constant case by relative epsilon and returns exact zeros.
+ */
+TEST(SimdProperties, LbKeoghBoundsDtwOnZNormalizedSeries)
+{
+    SimdLevelGuard guard;
+    cminer::util::Rng rng(0xbb67ae85);
+    namespace ts = cminer::ts;
+    const double band_fraction = 0.1;
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(8, 96));
+        // Mix genuine signals with constant series whose value does
+        // not round-trip through the mean (0.1, 1/3, ...).
+        auto make = [&](int kind) {
+            std::vector<double> values;
+            switch (kind) {
+            case 0:
+                values = makeValues(rng, n, Payload::Uniform);
+                break;
+            case 1:
+                values.assign(n, 0.1);
+                break;
+            case 2:
+                values.assign(n, 1.0 / 3.0);
+                break;
+            default:
+                values.assign(n, -1e6 + 0.7);
+                break;
+            }
+            ts::zNormalize(values);
+            return values;
+        };
+        const int kind_a = static_cast<int>(rng.uniformInt(0, 3));
+        const int kind_b = static_cast<int>(rng.uniformInt(0, 3));
+        const auto a = make(kind_a);
+        const auto b = make(kind_b);
+        // A z-normalized constant series collapses to ~zero, not to
+        // amplified rounding noise: the constant-series carve-out
+        // pins sigma to 1 instead of dividing by a denormal-scale
+        // stddev. (The residues are not exactly zero — the mean of n
+        // identical values rounds at the constant's magnitude, so a
+        // 1e6-scale constant leaves ~1e-10 residues.)
+        if (kind_a != 0)
+            for (double v : a)
+                ASSERT_LE(std::abs(v), 1e-6) << "kind " << kind_a;
+        // The envelope radius is at least the DTW band half-width
+        // (+1 for the implementation's minimum band), keeping the
+        // bound admissible.
+        const auto radius =
+            static_cast<std::size_t>(std::ceil(
+                band_fraction * static_cast<double>(n))) +
+            1;
+        forEachLevel([&](Level level) {
+            const auto envelope = ts::computeEnvelope(a, radius);
+            const double bound = ts::lbKeogh(envelope, b);
+            ts::DtwOptions options;
+            options.bandFraction = band_fraction;
+            const double distance = ts::dtwDistance(a, b, options);
+            EXPECT_LE(bound, distance + 1e-9 * (1.0 + distance))
+                << "n=" << n << " kinds=" << kind_a << "," << kind_b
+                << " level=" << simd::levelName(level);
+        });
+    }
+}
+
 } // namespace

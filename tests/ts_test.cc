@@ -386,4 +386,97 @@ TEST(Resample, DownsampleFactorOneIsIdentity)
     EXPECT_EQ(downsampleMean(x, 1), x);
 }
 
+// Regression: at (n=4, target=188) the interpolation position for the
+// final sample computes as 3.0000000000000004 — truncating past the
+// last index. The clamp must pin it to values.back() exactly (and ASan
+// must see no out-of-bounds read).
+TEST(Resample, ClampsPositionDriftAtPathologicalLengths)
+{
+    const std::vector<double> x = {10.0, -4.0, 7.0, 42.0};
+    const auto out = resampleLinear(x, 188);
+    ASSERT_EQ(out.size(), 188u);
+    EXPECT_EQ(out.back(), 42.0);
+    for (double v : out) {
+        EXPECT_GE(v, -4.0);
+        EXPECT_LE(v, 42.0);
+    }
+}
+
+TEST(Resample, OutputStaysWithinInputRangeAcrossLengthSweep)
+{
+    Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(2, 64));
+        std::vector<double> x(n);
+        double lo = 1e300;
+        double hi = -1e300;
+        for (auto &v : x) {
+            v = rng.uniform(-100.0, 100.0);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        // Pathological upsample ratios are where i * scale drifts.
+        for (const std::size_t target : {std::size_t{2},
+                                         std::size_t{188},
+                                         std::size_t{1093},
+                                         std::size_t{2999}}) {
+            const auto out = resampleLinear(x, target);
+            ASSERT_EQ(out.size(), target);
+            EXPECT_EQ(out.front(), x.front());
+            // The final position may land an ulp *below* the last
+            // index (interpolated, inexact) or at/above it (clamped,
+            // exact) — either way it must be the last sample to
+            // rounding error.
+            EXPECT_NEAR(out.back(), x.back(), 1e-10);
+            for (double v : out) {
+                EXPECT_GE(v, lo - 1e-12);
+                EXPECT_LE(v, hi + 1e-12);
+            }
+        }
+    }
+}
+
+// durationMs must round-trip through any resample, including
+// upsampling past the source length — the interval shrinks, it never
+// drifts to zero or negative.
+TEST(Resample, TimeSeriesDurationRoundTripsWhenUpsampling)
+{
+    const TimeSeries series("X", {1, 2, 3, 4, 5}, 10.0);
+    ASSERT_DOUBLE_EQ(series.durationMs(), 50.0);
+    for (const std::size_t target : {7u, 23u, 128u, 4096u}) {
+        const TimeSeries resampled = resampleLinear(series, target);
+        EXPECT_EQ(resampled.size(), target);
+        EXPECT_GT(resampled.intervalMs(), 0.0);
+        EXPECT_NEAR(resampled.durationMs(), 50.0, 1e-9)
+            << "target " << target;
+    }
+}
+
+TEST(Resample, NonPositiveIntervalIsRejectedAtConstruction)
+{
+    // A zero or negative sampling interval can never reach the
+    // resampler (and so can never be divided into a 0/negative
+    // interval downstream): TimeSeries refuses to exist with one.
+    EXPECT_DEATH(TimeSeries("X", {1, 2, 3}, 0.0), "assertion failed");
+    EXPECT_DEATH(TimeSeries("X", {1, 2, 3}, -5.0), "assertion failed");
+}
+
+TEST(Resample, DownsampleFactorLargerThanSeriesYieldsOneMean)
+{
+    const std::vector<double> x = {2.0, 4.0, 9.0};
+    const auto down = downsampleMean(x, 10);
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_DOUBLE_EQ(down[0], 5.0);
+}
+
+TEST(ResampleEdge, PreconditionsPanic)
+{
+    const std::vector<double> empty;
+    const std::vector<double> some = {1.0, 2.0};
+    EXPECT_DEATH(resampleLinear(empty, 4), "assertion failed");
+    EXPECT_DEATH(resampleLinear(some, 0), "assertion failed");
+    EXPECT_DEATH(downsampleMean(some, 0), "assertion failed");
+}
+
 } // namespace
